@@ -1,0 +1,350 @@
+// Package accpar is a Go implementation of AccPar (Song et al., HPCA
+// 2020): principled tensor partitioning of DNN training across arrays of
+// heterogeneous deep-learning accelerators.
+//
+// AccPar decides, for every weighted layer of a DNN and every level of an
+// accelerator-array hierarchy, which of the three basic tensor partition
+// types to use — Type-I (batch), Type-II (input channels), Type-III
+// (output channels) — and what fraction of the work each accelerator group
+// receives, minimizing a joint computation + communication cost model.
+//
+// Quick start:
+//
+//	net, _ := accpar.BuildModel("alexnet", 512)
+//	arr, _ := accpar.HeterogeneousArray(
+//	    accpar.ArrayGroup{Spec: accpar.TPUv2(), Count: 128},
+//	    accpar.ArrayGroup{Spec: accpar.TPUv3(), Count: 128})
+//	plan, _ := accpar.Partition(net, arr, accpar.StrategyAccPar)
+//	fmt.Printf("iteration time: %.3gs\n", plan.Time())
+//	fmt.Println(plan.TypeMap())
+//
+// The package re-exports the building blocks needed to construct custom
+// models (see NewGraph) and custom accelerator specifications, and exposes
+// the baseline strategies the paper compares against (data parallelism,
+// "one weird trick", HyPar).
+package accpar
+
+import (
+	"fmt"
+	"io"
+
+	"accpar/internal/arraysim"
+	"accpar/internal/autotune"
+	"accpar/internal/core"
+	"accpar/internal/cost"
+	"accpar/internal/dnn"
+	"accpar/internal/hardware"
+	"accpar/internal/models"
+	"accpar/internal/optimizer"
+	"accpar/internal/sim"
+	"accpar/internal/tensor"
+)
+
+// Re-exported model-construction types. Build custom DNNs with NewGraph,
+// Graph.Add and the layer constructors, then convert with ExtractNetwork.
+type (
+	// Graph is a DAG of DNN layers with shape inference.
+	Graph = dnn.Graph
+	// Layer is one operator instance.
+	Layer = dnn.Layer
+	// ConvOp parameterizes a 2D convolution.
+	ConvOp = dnn.ConvOp
+	// FCOp parameterizes a fully-connected layer.
+	FCOp = dnn.FCOp
+	// PoolOp parameterizes max/average pooling.
+	PoolOp = dnn.PoolOp
+	// AddOp is the residual two-input addition.
+	AddOp = dnn.AddOp
+	// Network is the extracted series-parallel weighted-layer structure the
+	// partitioner consumes.
+	Network = dnn.Network
+	// Shape is a tensor shape.
+	Shape = tensor.Shape
+	// Spec describes one accelerator board.
+	Spec = hardware.Spec
+	// Array is an ordered accelerator collection.
+	Array = hardware.Array
+	// ArrayGroup pairs a Spec with a count for heterogeneous arrays.
+	ArrayGroup = hardware.GroupSpec
+	// Plan is a complete hierarchical partitioning decision.
+	Plan = core.Plan
+	// PlanNode is one hierarchy node's decision.
+	PlanNode = core.PlanNode
+	// Options is the advanced partitioner configuration.
+	Options = core.Options
+	// PartitionType is one of the three basic tensor partition types.
+	PartitionType = cost.Type
+	// SimMachine models one accelerator group in the trace-driven
+	// simulator.
+	SimMachine = sim.Machine
+	// SimResult is the simulator outcome.
+	SimResult = sim.Result
+	// SimConfig tunes the simulator.
+	SimConfig = sim.Config
+	// MemoryReport summarizes a plan's HBM feasibility.
+	MemoryReport = core.MemoryReport
+	// PlanJSON is the serialized wire form of a plan.
+	PlanJSON = core.PlanJSON
+	// Optimizer selects the weight-update rule (SGD, Momentum, Adam).
+	Optimizer = optimizer.Kind
+)
+
+// The supported weight-update rules (Section 2.1 of the paper).
+const (
+	// OptimizerSGD is plain mini-batch gradient descent.
+	OptimizerSGD = optimizer.SGD
+	// OptimizerMomentum keeps a velocity tensor per weight.
+	OptimizerMomentum = optimizer.Momentum
+	// OptimizerAdam keeps two moment tensors per weight.
+	OptimizerAdam = optimizer.Adam
+)
+
+// Workload modes (Options.Mode).
+const (
+	// ModeTraining costs forward + backward + gradient — the paper's
+	// problem and the default.
+	ModeTraining = core.ModeTraining
+	// ModeInference costs the forward phase only (Section 1: inference
+	// performs only data forward).
+	ModeInference = core.ModeInference
+)
+
+// ParseOptimizer converts "sgd", "momentum" or "adam" to an Optimizer.
+func ParseOptimizer(name string) (Optimizer, error) { return optimizer.Parse(name) }
+
+// ReadPlanJSON decodes a plan previously written with Plan.WriteJSON.
+func ReadPlanJSON(r io.Reader) (*PlanJSON, error) { return core.ReadPlanJSON(r) }
+
+// The three basic tensor partition types (Section 3 of the paper).
+const (
+	// TypeI partitions the batch dimension (data parallelism).
+	TypeI = cost.TypeI
+	// TypeII partitions the input-channel dimension (model parallelism).
+	TypeII = cost.TypeII
+	// TypeIII partitions the output-channel dimension — the configuration
+	// prior approaches overlook.
+	TypeIII = cost.TypeIII
+)
+
+// NewGraph returns an empty model graph; see Graph.Add, Graph.Input and the
+// layer helpers (ReLU, Flatten, ...).
+func NewGraph(name string) *Graph { return dnn.NewGraph(name) }
+
+// Layer helper constructors, re-exported from the model substrate.
+var (
+	// ReLU returns a rectified-linear activation layer.
+	ReLU = dnn.ReLU
+	// BatchNorm returns a batch-normalization layer.
+	BatchNorm = dnn.BatchNorm
+	// Dropout returns a dropout layer.
+	Dropout = dnn.Dropout
+	// Softmax returns a softmax layer.
+	Softmax = dnn.Softmax
+	// Flatten returns a flatten layer.
+	Flatten = dnn.Flatten
+	// NewShape constructs a tensor shape.
+	NewShape = tensor.NewShape
+)
+
+// ExtractNetwork reduces an inferred Graph to the series-parallel Network
+// the partitioner operates on.
+func ExtractNetwork(g *Graph) (*Network, error) { return dnn.ExtractNetwork(g) }
+
+// Models returns the names of the nine built-in evaluation DNNs.
+func Models() []string { return models.EvaluationOrder() }
+
+// BuildModel constructs a built-in model ("lenet", "alexnet", "vgg11",
+// "vgg13", "vgg16", "vgg19", "resnet18", "resnet34", "resnet50") for the
+// given mini-batch size and returns its extracted network.
+func BuildModel(name string, batch int) (*Network, error) {
+	return models.BuildNetwork(name, batch)
+}
+
+// TPUv2 returns the TPU-v2 board specification (Table 7 of the paper).
+func TPUv2() Spec { return hardware.TPUv2() }
+
+// TPUv3 returns the TPU-v3 board specification (Table 7 of the paper).
+func TPUv3() Spec { return hardware.TPUv3() }
+
+// HomogeneousArray returns an array of n identical accelerators.
+func HomogeneousArray(spec Spec, n int) (*Array, error) {
+	return hardware.NewHomogeneous(spec, n)
+}
+
+// HeterogeneousArray returns an array mixing accelerator groups; the
+// paper's evaluation array is HeterogeneousArray({TPUv2, 128},
+// {TPUv3, 128}).
+func HeterogeneousArray(groups ...ArrayGroup) (*Array, error) {
+	return hardware.NewHeterogeneous(groups...)
+}
+
+// Strategy selects a parallelization scheme.
+type Strategy int
+
+const (
+	// StrategyDP is the data-parallelism baseline: every layer Type-I,
+	// equal ratios.
+	StrategyDP Strategy = iota
+	// StrategyOWT is "one weird trick": CONV layers data-parallel, FC
+	// layers model-parallel.
+	StrategyOWT
+	// StrategyHyPar is the HyPar baseline: two types, communication-only
+	// objective, equal ratios, linearized graphs.
+	StrategyHyPar
+	// StrategyAccPar is the full AccPar method: complete type space, joint
+	// cost model, flexible ratios, native multi-path search.
+	StrategyAccPar
+)
+
+// Strategies lists all strategies in ascending flexibility order
+// (Table 8 of the paper: DP ≺ OWT ≺ HyPar ≺ AccPar).
+var Strategies = []Strategy{StrategyDP, StrategyOWT, StrategyHyPar, StrategyAccPar}
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyDP:
+		return "DP"
+	case StrategyOWT:
+		return "OWT"
+	case StrategyHyPar:
+		return "HyPar"
+	case StrategyAccPar:
+		return "AccPar"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options returns the underlying partitioner configuration, for callers who
+// want to tweak it before PartitionWithOptions.
+func (s Strategy) Options() Options {
+	switch s {
+	case StrategyDP:
+		return core.DataParallel()
+	case StrategyOWT:
+		return core.OWT()
+	case StrategyHyPar:
+		return core.HyPar()
+	case StrategyAccPar:
+		return core.AccPar()
+	default:
+		panic(fmt.Sprintf("accpar: invalid strategy %d", int(s)))
+	}
+}
+
+// Partition produces the hierarchical partitioning plan of the network on
+// the array under the strategy, splitting the array down to single
+// accelerators. StrategyAccPar runs the production portfolio search: the
+// full complete-space configuration plus the restricted variants it
+// subsumes, decided by the joint cost model — guaranteeing the result never
+// loses to any baseline (the hierarchical search is greedy per level, so a
+// single pass lacks that guarantee).
+func Partition(net *Network, arr *Array, strategy Strategy) (*Plan, error) {
+	if strategy == StrategyAccPar {
+		tree, err := hardware.BuildTree(arr, 64)
+		if err != nil {
+			return nil, err
+		}
+		return core.PartitionAccPar(net, tree)
+	}
+	return PartitionWithOptions(net, arr, strategy.Options(), 64)
+}
+
+// PartitionWithOptions is the advanced entry point: explicit partitioner
+// options and a hierarchy-level budget (unsplit leaf groups fall back to
+// internal data parallelism).
+func PartitionWithOptions(net *Network, arr *Array, opt Options, maxLevels int) (*Plan, error) {
+	tree, err := hardware.BuildTree(arr, maxLevels)
+	if err != nil {
+		return nil, err
+	}
+	return core.Partition(net, tree, opt)
+}
+
+// Comparison is the outcome of comparing all strategies on one workload.
+type Comparison struct {
+	// Plans holds the plan of each strategy.
+	Plans map[Strategy]*Plan
+}
+
+// Compare partitions the network with all four strategies.
+func Compare(net *Network, arr *Array) (*Comparison, error) {
+	c := &Comparison{Plans: map[Strategy]*Plan{}}
+	for _, s := range Strategies {
+		plan, err := Partition(net, arr, s)
+		if err != nil {
+			return nil, fmt.Errorf("accpar: %v: %w", s, err)
+		}
+		c.Plans[s] = plan
+	}
+	return c, nil
+}
+
+// Speedup returns the strategy's throughput normalized to data parallelism,
+// the paper's baseline.
+func (c *Comparison) Speedup(s Strategy) float64 {
+	return c.Plans[StrategyDP].Time() / c.Plans[s].Time()
+}
+
+// Simulate runs the trace-driven discrete-event simulator for a two-group
+// split of the network: per-layer tensor access and MULT/ADD traces are
+// derived at the paper's granularity and scheduled over each group's
+// compute, HBM and network resources. types must assign one partition type
+// per network unit (see Network.Units); alpha is machine A's share.
+func Simulate(net *Network, types []PartitionType, alpha float64, a, b SimMachine, cfg SimConfig) (*SimResult, error) {
+	return sim.Simulate(sim.Split{Net: net, Types: types, Alpha: alpha}, [2]sim.Machine{a, b}, cfg)
+}
+
+// MachineFor converts an accelerator spec into a simulator machine.
+func MachineFor(spec Spec) SimMachine {
+	return sim.Machine{Name: spec.Name, Compute: spec.FLOPS, MemBW: spec.MemBandwidth, NetBW: spec.NetBandwidth, HBMBytes: spec.HBMBytes}
+}
+
+// TuneBatch sweeps power-of-two batch sizes in [minBatch, maxBatch] for a
+// built-in model on the array, partitions each with AccPar, and returns
+// the highest-throughput batch whose plan fits every accelerator's HBM.
+func TuneBatch(model string, arr *Array, minBatch, maxBatch int) (*autotune.BatchResult, error) {
+	tree, err := hardware.BuildTree(arr, 64)
+	if err != nil {
+		return nil, err
+	}
+	return autotune.TuneBatch(model, tree, minBatch, maxBatch)
+}
+
+// TuneDepth sweeps hierarchy-level budgets on the array and returns the
+// budget with the highest AccPar throughput for the network.
+func TuneDepth(net *Network, arr *Array) (*autotune.DepthResult, error) {
+	return autotune.TuneDepth(net, arr)
+}
+
+// SimulateArray runs the array-level event-driven simulation of a full
+// hierarchical plan: every leaf accelerator group becomes a machine, every
+// hierarchy split a link, and one training iteration is scheduled over all
+// of them. The plan must come from Partition/PartitionWithOptions on the
+// same array.
+func SimulateArray(plan *Plan, arr *Array, cfg ArraySimConfig) (*ArraySimResult, error) {
+	tree, err := hardware.BuildTree(arr, 64)
+	if err != nil {
+		return nil, err
+	}
+	return arraysim.Simulate(plan, tree, cfg)
+}
+
+// ArraySimConfig tunes the array-level simulation.
+type ArraySimConfig = arraysim.Config
+
+// ArraySimResult is the array-level simulation outcome.
+type ArraySimResult = arraysim.Result
+
+// GroupMachine aggregates n accelerators of one spec into a single
+// simulator machine.
+func GroupMachine(spec Spec, n int) SimMachine {
+	return sim.Machine{
+		Name:     fmt.Sprintf("%d×%s", n, spec.Name),
+		Compute:  spec.FLOPS * float64(n),
+		MemBW:    spec.MemBandwidth * float64(n),
+		NetBW:    spec.NetBandwidth * float64(n),
+		HBMBytes: spec.HBMBytes * int64(n),
+	}
+}

@@ -1,0 +1,262 @@
+package accpar
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func paperArray(t *testing.T, perKind int) *Array {
+	t.Helper()
+	arr, err := HeterogeneousArray(ArrayGroup{Spec: TPUv2(), Count: perKind}, ArrayGroup{Spec: TPUv3(), Count: perKind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	net, err := BuildModel("alexnet", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Partition(net, paperArray(t, 8), StrategyAccPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(plan.Time() > 0) {
+		t.Fatalf("time = %g", plan.Time())
+	}
+	if !strings.Contains(plan.TypeMap(), "cv1") {
+		t.Error("type map missing layer names")
+	}
+}
+
+func TestModelsList(t *testing.T) {
+	names := Models()
+	if len(names) != 9 {
+		t.Fatalf("models = %d, want 9", len(names))
+	}
+	for _, n := range names {
+		if _, err := BuildModel(n, 4); err != nil {
+			t.Errorf("BuildModel(%q): %v", n, err)
+		}
+	}
+	if _, err := BuildModel("nope", 4); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	if len(Strategies) != 4 {
+		t.Fatal("want 4 strategies")
+	}
+	names := map[Strategy]string{StrategyDP: "DP", StrategyOWT: "OWT", StrategyHyPar: "HyPar", StrategyAccPar: "AccPar"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%v != %s", s, want)
+		}
+		_ = s.Options()
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	net, err := BuildModel("vgg11", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compare(net, paperArray(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Speedup(StrategyDP); got != 1 {
+		t.Errorf("DP speedup = %g, want 1", got)
+	}
+	if c.Speedup(StrategyAccPar) < c.Speedup(StrategyHyPar) {
+		t.Error("AccPar must dominate HyPar")
+	}
+	if c.Speedup(StrategyAccPar) <= 1 {
+		t.Error("AccPar must beat DP on the heterogeneous array")
+	}
+}
+
+func TestCustomGraphEndToEnd(t *testing.T) {
+	g := NewGraph("custom")
+	in := g.Input("data", NewShape(32, 3, 32, 32))
+	cv := g.Add(Layer{Name: "cv1", Op: ConvOp{OutChannels: 16, KH: 3, KW: 3, PadH: 1, PadW: 1}}, in)
+	r := g.Add(ReLU("relu1"), cv)
+	p := g.Add(Layer{Name: "pool1", Op: PoolOp{Max: true, KH: 2, KW: 2}}, r)
+	f := g.Add(Flatten("flat"), p)
+	fc := g.Add(Layer{Name: "fc1", Op: FCOp{OutFeatures: 10}}, f)
+	g.Add(Softmax("prob"), fc)
+	if err := g.Infer(); err != nil {
+		t.Fatal(err)
+	}
+	net, err := ExtractNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := HomogeneousArray(TPUv3(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Partition(net, arr, StrategyAccPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(plan.Time() > 0) {
+		t.Error("plan time must be positive")
+	}
+}
+
+func TestCustomResidualGraph(t *testing.T) {
+	g := NewGraph("residual")
+	in := g.Input("data", NewShape(8, 8, 16, 16))
+	cv1 := g.Add(Layer{Name: "cv1", Op: ConvOp{OutChannels: 8, KH: 3, KW: 3, PadH: 1, PadW: 1}}, in)
+	cv2 := g.Add(Layer{Name: "cv2", Op: ConvOp{OutChannels: 8, KH: 3, KW: 3, PadH: 1, PadW: 1}}, cv1)
+	add := g.Add(Layer{Name: "join", Op: AddOp{}}, cv1, cv2)
+	g.Add(Layer{Name: "cv3", Op: ConvOp{OutChannels: 8, KH: 3, KW: 3, PadH: 1, PadW: 1}}, add)
+	if err := g.Infer(); err != nil {
+		t.Fatal(err)
+	}
+	net, err := ExtractNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.HasParallel() {
+		t.Fatal("residual graph must extract a parallel segment")
+	}
+	plan, err := Partition(net, paperArray(t, 2), StrategyAccPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionWithOptionsLevelBudget(t *testing.T) {
+	net, err := BuildModel("lenet", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := HomogeneousArray(TPUv3(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PartitionWithOptions(net, arr, StrategyAccPar.Options(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plan.Levels()); got != 2 {
+		t.Errorf("levels = %d, want 2", got)
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	net, err := BuildModel("lenet", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := make([]PartitionType, len(net.Units()))
+	for i := range types {
+		types[i] = TypeI
+	}
+	res, err := Simulate(net, types, 0.5, MachineFor(TPUv2()), MachineFor(TPUv3()), SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Time > 0) || math.IsNaN(res.Time) {
+		t.Errorf("sim time = %g", res.Time)
+	}
+}
+
+func TestGroupMachineAggregates(t *testing.T) {
+	m := GroupMachine(TPUv3(), 4)
+	if m.Compute != 4*TPUv3().FLOPS {
+		t.Error("compute not aggregated")
+	}
+	if m.HBMBytes != 4*TPUv3().HBMBytes {
+		t.Error("HBM not aggregated")
+	}
+}
+
+func TestPartitionTypesExported(t *testing.T) {
+	if TypeI.String() != "Type-I" || TypeII.String() != "Type-II" || TypeIII.String() != "Type-III" {
+		t.Error("exported type names wrong")
+	}
+}
+
+func TestTuneBatchFacade(t *testing.T) {
+	arr := paperArray(t, 2)
+	res, err := TuneBatch("lenet", arr, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Batch != 16 && res.Best.Batch != 32 {
+		t.Errorf("best batch = %d", res.Best.Batch)
+	}
+}
+
+func TestTuneDepthFacade(t *testing.T) {
+	net, err := BuildModel("lenet", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TuneDepth(net, paperArray(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Choices) == 0 || res.Best.Throughput <= 0 {
+		t.Errorf("depth result: %+v", res)
+	}
+}
+
+func TestSimulateArrayFacade(t *testing.T) {
+	net, err := BuildModel("lenet", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := paperArray(t, 2)
+	plan, err := Partition(net, arr, StrategyAccPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateArray(plan, arr, ArraySimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Time > 0) || res.Leaves != 4 {
+		t.Errorf("array sim: %+v", res)
+	}
+}
+
+func TestInferenceModeFacade(t *testing.T) {
+	net, err := BuildModel("alexnet", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := paperArray(t, 2)
+	opt := StrategyAccPar.Options()
+	opt.Mode = ModeInference
+	infer, err := PartitionWithOptions(net, arr, opt, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := Partition(net, arr, StrategyAccPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infer.Time() >= train.Time() {
+		t.Error("inference must be faster than training")
+	}
+}
+
+func TestParseOptimizerFacade(t *testing.T) {
+	if k, err := ParseOptimizer("adam"); err != nil || k != OptimizerAdam {
+		t.Errorf("ParseOptimizer: %v, %v", k, err)
+	}
+	if _, err := ParseOptimizer("lion"); err == nil {
+		t.Error("unknown optimizer must error")
+	}
+}

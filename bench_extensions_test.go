@@ -1,0 +1,222 @@
+package accpar
+
+// Benchmarks for the extension experiments and substrates beyond the
+// paper's figures: interconnect-topology sensitivity, batch-size scaling,
+// the distributed reference runtime, the exhaustive search validator, and
+// the trace generator.
+
+import (
+	"math"
+	"testing"
+
+	"accpar/internal/arraysim"
+	"accpar/internal/core"
+	"accpar/internal/cost"
+	"accpar/internal/eval"
+	"accpar/internal/exec"
+	"accpar/internal/models"
+	"accpar/internal/runtime"
+	"accpar/internal/trace"
+)
+
+// BenchmarkTopologySweep measures the interconnect sensitivity study on
+// ResNet-50: AccPar under full-bisection, 2:1-oversubscribed, torus and
+// ring fabrics. The reported metric is the ring/full slowdown of AccPar.
+func BenchmarkTopologySweep(b *testing.B) {
+	var results []eval.TopologyResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		results, _, err = eval.TopologySweep(eval.Config{}, "resnet50")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var full, ring float64
+	for _, r := range results {
+		if r.Scheme == eval.SchemeAccPar {
+			switch r.Topology.String() {
+			case "full-bisection":
+				full = r.Time
+			case "ring":
+				ring = r.Time
+			}
+		}
+	}
+	if full > 0 {
+		b.ReportMetric(ring/full, "ring_slowdown")
+	}
+}
+
+// BenchmarkBatchSweep measures the batch-size scaling study on VGG-16
+// (batch 64..1024). The reported metrics are AccPar's speedup at the two
+// extremes.
+func BenchmarkBatchSweep(b *testing.B) {
+	var results []eval.BatchResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		results, _, err = eval.BatchSweep(eval.Config{}, "vgg16", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		if r.Scheme == eval.SchemeAccPar && r.Batch == 64 {
+			b.ReportMetric(r.Speedup, "accpar_b64")
+		}
+		if r.Scheme == eval.SchemeAccPar && r.Batch == 1024 {
+			b.ReportMetric(r.Speedup, "accpar_b1024")
+		}
+	}
+}
+
+// BenchmarkDistributedRuntime measures the reference two-worker executor
+// on a mixed-type FC chain, including all fabric exchanges.
+func BenchmarkDistributedRuntime(b *testing.B) {
+	c := &runtime.Chain{B: 64, Layers: []runtime.Layer{
+		{Di: 256, Do: 512, Type: cost.TypeI, Share0: 32},
+		{Di: 512, Do: 512, Type: cost.TypeII, Share0: 256},
+		{Di: 512, Do: 128, Type: cost.TypeIII, Share0: 64},
+	}}
+	f0 := exec.NewMatrix(64, 256)
+	var weights []*exec.Matrix
+	for _, l := range c.Layers {
+		weights = append(weights, exec.NewMatrix(l.Di, l.Do))
+	}
+	eLast := exec.NewMatrix(64, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := runtime.Run(c, f0, weights, eLast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExhaustiveSearch measures the O(3^N) validator on AlexNet
+// (8 weighted layers + junctions) against which the DP is certified.
+func BenchmarkExhaustiveSearch(b *testing.B) {
+	net, err := models.BuildNetwork("alexnet", 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := eval.HeterogeneousTree(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.AccPar()
+	opt.Exhaustive = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Partition(net, tree, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures aggregated trace derivation for every
+// layer of VGG-16 under all three types.
+func BenchmarkTraceGeneration(b *testing.B) {
+	net, err := models.BuildNetwork("vgg16", 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	units := net.Units()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range units {
+			if u.Virtual {
+				continue
+			}
+			for _, ty := range cost.Types {
+				if _, _, err := trace.GeneratePair(u.Dims, ty, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkMemoryReport measures plan memory accounting over the full
+// 256-leaf hierarchy.
+func BenchmarkMemoryReport(b *testing.B) {
+	net, err := models.BuildNetwork("vgg16", 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := eval.HeterogeneousTree(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := core.PartitionAccPar(net, tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := plan.Memory()
+		if rep.Leaves == 0 {
+			b.Fatal("no leaves")
+		}
+	}
+}
+
+// BenchmarkArraySimulation measures the 256-leaf array-level event-driven
+// simulation of VGG-16's AccPar plan (≈25k tasks). The reported metric is
+// the simulated/analytic time ratio — how much serialization detail the
+// analytic model abstracts away.
+func BenchmarkArraySimulation(b *testing.B) {
+	net, err := models.BuildNetwork("vgg16", 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := eval.HeterogeneousTree(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := core.PartitionAccPar(net, tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var res *arraysim.Result
+	for i := 0; i < b.N; i++ {
+		res, err = arraysim.Simulate(plan, tree, arraysim.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Time/res.AnalyticTime, "sim_vs_analytic")
+}
+
+// BenchmarkInferencePartitioning measures forward-only partitioning of the
+// nine models on the heterogeneous array, reporting the geomean
+// training/inference iteration-time ratio of the AccPar plans.
+func BenchmarkInferencePartitioning(b *testing.B) {
+	tree, err := eval.HeterogeneousTree(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		prod, n := 1.0, 0
+		for _, name := range models.EvaluationOrder() {
+			net, err := models.BuildNetwork(name, 512)
+			if err != nil {
+				b.Fatal(err)
+			}
+			train, err := core.PartitionAccPar(net, tree)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := core.AccPar()
+			opt.Mode = core.ModeInference
+			infer, err := core.Partition(net, tree, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prod *= train.Time() / infer.Time()
+			n++
+		}
+		ratio = math.Pow(prod, 1/float64(n))
+	}
+	b.ReportMetric(ratio, "train_over_infer")
+}

@@ -1,0 +1,112 @@
+// Command accpar-sim runs the trace-driven discrete-event simulator on a
+// two-group split of a model: it derives the tensor access and MULT/ADD
+// traces of every layer under the chosen partition plan and schedules one
+// training iteration over the two groups' compute, HBM and network
+// resources, printing the timing breakdown, utilization and memory
+// residency. This cross-validates the analytic cost model at the
+// granularity the paper's tables are derived for.
+//
+// Usage:
+//
+//	accpar-sim -model vgg16 -batch 512 -v2 128 -v3 128 -strategy accpar
+//	accpar-sim -model resnet50 -overlap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"accpar"
+	"accpar/internal/arraysim"
+	"accpar/internal/hardware"
+)
+
+// runArray executes the array-level simulation of the full plan.
+func runArray(plan *accpar.Plan, arr *accpar.Array, model string, batch int, st accpar.Strategy, overlap bool) error {
+	tree, err := hardware.BuildTree(arr, 64)
+	if err != nil {
+		return err
+	}
+	res, err := arraysim.Simulate(plan, tree, arraysim.Config{OverlapComm: overlap})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %s  batch: %d  strategy: %v  overlap: %v\n\n", model, batch, st, overlap)
+	fmt.Printf("array-level simulated time: %.6g s (%d leaves, %d links, %d tasks)\n",
+		res.Time, res.Leaves, res.Links, res.Tasks)
+	fmt.Printf("analytic model:             %.6g s (ratio %.2f)\n", res.AnalyticTime, res.Time/res.AnalyticTime)
+	fmt.Printf("busiest leaf compute %.4gs, busiest link %.4gs\n", res.ComputeBusyMax, res.LinkBusyMax)
+	return nil
+}
+
+func main() {
+	var (
+		model    = flag.String("model", "alexnet", "model name: "+strings.Join(accpar.Models(), ", "))
+		batch    = flag.Int("batch", 512, "mini-batch size")
+		v2       = flag.Int("v2", 128, "TPU-v2 count (group A)")
+		v3       = flag.Int("v3", 128, "TPU-v3 count (group B)")
+		strategy = flag.String("strategy", "accpar", "plan source: dp, owt, hypar, accpar")
+		overlap  = flag.Bool("overlap", false, "allow communication/computation overlap")
+		array    = flag.Bool("array", false, "run the array-level simulation over all leaves instead of the two-group DES")
+	)
+	flag.Parse()
+	if err := run(*model, *batch, *v2, *v3, *strategy, *overlap, *array); err != nil {
+		fmt.Fprintln(os.Stderr, "accpar-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model string, batch, v2, v3 int, strategy string, overlap, array bool) error {
+	net, err := accpar.BuildModel(model, batch)
+	if err != nil {
+		return err
+	}
+	var st accpar.Strategy
+	switch strings.ToLower(strategy) {
+	case "dp":
+		st = accpar.StrategyDP
+	case "owt":
+		st = accpar.StrategyOWT
+	case "hypar":
+		st = accpar.StrategyHyPar
+	case "accpar":
+		st = accpar.StrategyAccPar
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+
+	arr, err := accpar.HeterogeneousArray(
+		accpar.ArrayGroup{Spec: accpar.TPUv2(), Count: v2},
+		accpar.ArrayGroup{Spec: accpar.TPUv3(), Count: v3})
+	if err != nil {
+		return err
+	}
+	plan, err := accpar.Partition(net, arr, st)
+	if err != nil {
+		return err
+	}
+	if array {
+		return runArray(plan, arr, model, batch, st, overlap)
+	}
+	types := plan.Root.Types
+	alpha := plan.Root.Alpha
+
+	a := accpar.GroupMachine(accpar.TPUv2(), v2)
+	b := accpar.GroupMachine(accpar.TPUv3(), v3)
+	res, err := accpar.Simulate(net, types, alpha, a, b, accpar.SimConfig{OverlapComm: overlap})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("model: %s  batch: %d  strategy: %v  alpha: %.3f  overlap: %v\n\n", model, batch, st, alpha, overlap)
+	fmt.Printf("simulated iteration time: %.6g s  (%d tasks)\n", res.Time, res.Tasks)
+	fmt.Printf("analytic root-split view: %.6g s\n\n", plan.Time())
+	for m, name := range []string{a.Name, b.Name} {
+		fmt.Printf("%-14s compute busy %.4gs (util %.1f%%)  net busy %.4gs  traffic %.4g B  peak mem %.4g GB (fits: %v)\n",
+			name, res.ComputeBusy[m], 100*res.ComputeUtil[m], res.NetBusy[m],
+			res.RemoteBytes[m], float64(res.PeakMemBytes[m])/(1<<30), res.MemOK[m])
+	}
+	return nil
+}

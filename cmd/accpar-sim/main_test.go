@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunStrategies(t *testing.T) {
+	for _, s := range []string{"dp", "owt", "hypar", "accpar"} {
+		if err := run("lenet", 16, 2, 2, s, false, false); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+}
+
+func TestRunOverlap(t *testing.T) {
+	if err := run("alexnet", 8, 2, 2, "accpar", true, false); err != nil {
+		t.Errorf("overlap: %v", err)
+	}
+}
+
+func TestRunArrayMode(t *testing.T) {
+	if err := run("lenet", 16, 2, 2, "accpar", false, true); err != nil {
+		t.Errorf("array mode: %v", err)
+	}
+	if err := run("alexnet", 8, 2, 2, "dp", true, true); err != nil {
+		t.Errorf("array overlap mode: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 8, 2, 2, "accpar", false, false); err == nil {
+		t.Error("unknown model must error")
+	}
+	if err := run("lenet", 8, 2, 2, "alpa", false, false); err == nil {
+		t.Error("unknown strategy must error")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+
+	"accpar/internal/cost"
+)
+
+func TestParseType(t *testing.T) {
+	cases := map[string]cost.Type{"I": cost.TypeI, "ii": cost.TypeII, "3": cost.TypeIII}
+	for in, want := range cases {
+		got, err := parseType(in)
+		if err != nil || got != want {
+			t.Errorf("parseType(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseType("IV"); err == nil {
+		t.Error("unknown type must error")
+	}
+}
+
+func TestRunLayerTrace(t *testing.T) {
+	if err := run("lenet", 8, "cv1", "II", 0.5, false, false); err != nil {
+		t.Errorf("layer trace: %v", err)
+	}
+	if err := run("lenet", 8, "", "I", 0.25, false, false); err != nil {
+		t.Errorf("all-layer trace: %v", err)
+	}
+	if err := run("lenet", 8, "missing", "I", 0.5, false, false); err == nil {
+		t.Error("missing layer must error")
+	}
+	if err := run("nope", 8, "", "I", 0.5, false, false); err == nil {
+		t.Error("unknown model must error")
+	}
+	if err := run("lenet", 8, "", "IV", 0.5, false, false); err == nil {
+		t.Error("bad type must error")
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	if err := run("lenet", 8, "", "I", 0.5, true, false); err != nil {
+		t.Errorf("timeline CSV: %v", err)
+	}
+	if err := run("lenet", 8, "", "I", 0.5, true, true); err != nil {
+		t.Errorf("gantt: %v", err)
+	}
+	if err := run("lenet", 8, "", "IV", 0.5, true, false); err == nil {
+		t.Error("bad type must error in timeline mode")
+	}
+}

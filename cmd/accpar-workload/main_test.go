@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunWorkload(t *testing.T) {
+	if err := run(7, 16, 0, 2, 2, ""); err != nil {
+		t.Errorf("default: %v", err)
+	}
+	if err := run(7, 16, 5, 2, 2, ""); err != nil {
+		t.Errorf("fixed layers: %v", err)
+	}
+}
+
+func TestRunWorkloadDOT(t *testing.T) {
+	if err := run(3, 16, 4, 2, 2, "-"); err != nil {
+		t.Errorf("dot: %v", err)
+	}
+}

@@ -1,0 +1,195 @@
+// Command accpar partitions a DNN training workload across an accelerator
+// array and prints the resulting plan: per-level partition types, ratios,
+// modelled iteration time and training throughput.
+//
+// Usage:
+//
+//	accpar -model vgg16 -batch 512 -v2 128 -v3 128 -strategy accpar -map
+//	accpar -model resnet50 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"accpar"
+	"accpar/internal/hardware"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "alexnet", "model name: "+strings.Join(accpar.Models(), ", "))
+		batch    = flag.Int("batch", 512, "mini-batch size")
+		v2       = flag.Int("v2", 128, "number of TPU-v2 accelerators")
+		v3       = flag.Int("v3", 128, "number of TPU-v3 accelerators")
+		fleet    = flag.String("fleet", "", "explicit fleet spec overriding -v2/-v3, e.g. \"tpu-v2:64,gpu-class-b:32\" (presets: tpu-v2, tpu-v3, gpu-class-a, gpu-class-b, edge-npu)")
+		strategy = flag.String("strategy", "accpar", "partitioning strategy: dp, owt, hypar, accpar")
+		levels   = flag.Int("levels", 64, "hierarchy level budget (64 = split to single accelerators)")
+		showMap  = flag.Bool("map", false, "print the per-level partition type map (Figure 7 style)")
+		compare  = flag.Bool("compare", false, "compare all four strategies")
+		jsonOut  = flag.String("json", "", "write the plan as JSON to this file ('-' for stdout)")
+		dotOut   = flag.String("dot", "", "write the network structure as Graphviz DOT to this file ('-' for stdout)")
+		optName  = flag.String("optimizer", "sgd", "weight-update rule: sgd, momentum, adam")
+		explain  = flag.Bool("explain", false, "print the per-layer cost breakdown of the root split")
+		infer    = flag.Bool("inference", false, "cost the forward phase only (inference) instead of training")
+	)
+	flag.Parse()
+
+	if err := run(*model, *batch, *v2, *v3, *fleet, *strategy, *levels, *showMap, *compare, *explain, *infer, *jsonOut, *dotOut, *optName); err != nil {
+		fmt.Fprintln(os.Stderr, "accpar:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model string, batch, v2, v3 int, fleet, strategy string, levels int, showMap, compare, explain, infer bool, jsonOut, dotOut, optName string) error {
+	net, err := accpar.BuildModel(model, batch)
+	if err != nil {
+		return err
+	}
+	if dotOut != "" {
+		w := os.Stdout
+		if dotOut != "-" {
+			f, err := os.Create(dotOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return net.WriteDOT(w)
+	}
+	var arr *accpar.Array
+	if fleet != "" {
+		arr, err = parseFleet(fleet)
+	} else {
+		arr, err = buildArray(v2, v3)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %s  batch: %d  weighted layers: %d  parameters: %d\n",
+		model, batch, len(net.Layers()), net.ParameterCount())
+	fmt.Printf("array: %s\n\n", arr.Name)
+
+	if compare {
+		c, err := accpar.Compare(net, arr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %-14s %-14s %-10s\n", "scheme", "time/iter (s)", "samples/s", "speedup")
+		for _, s := range accpar.Strategies {
+			p := c.Plans[s]
+			fmt.Printf("%-8s %-14.6g %-14.5g %-10.2f\n", s, p.Time(), p.Throughput(), c.Speedup(s))
+		}
+		return nil
+	}
+
+	st, err := parseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	opt := st.Options()
+	opt.Optimizer, err = accpar.ParseOptimizer(optName)
+	if err != nil {
+		return err
+	}
+	if infer {
+		opt.Mode = accpar.ModeInference
+	}
+	plan, err := accpar.PartitionWithOptions(net, arr, opt, levels)
+	if err != nil {
+		return err
+	}
+	if jsonOut != "" {
+		w := os.Stdout
+		if jsonOut != "-" {
+			f, err := os.Create(jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return plan.WriteJSON(w)
+	}
+	fmt.Printf("strategy: %v\n", st)
+	fmt.Printf("iteration time: %.6g s\n", plan.Time())
+	fmt.Printf("throughput:     %.5g samples/s\n", plan.Throughput())
+	fmt.Printf("network bytes:  %.4g per iteration\n", plan.CommBytes())
+	fmt.Printf("%s\n", plan.Memory())
+	fmt.Println()
+	fmt.Printf("%-6s %-24s %-8s %-12s\n", "level", "group", "alpha", "comm time")
+	for _, lvl := range plan.Levels() {
+		fmt.Printf("%-6d %-24s %-8.3f %-12.4g\n", lvl.Level, lvl.GroupDesc, lvl.Alpha, lvl.Eval.CommTime)
+	}
+	if showMap {
+		fmt.Println()
+		fmt.Println(plan.TypeMap())
+	}
+	if explain {
+		rendered, err := plan.ExplainString()
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Println(rendered)
+	}
+	return nil
+}
+
+func buildArray(v2, v3 int) (*accpar.Array, error) {
+	switch {
+	case v2 > 0 && v3 > 0:
+		return accpar.HeterogeneousArray(
+			accpar.ArrayGroup{Spec: accpar.TPUv2(), Count: v2},
+			accpar.ArrayGroup{Spec: accpar.TPUv3(), Count: v3})
+	case v2 > 0:
+		return accpar.HomogeneousArray(accpar.TPUv2(), v2)
+	case v3 > 0:
+		return accpar.HomogeneousArray(accpar.TPUv3(), v3)
+	default:
+		return nil, fmt.Errorf("need at least one accelerator (-v2/-v3)")
+	}
+}
+
+// parseFleet builds an array from a "name:count,name:count" description
+// using the built-in accelerator presets.
+func parseFleet(desc string) (*accpar.Array, error) {
+	presets := hardware.Presets()
+	var groups []accpar.ArrayGroup
+	for _, part := range strings.Split(desc, ",") {
+		part = strings.TrimSpace(part)
+		name, countStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("fleet entry %q: want name:count", part)
+		}
+		spec, ok := presets[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown accelerator preset %q", name)
+		}
+		count, err := strconv.Atoi(countStr)
+		if err != nil || count < 1 {
+			return nil, fmt.Errorf("fleet entry %q: bad count", part)
+		}
+		groups = append(groups, accpar.ArrayGroup{Spec: spec, Count: count})
+	}
+	return accpar.HeterogeneousArray(groups...)
+}
+
+func parseStrategy(s string) (accpar.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "dp":
+		return accpar.StrategyDP, nil
+	case "owt":
+		return accpar.StrategyOWT, nil
+	case "hypar":
+		return accpar.StrategyHyPar, nil
+	case "accpar":
+		return accpar.StrategyAccPar, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want dp, owt, hypar or accpar)", s)
+	}
+}

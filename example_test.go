@@ -1,0 +1,102 @@
+package accpar_test
+
+import (
+	"fmt"
+	"log"
+
+	"accpar"
+)
+
+// Partition AlexNet training across the paper's heterogeneous array and
+// inspect the top-level decision.
+func ExamplePartition() {
+	net, err := accpar.BuildModel("alexnet", 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arr, err := accpar.HeterogeneousArray(
+		accpar.ArrayGroup{Spec: accpar.TPUv2(), Count: 128},
+		accpar.ArrayGroup{Spec: accpar.TPUv3(), Count: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := accpar.Partition(net, arr, accpar.StrategyAccPar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	types, err := plan.TypesAtLevel(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The fully-connected layers use model partitioning at the top split.
+	for i, u := range net.Units() {
+		if u.Name == "fc1" {
+			fmt.Printf("fc1 top-split type: %v\n", types[i])
+		}
+	}
+	// Output:
+	// fc1 top-split type: Type-II
+}
+
+// Compare all four schemes on one workload.
+func ExampleCompare() {
+	net, err := accpar.BuildModel("vgg11", 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arr, err := accpar.HeterogeneousArray(
+		accpar.ArrayGroup{Spec: accpar.TPUv2(), Count: 32},
+		accpar.ArrayGroup{Spec: accpar.TPUv3(), Count: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := accpar.Compare(net, arr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DP is the baseline: %.0f×\n", cmp.Speedup(accpar.StrategyDP))
+	fmt.Printf("AccPar beats HyPar: %v\n", cmp.Speedup(accpar.StrategyAccPar) >= cmp.Speedup(accpar.StrategyHyPar))
+	// Output:
+	// DP is the baseline: 1×
+	// AccPar beats HyPar: true
+}
+
+// Build a custom model through the graph API.
+func ExampleNewGraph() {
+	g := accpar.NewGraph("tiny")
+	in := g.Input("data", accpar.NewShape(8, 3, 16, 16))
+	cv := g.Add(accpar.Layer{Name: "cv1", Op: accpar.ConvOp{OutChannels: 8, KH: 3, KW: 3, PadH: 1, PadW: 1}}, in)
+	fl := g.Add(accpar.Flatten("flat"), cv)
+	g.Add(accpar.Layer{Name: "fc1", Op: accpar.FCOp{OutFeatures: 10}}, fl)
+	if err := g.Infer(); err != nil {
+		log.Fatal(err)
+	}
+	net, err := accpar.ExtractNetwork(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weighted layers: %d\n", len(net.Layers()))
+	fmt.Printf("parameters: %d\n", net.ParameterCount())
+	// Output:
+	// weighted layers: 2
+	// parameters: 20696
+}
+
+// Check whether a plan fits the fleet's memory.
+func ExamplePlan_memory() {
+	net, err := accpar.BuildModel("vgg16", 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arr, err := accpar.HomogeneousArray(accpar.TPUv3(), 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := accpar.Partition(net, arr, accpar.StrategyAccPar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fits HBM: %v\n", plan.Memory().OK)
+	// Output:
+	// fits HBM: true
+}

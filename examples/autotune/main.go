@@ -1,0 +1,67 @@
+// Autotuning a deployment: given a fixed fleet, what mini-batch size
+// maximizes ResNet-50 training throughput without blowing HBM, and how
+// deep should the partitioning hierarchy go? Then cross-check the chosen
+// configuration with the array-level event-driven simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accpar"
+)
+
+func main() {
+	arr, err := accpar.HeterogeneousArray(
+		accpar.ArrayGroup{Spec: accpar.TPUv2(), Count: 16},
+		accpar.ArrayGroup{Spec: accpar.TPUv3(), Count: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet: %s\n\n", arr.Name)
+
+	// 1. Batch-size search under the memory constraint.
+	batch, err := accpar.TuneBatch("resnet50", arr, 64, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("batch-size sweep (AccPar plans):")
+	fmt.Printf("%-8s %-14s %-16s %-10s\n", "batch", "time/iter (s)", "samples/s", "fits HBM")
+	for _, c := range batch.Choices {
+		marker := " "
+		if c.Batch == batch.Best.Batch {
+			marker = "*"
+		}
+		fmt.Printf("%-8d %-14.5g %-16.6g %-10v %s\n", c.Batch, c.Time, c.Throughput, c.MemoryOK, marker)
+	}
+	fmt.Printf("\nbest batch: %d (%.6g samples/s)\n\n", batch.Best.Batch, batch.Best.Throughput)
+
+	// 2. Hierarchy-depth search at the chosen batch.
+	net, err := accpar.BuildModel("resnet50", batch.Best.Batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	depth, err := accpar.TuneDepth(net, arr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hierarchy-depth sweep:")
+	for _, c := range depth.Choices {
+		fmt.Printf("  %d levels: %.6g samples/s\n", c.Levels, c.Throughput)
+	}
+	fmt.Printf("best depth: %d levels\n\n", depth.Best.Levels)
+
+	// 3. Cross-check the chosen plan with the array-level simulation.
+	plan, err := accpar.Partition(net, arr, accpar.StrategyAccPar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := accpar.SimulateArray(plan, arr, accpar.ArraySimConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("array-level simulation: %.5g s/iteration over %d leaves and %d links (%d tasks)\n",
+		res.Time, res.Leaves, res.Links, res.Tasks)
+	fmt.Printf("analytic estimate:      %.5g s/iteration (sim/analytic ratio %.2f)\n",
+		res.AnalyticTime, res.Time/res.AnalyticTime)
+}

@@ -1,0 +1,81 @@
+// Heterogeneous fleet sizing: a team owns an aging pool of TPU-v2 boards
+// and is adding TPU-v3 boards. How much does keeping the old boards in the
+// training fleet help, and how should the VGG-16 tensors be split between
+// generations? This is the scenario the paper's introduction motivates:
+// "the early deployed TPU-v2 may not retire immediately".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accpar"
+)
+
+func main() {
+	net, err := accpar.BuildModel("vgg16", 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("VGG-16, batch 512 — adding TPU-v3 boards to 64 TPU-v2 boards")
+	fmt.Printf("%-22s %-14s %-14s %-10s\n", "array", "scheme", "samples/s", "vs v2-only")
+
+	// Baseline: the v2-only pool under AccPar.
+	v2only, err := accpar.HomogeneousArray(accpar.TPUv2(), 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := accpar.Partition(net, v2only, accpar.StrategyAccPar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %-14s %-14.4g %-10s\n", v2only.Name, "AccPar", base.Throughput(), "1.00")
+
+	for _, v3 := range []int{16, 32, 64} {
+		arr, err := accpar.HeterogeneousArray(
+			accpar.ArrayGroup{Spec: accpar.TPUv2(), Count: 64},
+			accpar.ArrayGroup{Spec: accpar.TPUv3(), Count: v3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Naive data parallelism treats every board alike — the v2 boards
+		// throttle the whole fleet.
+		for _, s := range []accpar.Strategy{accpar.StrategyDP, accpar.StrategyAccPar} {
+			plan, err := accpar.Partition(net, arr, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-22s %-14v %-14.4g %-10.2f\n",
+				arr.Name, s, plan.Throughput(), plan.Throughput()/base.Throughput())
+		}
+	}
+
+	// Show where the balance lands for the mixed 64+64 fleet.
+	arr, err := accpar.HeterogeneousArray(
+		accpar.ArrayGroup{Spec: accpar.TPUv2(), Count: 64},
+		accpar.ArrayGroup{Spec: accpar.TPUv3(), Count: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := accpar.Partition(net, arr, accpar.StrategyAccPar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith 64+64 boards AccPar assigns %.1f%% of each partitioned tensor dimension\n",
+		100*plan.Root.Alpha)
+	fmt.Println("to the TPU-v2 group — close to its 30% share of fleet FLOPS, adjusted for")
+	fmt.Println("its slower network links. Layer types at the generation boundary:")
+	fmt.Println()
+	types, err := plan.TypesAtLevel(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	units := net.Units()
+	for i, u := range units {
+		if u.Virtual {
+			continue
+		}
+		fmt.Printf("  %-6s %v\n", u.Name, types[i])
+	}
+}

@@ -1,0 +1,62 @@
+// Memory planning: training VGG-16 with Adam on small-memory accelerators.
+// Data parallelism replicates the model, its gradients AND the optimizer's
+// two moment tensors on every board — on a hypothetical 1 GB part, that
+// overflows. Model partitioning (Type-II/III) shards all three, which is
+// exactly the memory argument the paper's Section 2.3 makes for
+// multi-accelerator training. This example sizes the fleet and inspects
+// how AccPar's plan restores feasibility.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accpar"
+)
+
+func main() {
+	net, err := accpar.BuildModel("vgg16", 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A hypothetical small-memory accelerator: TPU-v2 compute with 1 GB.
+	small := accpar.TPUv2()
+	small.Name = "tpu-v2-1gb"
+	small.HBMBytes = 1 << 30
+
+	fmt.Println("VGG-16, batch 256, Adam optimizer, 16 accelerators with 1 GB HBM each")
+	fmt.Println()
+
+	arr, err := accpar.HomogeneousArray(small, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, s := range []accpar.Strategy{accpar.StrategyDP, accpar.StrategyAccPar} {
+		opt := s.Options()
+		opt.Optimizer = accpar.OptimizerAdam
+		plan, err := accpar.PartitionWithOptions(net, arr, opt, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := plan.Memory()
+		fmt.Printf("%-7v %s\n", s, rep)
+		fmt.Printf("        iteration time %.4gs, throughput %.5g samples/s\n\n",
+			plan.Time(), plan.Throughput())
+	}
+
+	// How much of the footprint is optimizer state? Compare Adam vs SGD
+	// under data parallelism.
+	for _, o := range []accpar.Optimizer{accpar.OptimizerSGD, accpar.OptimizerMomentum, accpar.OptimizerAdam} {
+		opt := accpar.StrategyDP.Options()
+		opt.Optimizer = o
+		plan, err := accpar.PartitionWithOptions(net, arr, opt, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := plan.Memory()
+		fmt.Printf("DP with %-9v peak residency %.2f GB (fits: %v)\n",
+			o, float64(rep.PeakResidencyBytes)/(1<<30), rep.OK)
+	}
+}

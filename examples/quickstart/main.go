@@ -1,0 +1,54 @@
+// Quickstart: partition AlexNet training across the paper's heterogeneous
+// accelerator array (128 TPU-v2 + 128 TPU-v3) with AccPar and print the
+// plan — per-level partition types, ratios and the modelled throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accpar"
+)
+
+func main() {
+	// 1. Build one of the nine evaluation models at the paper's batch size.
+	net, err := accpar.BuildModel("alexnet", 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Describe the accelerator array: the paper's heterogeneous setup.
+	arr, err := accpar.HeterogeneousArray(
+		accpar.ArrayGroup{Spec: accpar.TPUv2(), Count: 128},
+		accpar.ArrayGroup{Spec: accpar.TPUv3(), Count: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Search the complete tensor-partition space.
+	plan, err := accpar.Partition(net, arr, accpar.StrategyAccPar)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("AlexNet on %s\n", arr.Name)
+	fmt.Printf("iteration time: %.4g s   throughput: %.4g samples/s\n\n",
+		plan.Time(), plan.Throughput())
+
+	// The top split separates the TPU generations; its ratio shows how
+	// AccPar rebalances work toward the faster TPU-v3 group.
+	fmt.Printf("top-split ratio: %.3f of the work to the TPU-v2 group\n\n", plan.Root.Alpha)
+
+	// Per-level partition types for every weighted layer (Figure 7 style).
+	fmt.Println(plan.TypeMap())
+
+	// Compare against the baselines the paper evaluates.
+	cmp, err := accpar.Compare(net, arr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("speedup vs data parallelism:")
+	for _, s := range accpar.Strategies {
+		fmt.Printf("  %-7v %.2f×\n", s, cmp.Speedup(s))
+	}
+}

@@ -1,0 +1,83 @@
+// Multi-path partitioning: ResNet-50's residual blocks branch into a
+// convolution path and a shortcut path that re-merge at each junction —
+// the topology HyPar cannot represent (Section 5.2 of the paper). This
+// example shows AccPar's native multi-path search against HyPar's
+// linearized view, and inspects the per-path decisions inside one block.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accpar"
+)
+
+func main() {
+	net, err := accpar.BuildModel("resnet50", 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	parallel := 0
+	identity := 0
+	for _, s := range net.Segments {
+		if !s.IsParallel() {
+			continue
+		}
+		parallel++
+		for _, p := range s.Paths {
+			if len(p) == 0 {
+				identity++
+			}
+		}
+	}
+	fmt.Printf("ResNet-50: %d weighted layers, %d residual blocks (%d identity shortcuts)\n\n",
+		len(net.Layers()), parallel, identity)
+
+	arr, err := accpar.HeterogeneousArray(
+		accpar.ArrayGroup{Spec: accpar.TPUv2(), Count: 128},
+		accpar.ArrayGroup{Spec: accpar.TPUv3(), Count: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cmp, err := accpar.Compare(net, arr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("speedup vs data parallelism on 128×TPU-v2 + 128×TPU-v3:")
+	for _, s := range accpar.Strategies {
+		note := ""
+		if s == accpar.StrategyHyPar {
+			note = "  (plans on a linearized chain, pays real shortcut conversions)"
+		}
+		fmt.Printf("  %-7v %.2f×%s\n", s, cmp.Speedup(s), note)
+	}
+
+	// Inspect the first bottleneck block's decisions at the top split.
+	plan := cmp.Plans[accpar.StrategyAccPar]
+	types, err := plan.TypesAtLevel(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop-split types inside the first bottleneck block (res2a):")
+	for i, u := range net.Units() {
+		if len(u.Name) >= 5 && u.Name[:5] == "res2a" || u.Name == "cv1" {
+			kind := string(rune(0))
+			switch {
+			case u.Virtual:
+				kind = "junction"
+			default:
+				kind = u.Kind.String()
+			}
+			fmt.Printf("  %-14s %-9s %v\n", u.Name, kind, types[i])
+		}
+	}
+
+	// How often each type is selected across the whole hierarchy.
+	hist := plan.TypeHistogram()
+	fmt.Println("\npartition-type histogram over all (level, layer) decisions:")
+	for _, ty := range []accpar.PartitionType{accpar.TypeI, accpar.TypeII, accpar.TypeIII} {
+		fmt.Printf("  %-9v %d\n", ty, hist[ty])
+	}
+}

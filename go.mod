@@ -1,0 +1,3 @@
+module accpar
+
+go 1.22

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"accpar/internal/cost"
+)
+
+// MaxExhaustiveUnits bounds the exhaustive search: 3^14 ≈ 4.8M assignments
+// per hierarchy node is the largest enumeration that stays interactive.
+const MaxExhaustiveUnits = 14
+
+// runExhaustive enumerates every allowed type assignment and returns the
+// optimum of the same objective the dynamic programming minimizes. It
+// exists to validate the DP on small networks (the O(3^N) brute force the
+// paper dismisses as impractical at scale — Section 5.1) and errors above
+// MaxExhaustiveUnits.
+func (c *levelCtx) runExhaustive() ([]cost.Type, float64, error) {
+	n := len(c.units)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("core: no units to partition")
+	}
+	if n > MaxExhaustiveUnits {
+		return nil, 0, fmt.Errorf("core: exhaustive search over %d units exceeds the %d-unit cap (3^%d assignments)",
+			n, MaxExhaustiveUnits, n)
+	}
+	edges := edgeList(c.planSegs)
+	assignment := make([]cost.Type, n)
+	best := make([]cost.Type, n)
+	bestCost := math.Inf(1)
+	found := false
+
+	var recur func(u int, partial float64)
+	recur = func(u int, partial float64) {
+		if partial >= bestCost {
+			return // prune: costs only grow
+		}
+		if u == n {
+			// Add edge costs (unit costs were accumulated on the way down).
+			total := partial
+			for _, e := range edges {
+				total += c.edgeCost(e[0], e[1], assignment[e[0]], assignment[e[1]])
+				if total >= bestCost {
+					return
+				}
+			}
+			bestCost = total
+			copy(best, assignment)
+			found = true
+			return
+		}
+		for _, t := range c.allowedTypes(u) {
+			assignment[u] = t
+			recur(u+1, partial+c.unitCost(u, t))
+		}
+	}
+	recur(0, 0)
+	if !found {
+		return nil, 0, fmt.Errorf("core: exhaustive search found no feasible assignment")
+	}
+	return best, bestCost, nil
+}

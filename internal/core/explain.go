@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"accpar/internal/cost"
+)
+
+// LayerExplanation breaks down, for one weighted layer at one split, what
+// each partition type would cost and why the chosen one won — the cost
+// model made inspectable.
+type LayerExplanation struct {
+	// Unit is the layer name.
+	Unit string
+	// Chosen is the selected type.
+	Chosen cost.Type
+	// UnitCost is the layer's own cost (compute + intra-layer psum) per
+	// candidate type, in seconds.
+	UnitCost map[cost.Type]float64
+	// IntraBytes is the Table 4 partial-sum traffic per candidate type.
+	IntraBytes map[cost.Type]float64
+	// InEdgeCost and OutEdgeCost are the conversion costs actually paid on
+	// this layer's incoming and outgoing boundaries under the full chosen
+	// assignment.
+	InEdgeCost, OutEdgeCost float64
+}
+
+// ctxForNode reconstructs the level context of a non-leaf plan node.
+func (p *Plan) ctxForNode(n *PlanNode) *levelCtx {
+	units := p.Network.Units()
+	ctx := &levelCtx{
+		units: make([]unitInfo, len(units)),
+		segs:  indexSegments(p.Network),
+		sideI: n.SideI,
+		sideJ: n.SideJ,
+		alpha: n.Alpha,
+		opt:   Options{}.withDefaults(),
+	}
+	ctx.planSegs = ctx.segs
+	for i := range units {
+		ctx.units[i] = unitInfo{layer: units[i], dims: n.Dims[i]}
+	}
+	return ctx
+}
+
+// Explain breaks down the root-split decision for every real weighted
+// layer of the plan.
+func (p *Plan) Explain() ([]LayerExplanation, error) {
+	n := p.Root
+	if n.IsLeaf() {
+		return nil, fmt.Errorf("core: single-accelerator plan has no split to explain")
+	}
+	ctx := p.ctxForNode(n)
+	units := p.Network.Units()
+	var out []LayerExplanation
+	edges := edgeList(ctx.segs)
+	for u, l := range units {
+		if l.Virtual {
+			continue
+		}
+		ex := LayerExplanation{
+			Unit:       l.Name,
+			Chosen:     n.Types[u],
+			UnitCost:   map[cost.Type]float64{},
+			IntraBytes: map[cost.Type]float64{},
+		}
+		for _, t := range cost.Types {
+			ex.UnitCost[t] = ctx.unitCost(u, t)
+			ex.IntraBytes[t] = float64(cost.IntraCommElements(t, ctx.units[u].dims)) * 2
+		}
+		for _, e := range edges {
+			c := ctx.edgeCost(e[0], e[1], n.Types[e[0]], n.Types[e[1]])
+			if e[1] == u {
+				ex.InEdgeCost += c
+			}
+			if e[0] == u {
+				ex.OutEdgeCost += c
+			}
+		}
+		out = append(out, ex)
+	}
+	return out, nil
+}
+
+// ExplainString renders the explanation as an aligned table.
+func (p *Plan) ExplainString() (string, error) {
+	exs, err := p.Explain()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "root split %s, alpha %.3f — per-layer costs in seconds\n", p.Root.GroupDesc, p.Root.Alpha)
+	fmt.Fprintf(&b, "%-12s %-8s %-12s %-12s %-12s %-12s %-12s\n",
+		"layer", "chosen", "cost(I)", "cost(II)", "cost(III)", "in-conv", "out-conv")
+	for _, ex := range exs {
+		fmt.Fprintf(&b, "%-12s %-8s %-12.4g %-12.4g %-12.4g %-12.4g %-12.4g\n",
+			ex.Unit, ex.Chosen.Short(),
+			ex.UnitCost[cost.TypeI], ex.UnitCost[cost.TypeII], ex.UnitCost[cost.TypeIII],
+			ex.InEdgeCost, ex.OutEdgeCost)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"accpar/internal/cost"
+	"accpar/internal/hardware"
+)
+
+func TestExplainAlexnet(t *testing.T) {
+	net := buildNet(t, "alexnet", 64)
+	plan, err := PartitionAccPar(net, paperTree(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exs, err := plan.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) != 8 {
+		t.Fatalf("explanations = %d, want 8 weighted layers", len(exs))
+	}
+	for _, ex := range exs {
+		// Every candidate cost is present and positive.
+		for _, ty := range cost.Types {
+			if !(ex.UnitCost[ty] > 0) {
+				t.Errorf("%s: cost(%v) = %g", ex.Unit, ty, ex.UnitCost[ty])
+			}
+			if !(ex.IntraBytes[ty] > 0) {
+				t.Errorf("%s: intra bytes(%v) = %g", ex.Unit, ty, ex.IntraBytes[ty])
+			}
+		}
+		if ex.InEdgeCost < 0 || ex.OutEdgeCost < 0 {
+			t.Errorf("%s: negative conversion cost", ex.Unit)
+		}
+	}
+	s, err := plan.ExplainString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cv1", "fc3", "chosen", "alpha"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered explanation missing %q", want)
+		}
+	}
+}
+
+// TestExplainChosenIsReasonable: for layers with no conversion pressure
+// (uniform-type neighbours under data parallelism), the chosen type has
+// the minimum standalone cost.
+func TestExplainChosenIsReasonable(t *testing.T) {
+	net := buildNet(t, "lenet", 16)
+	plan, err := Partition(net, paperTree(t, 2), DataParallel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exs, err := plan.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range exs {
+		if ex.Chosen != cost.TypeI {
+			t.Errorf("%s: DP plan chose %v", ex.Unit, ex.Chosen)
+		}
+	}
+}
+
+func TestExplainLeafOnlyPlan(t *testing.T) {
+	net := buildNet(t, "lenet", 16)
+	arr, _ := hardware.NewHomogeneous(hardware.TPUv3(), 1)
+	tree, _ := hardware.BuildTree(arr, 4)
+	plan, err := Partition(net, tree, AccPar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Explain(); err == nil {
+		t.Error("leaf-only plan must refuse explanation")
+	}
+}

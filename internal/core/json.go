@@ -1,0 +1,132 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"accpar/internal/cost"
+)
+
+// This file serializes plans so downstream tooling (schedulers, runtime
+// launchers, dashboards) can consume partitioning decisions without
+// linking the search engine.
+
+// PlanJSON is the wire form of a Plan.
+type PlanJSON struct {
+	Network  string        `json:"network"`
+	Batch    int           `json:"batch"`
+	Strategy string        `json:"strategy"`
+	Units    []string      `json:"units"`
+	TimeSec  float64       `json:"time_sec"`
+	Root     *PlanNodeJSON `json:"root"`
+}
+
+// PlanNodeJSON is the wire form of one PlanNode.
+type PlanNodeJSON struct {
+	Level          int           `json:"level"`
+	Group          string        `json:"group"`
+	Alpha          float64       `json:"alpha,omitempty"`
+	Types          []string      `json:"types,omitempty"`
+	CommTimeSec    float64       `json:"comm_time_sec,omitempty"`
+	CommBytes      float64       `json:"comm_bytes,omitempty"`
+	LeafComputeSec float64       `json:"leaf_compute_sec,omitempty"`
+	LeafMemSec     float64       `json:"leaf_mem_sec,omitempty"`
+	LeafCommSec    float64       `json:"leaf_comm_sec,omitempty"`
+	ResidencyBytes int64         `json:"residency_bytes,omitempty"`
+	HBMBytes       int64         `json:"hbm_bytes,omitempty"`
+	Left           *PlanNodeJSON `json:"left,omitempty"`
+	Right          *PlanNodeJSON `json:"right,omitempty"`
+}
+
+// ToJSON converts the plan to its wire form.
+func (p *Plan) ToJSON() *PlanJSON {
+	units := p.Network.Units()
+	names := make([]string, len(units))
+	for i, u := range units {
+		names[i] = u.Name
+	}
+	var conv func(n *PlanNode) *PlanNodeJSON
+	conv = func(n *PlanNode) *PlanNodeJSON {
+		if n == nil {
+			return nil
+		}
+		out := &PlanNodeJSON{
+			Level: n.Level,
+			Group: n.GroupDesc,
+		}
+		if n.IsLeaf() {
+			out.LeafComputeSec = n.LeafComputeTime
+			out.LeafMemSec = n.LeafMemTime
+			out.LeafCommSec = n.LeafCommTime
+			out.ResidencyBytes = n.LeafResidencyBytes
+			out.HBMBytes = n.LeafHBMBytes
+			return out
+		}
+		out.Alpha = n.Alpha
+		out.Types = make([]string, len(n.Types))
+		for i, t := range n.Types {
+			out.Types[i] = t.Short()
+		}
+		out.CommTimeSec = n.Eval.CommTime
+		out.CommBytes = n.Eval.CommBytes
+		out.Left = conv(n.Left)
+		out.Right = conv(n.Right)
+		return out
+	}
+	return &PlanJSON{
+		Network:  p.Network.Name,
+		Batch:    p.Network.Batch,
+		Strategy: p.Strategy,
+		Units:    names,
+		TimeSec:  p.Time(),
+		Root:     conv(p.Root),
+	}
+}
+
+// WriteJSON streams the plan as indented JSON.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.ToJSON())
+}
+
+// ParseTypeShort converts a short type label ("I", "II", "III") back to a
+// partition type.
+func ParseTypeShort(s string) (cost.Type, error) {
+	switch s {
+	case "I":
+		return cost.TypeI, nil
+	case "II":
+		return cost.TypeII, nil
+	case "III":
+		return cost.TypeIII, nil
+	default:
+		return 0, fmt.Errorf("core: unknown type label %q", s)
+	}
+}
+
+// ReadPlanJSON decodes a serialized plan.
+func ReadPlanJSON(r io.Reader) (*PlanJSON, error) {
+	var out PlanJSON
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("core: decoding plan: %w", err)
+	}
+	if out.Root == nil {
+		return nil, fmt.Errorf("core: plan JSON has no root")
+	}
+	return &out, nil
+}
+
+// TypesOf returns the decoded per-unit types at the root split.
+func (p *PlanJSON) TypesOf() ([]cost.Type, error) {
+	out := make([]cost.Type, len(p.Root.Types))
+	for i, s := range p.Root.Types {
+		t, err := ParseTypeShort(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}

@@ -1,0 +1,22 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadPlanJSON: arbitrary bytes never panic the decoder; they either
+// parse into a plan with a root or produce an error.
+func FuzzReadPlanJSON(f *testing.F) {
+	f.Add(`{"network":"x","batch":4,"root":{"level":1}}`)
+	f.Add(`{}`)
+	f.Add(`{"root":null}`)
+	f.Add(`[1,2,3]`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, data string) {
+		p, err := ReadPlanJSON(strings.NewReader(data))
+		if err == nil && p.Root == nil {
+			t.Fatal("nil root accepted")
+		}
+	})
+}

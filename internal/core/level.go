@@ -1,0 +1,462 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"accpar/internal/cost"
+	"accpar/internal/dnn"
+	"accpar/internal/tensor"
+)
+
+// Side is the cost-model view of one accelerator group at a hierarchy
+// split: computation density c_i (FLOPS) and network bandwidth b_i
+// (bytes/s).
+type Side struct {
+	Compute float64
+	Net     float64
+}
+
+// unitInfo is a unit of the network with its effective dims at the current
+// hierarchy node.
+type unitInfo struct {
+	layer dnn.WeightedLayer
+	dims  tensor.LayerDims
+}
+
+// segRef is a segment with unit indices resolved against the units slice.
+type segRef struct {
+	unit  int     // unit index, or -1 for a parallel region
+	paths [][]int // unit indices per path (parallel regions only)
+}
+
+// indexSegments resolves net.Segments against the Units() ordering.
+func indexSegments(net *dnn.Network) []segRef {
+	var refs []segRef
+	idx := 0
+	for _, s := range net.Segments {
+		if s.Unit != nil {
+			refs = append(refs, segRef{unit: idx})
+			idx++
+			continue
+		}
+		r := segRef{unit: -1}
+		for _, p := range s.Paths {
+			path := make([]int, len(p))
+			for i := range p {
+				path[i] = idx
+				idx++
+			}
+			r.paths = append(r.paths, path)
+		}
+		refs = append(refs, r)
+	}
+	return refs
+}
+
+// levelCtx bundles everything the DP needs at one hierarchy node.
+type levelCtx struct {
+	units []unitInfo
+	// segs is the true series-parallel structure, used to evaluate what a
+	// plan actually costs.
+	segs []segRef
+	// planSegs is the structure the search sees. It equals segs except for
+	// the HyPar baseline, which "can only handle DNN architectures with
+	// linear structure" (Section 1): HyPar decides on a flattened chain and
+	// then pays the real multi-path conversion costs it never modelled.
+	planSegs []segRef
+	sideI    Side
+	sideJ    Side
+	alpha    float64
+	opt      Options
+}
+
+func (c *levelCtx) beta() float64 { return 1 - c.alpha }
+
+// allowedTypes returns the candidate types for a unit: the fixed assignment
+// if one applies (never for virtual junctions), otherwise the option set.
+func (c *levelCtx) allowedTypes(u int) []cost.Type {
+	l := c.units[u].layer
+	if c.opt.Fixed != nil && !l.Virtual {
+		if t, ok := c.opt.Fixed(l); ok {
+			return []cost.Type{t}
+		}
+	}
+	return c.opt.Types
+}
+
+// unitCost returns the DP cost of executing unit u under type t at this
+// level: computation cost (Eq. 8) plus intra-layer communication cost
+// (Table 4), combined per the objective. Virtual junction units cost
+// nothing here — they only induce inter-layer conversions at their
+// boundaries.
+func (c *levelCtx) unitCost(u int, t cost.Type) float64 {
+	info := c.units[u]
+	if info.layer.Virtual {
+		return 0
+	}
+	var intraElems, flops float64
+	if c.opt.Mode == ModeInference {
+		intraElems = float64(cost.IntraCommElementsInference(t, info.dims))
+		flops = float64(tensor.InferenceFLOPs(info.dims))
+	} else {
+		intraElems = float64(cost.IntraCommElements(t, info.dims))
+		flops = float64(cost.ComputeFLOPs(info.dims))
+	}
+	intraBytes := intraElems * tensor.BytesPerElement
+	if c.opt.Objective == ObjectiveCommOnly {
+		// Both groups remotely access the peer's partial-sum tensor, so the
+		// total traffic is twice the Table 4 amount.
+		return 2 * intraBytes
+	}
+	ei := c.alpha*flops/c.sideI.Compute + intraBytes/c.sideI.Net
+	ej := c.beta()*flops/c.sideJ.Compute + intraBytes/c.sideJ.Net
+	return math.Max(ei, ej)
+}
+
+// boundary returns the size of the tensor actually converted on the edge
+// from unit p to unit n: the smaller of the producer's output and the
+// consumer's input. They differ when a non-weighted operator sits between
+// the units (pooling shrinks the map — the post-pool tensor is what
+// crosses the boundary) or when the consumer is a concatenation junction
+// (each incoming edge carries only the producer's channel slice).
+func (c *levelCtx) boundary(p, n int) int64 {
+	out := c.units[p].dims.AFNext()
+	in := c.units[n].dims.AF()
+	if out < in {
+		return out
+	}
+	return in
+}
+
+// edgeCost returns the DP cost of the inter-layer transition from unit p
+// (type tt) to unit n (type t): the Table 5 conversion cost over the
+// boundary tensor, combined per the objective.
+func (c *levelCtx) edgeCost(p, n int, tt, t cost.Type) float64 {
+	boundary := c.boundary(p, n)
+	elems := func(alpha, beta float64) float64 {
+		if c.opt.Mode == ModeInference {
+			f, _ := cost.InterCommSplit(tt, t, boundary, alpha, beta)
+			return f
+		}
+		return cost.InterCommElements(tt, t, boundary, alpha, beta)
+	}
+	if c.opt.Objective == ObjectiveCommOnly {
+		return (elems(c.alpha, c.beta()) + elems(c.beta(), c.alpha)) * tensor.BytesPerElement
+	}
+	ei := elems(c.alpha, c.beta()) * tensor.BytesPerElement / c.sideI.Net
+	ej := elems(c.beta(), c.alpha) * tensor.BytesPerElement / c.sideJ.Net
+	return math.Max(ei, ej)
+}
+
+// pathDP computes, for a parallel-region path between endpoint states
+// (tt at the unit before the region, t at the merge unit), the minimum cost
+// of the path's layers plus all conversions along it, and the arg-min inner
+// type assignment. An empty path is a pure identity shortcut: its cost is
+// the direct tt→t conversion on the merge unit's boundary.
+func (c *levelCtx) pathDP(prev int, path []int, merge int, tt, t cost.Type) (float64, []cost.Type) {
+	if len(path) == 0 {
+		return c.edgeCost(prev, merge, tt, t), nil
+	}
+	type cell struct {
+		cost float64
+		back int
+	}
+	table := make([][]cell, len(path))
+	for k := range table {
+		table[k] = make([]cell, len(cost.Types))
+		for i := range table[k] {
+			table[k][i] = cell{cost: math.Inf(1), back: -1}
+		}
+	}
+	for _, t0 := range c.allowedTypes(path[0]) {
+		table[0][t0] = cell{cost: c.edgeCost(prev, path[0], tt, t0) + c.unitCost(path[0], t0)}
+	}
+	for k := 1; k < len(path); k++ {
+		for _, tk := range c.allowedTypes(path[k]) {
+			base := c.unitCost(path[k], tk)
+			for _, tp := range c.allowedTypes(path[k-1]) {
+				prevCost := table[k-1][tp].cost
+				if math.IsInf(prevCost, 1) {
+					continue
+				}
+				cand := prevCost + c.edgeCost(path[k-1], path[k], tp, tk) + base
+				if cand < table[k][tk].cost {
+					table[k][tk] = cell{cost: cand, back: int(tp)}
+				}
+			}
+		}
+	}
+	best := math.Inf(1)
+	bestLast := -1
+	last := len(path) - 1
+	for _, tl := range c.allowedTypes(path[last]) {
+		if math.IsInf(table[last][tl].cost, 1) {
+			continue
+		}
+		cand := table[last][tl].cost + c.edgeCost(path[last], merge, tl, t)
+		if cand < best {
+			best = cand
+			bestLast = int(tl)
+		}
+	}
+	if bestLast < 0 {
+		return math.Inf(1), nil
+	}
+	types := make([]cost.Type, len(path))
+	cur := bestLast
+	for k := last; k >= 0; k-- {
+		types[k] = cost.Type(cur)
+		cur = table[k][cur].back
+	}
+	return best, types
+}
+
+// runDP executes the layer-wise dynamic programming (Eq. 9) over the whole
+// network at one hierarchy node, returning the per-unit type assignment
+// (indexed like net.Units()) and the minimized objective value.
+func (c *levelCtx) runDP() ([]cost.Type, float64, error) {
+	n := len(c.units)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("core: no units to partition")
+	}
+	const K = 3
+	inf := math.Inf(1)
+
+	// rec holds backtracking state for each main-chain position.
+	type rec struct {
+		unit      int
+		back      [K]int           // chosen predecessor type
+		pathTypes [K][][]cost.Type // for merge units: winning inner types per own type
+		paths     [][]int          // unit indices of the preceding region
+	}
+	var chain []rec
+
+	cur := [K]float64{inf, inf, inf}
+	first := c.planSegs[0].unit
+	for _, t := range c.allowedTypes(first) {
+		cur[t] = c.unitCost(first, t)
+	}
+	chain = append(chain, rec{unit: first, back: [K]int{-1, -1, -1}})
+
+	i := 1
+	for i < len(c.planSegs) {
+		seg := c.planSegs[i]
+		prevUnit := chain[len(chain)-1].unit
+		next := [K]float64{inf, inf, inf}
+		r := rec{back: [K]int{-1, -1, -1}}
+
+		if seg.unit >= 0 {
+			// Plain series transition (Eq. 9).
+			v := seg.unit
+			r.unit = v
+			for _, t := range c.allowedTypes(v) {
+				base := c.unitCost(v, t)
+				for _, tt := range c.allowedTypes(prevUnit) {
+					if math.IsInf(cur[tt], 1) {
+						continue
+					}
+					cand := cur[tt] + c.edgeCost(prevUnit, v, tt, t) + base
+					if cand < next[t] {
+						next[t] = cand
+						r.back[t] = int(tt)
+					}
+				}
+			}
+			i++
+		} else {
+			// Parallel region followed by its merge unit (Section 5.2):
+			// enumerate endpoint states, solve each path independently, sum
+			// the per-path minima.
+			if i+1 >= len(c.planSegs) || c.planSegs[i+1].unit < 0 {
+				return nil, 0, fmt.Errorf("core: parallel region without merge unit")
+			}
+			m := c.planSegs[i+1].unit
+			r.unit = m
+			r.paths = seg.paths
+			for _, t := range c.allowedTypes(m) {
+				base := c.unitCost(m, t)
+				for _, tt := range c.allowedTypes(prevUnit) {
+					if math.IsInf(cur[tt], 1) {
+						continue
+					}
+					sum := 0.0
+					inner := make([][]cost.Type, len(seg.paths))
+					feasible := true
+					for k, path := range seg.paths {
+						pc, ptypes := c.pathDP(prevUnit, path, m, tt, t)
+						if math.IsInf(pc, 1) {
+							feasible = false
+							break
+						}
+						sum += pc
+						inner[k] = ptypes
+					}
+					if !feasible {
+						continue
+					}
+					cand := cur[tt] + sum + base
+					if cand < next[t] {
+						next[t] = cand
+						r.back[t] = int(tt)
+						r.pathTypes[t] = inner
+					}
+				}
+			}
+			i += 2
+		}
+		cur = next
+		chain = append(chain, r)
+	}
+
+	// Pick the best final state and backtrack.
+	bestT, bestCost := -1, inf
+	lastUnit := chain[len(chain)-1].unit
+	for _, t := range c.allowedTypes(lastUnit) {
+		if cur[t] < bestCost {
+			bestCost = cur[t]
+			bestT = int(t)
+		}
+	}
+	if bestT < 0 {
+		return nil, 0, fmt.Errorf("core: no feasible assignment (type set %v too restrictive)", c.opt.Types)
+	}
+
+	types := make([]cost.Type, n)
+	t := bestT
+	for k := len(chain) - 1; k >= 0; k-- {
+		r := chain[k]
+		types[r.unit] = cost.Type(t)
+		if r.paths != nil {
+			for pi, path := range r.paths {
+				for li, u := range path {
+					types[u] = r.pathTypes[t][pi][li]
+				}
+			}
+		}
+		t = r.back[t]
+	}
+	return types, bestCost, nil
+}
+
+// edgeList enumerates every inter-layer boundary (producer unit, consumer
+// unit) implied by the segment structure, including the edges into, inside
+// and out of parallel paths.
+func edgeList(segs []segRef) [][2]int {
+	var edges [][2]int
+	prev := segs[0].unit
+	i := 1
+	for i < len(segs) {
+		seg := segs[i]
+		if seg.unit >= 0 {
+			edges = append(edges, [2]int{prev, seg.unit})
+			prev = seg.unit
+			i++
+			continue
+		}
+		merge := segs[i+1].unit
+		for _, path := range seg.paths {
+			if len(path) == 0 {
+				edges = append(edges, [2]int{prev, merge})
+				continue
+			}
+			edges = append(edges, [2]int{prev, path[0]})
+			for k := 1; k < len(path); k++ {
+				edges = append(edges, [2]int{path[k-1], path[k]})
+			}
+			edges = append(edges, [2]int{path[len(path)-1], merge})
+		}
+		prev = merge
+		i += 2
+	}
+	return edges
+}
+
+// LevelEval is the cost breakdown of a type assignment at one hierarchy
+// node, for a given ratio α.
+type LevelEval struct {
+	// TimeI and TimeJ are the per-iteration costs of the two groups at this
+	// level: α-share of computation plus all communication each performs.
+	TimeI, TimeJ float64
+	// CommTime is the communication-only time at this level, taking the
+	// slower group per transfer (what the level contributes to the
+	// hierarchical execution-time model).
+	CommTime float64
+	// CommBytes is the total bytes crossing the split, both directions.
+	CommBytes float64
+}
+
+// evalLevel computes the breakdown for fixed types and ratio.
+func (c *levelCtx) evalLevel(types []cost.Type) LevelEval {
+	var ev LevelEval
+	for u := range c.units {
+		info := c.units[u]
+		if info.layer.Virtual {
+			continue
+		}
+		var flops, intraElems float64
+		if c.opt.Mode == ModeInference {
+			flops = float64(tensor.InferenceFLOPs(info.dims))
+			intraElems = float64(cost.IntraCommElementsInference(types[u], info.dims))
+		} else {
+			flops = float64(cost.ComputeFLOPs(info.dims))
+			intraElems = float64(cost.IntraCommElements(types[u], info.dims))
+		}
+		intraBytes := intraElems * tensor.BytesPerElement
+		ev.TimeI += c.alpha*flops/c.sideI.Compute + intraBytes/c.sideI.Net
+		ev.TimeJ += c.beta()*flops/c.sideJ.Compute + intraBytes/c.sideJ.Net
+		ev.CommTime += math.Max(intraBytes/c.sideI.Net, intraBytes/c.sideJ.Net)
+		ev.CommBytes += 2 * intraBytes
+	}
+	for _, e := range edgeList(c.segs) {
+		boundary := c.boundary(e[0], e[1])
+		elems := func(alpha, beta float64) float64 {
+			if c.opt.Mode == ModeInference {
+				f, _ := cost.InterCommSplit(types[e[0]], types[e[1]], boundary, alpha, beta)
+				return f
+			}
+			return cost.InterCommElements(types[e[0]], types[e[1]], boundary, alpha, beta)
+		}
+		bi := elems(c.alpha, c.beta()) * tensor.BytesPerElement
+		bj := elems(c.beta(), c.alpha) * tensor.BytesPerElement
+		ev.TimeI += bi / c.sideI.Net
+		ev.TimeJ += bj / c.sideJ.Net
+		ev.CommTime += math.Max(bi/c.sideI.Net, bj/c.sideJ.Net)
+		ev.CommBytes += bi + bj
+	}
+	return ev
+}
+
+// solveRatio finds the α balancing the two groups' level costs for fixed
+// types (the Eq. 10 balance condition), by bisection on
+// g(α) = TimeI(α) − TimeJ(α), which is increasing in α (the compute terms
+// dominate monotonicity; the αβ conversion terms are symmetric in the two
+// groups and cancel in g up to bandwidth asymmetry).
+func (c *levelCtx) solveRatio(types []cost.Type) float64 {
+	saved := c.alpha
+	defer func() { c.alpha = saved }()
+	g := func(a float64) float64 {
+		c.alpha = a
+		ev := c.evalLevel(types)
+		return ev.TimeI - ev.TimeJ
+	}
+	lo, hi := cost.MinRatio, 1-cost.MinRatio
+	glo, ghi := g(lo), g(hi)
+	if glo > 0 || ghi < 0 {
+		// No interior balance point: the cheaper side should take the
+		// extreme share.
+		if glo > 0 {
+			return lo
+		}
+		return hi
+	}
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if g(mid) > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+)
+
+// MemoryReport summarizes a plan's memory feasibility: whether every leaf
+// group's resident tensors fit its HBM, and the tightest leaf.
+type MemoryReport struct {
+	// OK reports whether every leaf fits.
+	OK bool
+	// Leaves is the number of leaf groups inspected.
+	Leaves int
+	// PeakResidencyBytes is the largest leaf residency.
+	PeakResidencyBytes int64
+	// PeakGroup describes the leaf with the largest residency.
+	PeakGroup string
+	// PeakCapacityBytes is that leaf's HBM capacity.
+	PeakCapacityBytes int64
+	// Overflow lists the groups whose residency exceeds capacity.
+	Overflow []string
+}
+
+// String renders the report.
+func (r MemoryReport) String() string {
+	status := "fits"
+	if !r.OK {
+		status = fmt.Sprintf("OVERFLOWS on %d leaf group(s)", len(r.Overflow))
+	}
+	return fmt.Sprintf("memory: %s; peak %d bytes of %d on %s across %d leaves",
+		status, r.PeakResidencyBytes, r.PeakCapacityBytes, r.PeakGroup, r.Leaves)
+}
+
+// Memory inspects every leaf of the plan and reports feasibility against
+// the accelerators' HBM capacities. The paper motivates multi-accelerator
+// training partly by memory: "the computation and memory requirement for
+// large DNN models and datasets ... typically cannot be satisfied by a
+// single accelerator" (Section 2.3); Type-II/III kernel sharding is what
+// makes large models fit.
+func (p *Plan) Memory() MemoryReport {
+	r := MemoryReport{OK: true}
+	var walk func(n *PlanNode)
+	walk = func(n *PlanNode) {
+		if n == nil {
+			return
+		}
+		if !n.IsLeaf() {
+			walk(n.Left)
+			walk(n.Right)
+			return
+		}
+		r.Leaves++
+		if n.LeafResidencyBytes > r.PeakResidencyBytes {
+			r.PeakResidencyBytes = n.LeafResidencyBytes
+			r.PeakGroup = n.GroupDesc
+			r.PeakCapacityBytes = n.LeafHBMBytes
+		}
+		if n.LeafResidencyBytes > n.LeafHBMBytes {
+			r.OK = false
+			r.Overflow = append(r.Overflow, n.GroupDesc)
+		}
+	}
+	walk(p.Root)
+	return r
+}

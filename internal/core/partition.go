@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+
+	"accpar/internal/cost"
+	"accpar/internal/dnn"
+	"accpar/internal/hardware"
+	"accpar/internal/tensor"
+)
+
+// Partition runs the hierarchical layer-wise partitioning of the network
+// over the accelerator hierarchy, returning the complete plan. At every
+// non-leaf hierarchy node it alternates the Eq. 9 dynamic programming with
+// the Eq. 10 ratio balance until the type assignment stabilizes, then
+// recurses into both children with the per-unit dims scaled by the chosen
+// ratio along each unit's partitioned dimension.
+func Partition(net *dnn.Network, tree *hardware.Tree, opt Options) (*Plan, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	units := net.Units()
+	dims := make([]tensor.LayerDims, len(units))
+	for i, u := range units {
+		dims[i] = u.Dims
+	}
+	segs := indexSegments(net)
+	planSegs := segs
+	if opt.Linearize {
+		// The search sees a flattened chain (HyPar's linear-structure
+		// restriction), but plans are evaluated — and paid for — on the
+		// true multi-path structure. Linearize preserves the Units() order,
+		// so type vectors index both structures identically.
+		planSegs = indexSegments(net.Linearize())
+	}
+	root, err := partitionNode(net, segs, planSegs, tree, dims, opt)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Network: net, Strategy: strategyName(opt), Root: root}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("core: internal plan inconsistency: %w", err)
+	}
+	return plan, nil
+}
+
+// strategyName summarizes options for reporting.
+func strategyName(opt Options) string {
+	return fmt.Sprintf("types=%d objective=%v ratio=%v linearize=%v fixed=%v",
+		len(opt.Types), opt.Objective, opt.Ratio, opt.Linearize, opt.Fixed != nil)
+}
+
+// partitionNode handles one hierarchy node with the given effective dims.
+func partitionNode(net *dnn.Network, segs, planSegs []segRef, node *hardware.Tree, dims []tensor.LayerDims, opt Options) (*PlanNode, error) {
+	units := net.Units()
+	if node.IsLeaf() {
+		return leafNode(node, units, dims, opt)
+	}
+
+	ctx := &levelCtx{
+		units:    make([]unitInfo, len(units)),
+		segs:     segs,
+		planSegs: planSegs,
+		sideI:    Side{Compute: node.Left.Group.ComputeDensity(), Net: opt.Topology.BisectionBandwidth(node.Left.Group)},
+		sideJ:    Side{Compute: node.Right.Group.ComputeDensity(), Net: opt.Topology.BisectionBandwidth(node.Right.Group)},
+		opt:      opt,
+	}
+	for i := range units {
+		ctx.units[i] = unitInfo{layer: units[i], dims: dims[i]}
+	}
+
+	// Initial ratio: equal, or compute-proportional for the flexible mode.
+	switch opt.Ratio {
+	case RatioEqual:
+		ctx.alpha = 0.5
+	case RatioFlexible:
+		ctx.alpha = cost.ClampRatio(ctx.sideI.Compute / (ctx.sideI.Compute + ctx.sideJ.Compute))
+	}
+
+	// Alternate type search (Eq. 9) and ratio balance (Eq. 10).
+	var types []cost.Type
+	var err error
+	search := ctx.runDP
+	if opt.Exhaustive {
+		search = ctx.runExhaustive
+	}
+	for iter := 0; iter < opt.MaxRatioIters; iter++ {
+		newTypes, _, dpErr := search()
+		if dpErr != nil {
+			return nil, dpErr
+		}
+		stable := types != nil && equalTypes(types, newTypes)
+		types = newTypes
+		if opt.Ratio == RatioEqual {
+			break
+		}
+		newAlpha := ctx.solveRatio(types)
+		if stable && abs(newAlpha-ctx.alpha) < 1e-6 {
+			ctx.alpha = newAlpha
+			break
+		}
+		ctx.alpha = newAlpha
+	}
+
+	ev := ctx.evalLevel(types)
+
+	// Scale each unit's dims by its partitioned dimension for the two
+	// children. Virtual junction units represent an identity over one
+	// tensor, so a channel partition (Type-II or Type-III) scales both Di
+	// and Do to keep the identity consistent.
+	scale := func(ratio float64) []tensor.LayerDims {
+		out := make([]tensor.LayerDims, len(dims))
+		for i, d := range dims {
+			t := types[i]
+			if units[i].Virtual && t != cost.TypeI {
+				out[i] = d.Scale(tensor.DimDi, ratio).Scale(tensor.DimDo, ratio)
+				continue
+			}
+			out[i] = d.Scale(t.Dim(), ratio)
+		}
+		return out
+	}
+
+	left, err := partitionNode(net, segs, planSegs, node.Left, scale(ctx.alpha), opt)
+	if err != nil {
+		return nil, err
+	}
+	right, err := partitionNode(net, segs, planSegs, node.Right, scale(ctx.beta()), opt)
+	if err != nil {
+		return nil, err
+	}
+
+	return &PlanNode{
+		Level:     node.Level,
+		GroupDesc: node.Group.String(),
+		Alpha:     ctx.alpha,
+		Types:     types,
+		Eval:      ev,
+		SideI:     ctx.sideI,
+		SideJ:     ctx.sideJ,
+		Dims:      dims,
+		Left:      left,
+		Right:     right,
+	}, nil
+}
+
+// leafNode models an unsplit group executing its final shard: computation
+// time over the group's aggregate density, HBM traffic time (each training
+// phase streams its operand and result tensors once), and — when the group
+// still contains more than one accelerator because the hierarchy was capped
+// at a level budget — the cost of the default scheme inside the group:
+// plain data parallelism, i.e. a Type-I gradient synchronization at every
+// remaining implicit sub-level. Without this fallback a shallow hierarchy
+// would get intra-group aggregation for free and the hierarchy-level sweep
+// (Figure 8) would be meaningless.
+func leafNode(node *hardware.Tree, units []dnn.WeightedLayer, dims []tensor.LayerDims, opt Options) (*PlanNode, error) {
+	var flops float64
+	var memBytes float64
+	var weightBytes float64
+	var weightElems int64
+	for i, u := range units {
+		if u.Virtual {
+			continue
+		}
+		d := dims[i]
+		perPhase := float64(d.AF()+d.AW()+d.AFNext()) * tensor.BytesPerElement
+		if opt.Mode == ModeInference {
+			flops += float64(tensor.InferenceFLOPs(d))
+			memBytes += perPhase // forward only
+		} else {
+			flops += float64(cost.ComputeFLOPs(d))
+			memBytes += 3 * perPhase // forward, backward, gradient
+		}
+		weightBytes += float64(d.AW()) * tensor.BytesPerElement
+		weightElems += d.AW()
+	}
+	if opt.Mode != ModeInference {
+		// Weight-update phase (Section 2.1): arithmetic and HBM traffic of
+		// the configured optimizer over this leaf's kernel shards.
+		flops += float64(opt.Optimizer.UpdateFLOPs(weightElems))
+		memBytes += float64(opt.Optimizer.UpdateMemBytes(weightElems))
+	}
+	// Resident footprint: kernels and gradients, retained activations and
+	// one error tensor per layer, plus optimizer state.
+	var residency int64
+	for i, u := range units {
+		if u.Virtual {
+			continue
+		}
+		d := dims[i]
+		residency += (2*d.AW() + d.AF() + d.AFNext()) * tensor.BytesPerElement
+	}
+	residency += opt.Optimizer.StateBytes(weightElems)
+	if opt.Mode == ModeInference {
+		// No gradient synchronization exists in inference; the implicit
+		// data-parallel fallback costs nothing.
+		weightBytes = 0
+	}
+	fallback, err := leafFallbackCommTime(node.Group, weightBytes, opt.Topology)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanNode{
+		Level:              node.Level,
+		GroupDesc:          node.Group.String(),
+		Dims:               dims,
+		LeafComputeTime:    flops / node.Group.ComputeDensity(),
+		LeafMemTime:        memBytes / node.Group.MemBandwidth(),
+		LeafCommTime:       fallback,
+		LeafResidencyBytes: residency,
+		LeafHBMBytes:       node.Group.HBMBytes(),
+	}, nil
+}
+
+// leafFallbackCommTime accumulates the Type-I partial-sum exchange cost of
+// the implicit data-parallel sub-levels inside an unsplit leaf group. The
+// kernel tensors are replicated under Type-I, so every sub-level exchanges
+// the full weightBytes between its two halves, at the halves' bandwidth.
+func leafFallbackCommTime(g *hardware.Group, weightBytes float64, topo hardware.Topology) (float64, error) {
+	if g.Size() < 2 {
+		return 0, nil
+	}
+	l, r, err := g.Bisect()
+	if err != nil {
+		return 0, err
+	}
+	level := weightBytes / topo.BisectionBandwidth(l)
+	if t := weightBytes / topo.BisectionBandwidth(r); t > level {
+		level = t
+	}
+	sub, err := leafFallbackCommTime(l, weightBytes, topo)
+	if err != nil {
+		return 0, err
+	}
+	if r.Size() > l.Size() {
+		// The larger half dominates the recursive cost.
+		if sub2, err2 := leafFallbackCommTime(r, weightBytes, topo); err2 != nil {
+			return 0, err2
+		} else if sub2 > sub {
+			sub = sub2
+		}
+	}
+	return level + sub, nil
+}
+
+func equalTypes(a, b []cost.Type) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"accpar/internal/cost"
+	"accpar/internal/dnn"
+	"accpar/internal/tensor"
+)
+
+// PlanNode is the partitioning decision at one node of the hardware
+// hierarchy. Non-leaf nodes carry the type assignment and ratio of the
+// bi-partition between their two child groups; leaf nodes carry the
+// modelled execution time of a single accelerator on its final shard.
+type PlanNode struct {
+	// Level is the hierarchy level (root = 1).
+	Level int
+	// GroupDesc describes the accelerator group this node covers.
+	GroupDesc string
+	// Alpha is the partitioning ratio given to the left child
+	// (non-leaf nodes).
+	Alpha float64
+	// Types is the per-unit type assignment at this split, indexed like
+	// Network.Units() (non-leaf nodes).
+	Types []cost.Type
+	// Eval is the cost breakdown of this split at the chosen ratio.
+	Eval LevelEval
+	// SideI and SideJ are the two child groups' cost-model resources at
+	// this split (non-leaf nodes), retained for plan explanation.
+	SideI, SideJ Side
+	// Dims are the effective per-unit dims seen at this node.
+	Dims []tensor.LayerDims
+	// Left and Right are the child plans (nil on leaves).
+	Left, Right *PlanNode
+	// LeafComputeTime is the computation time of the leaf accelerator on
+	// its shard, in seconds (leaf nodes).
+	LeafComputeTime float64
+	// LeafMemTime is the HBM access time of the leaf accelerator for one
+	// iteration, in seconds (leaf nodes).
+	LeafMemTime float64
+	// LeafCommTime is the implicit data-parallel synchronization cost inside
+	// an unsplit multi-accelerator leaf group (zero for singleton leaves).
+	LeafCommTime float64
+	// LeafResidencyBytes estimates the leaf group's resident memory:
+	// kernel shards and their gradients, retained activations and errors,
+	// and optimizer state (leaf nodes).
+	LeafResidencyBytes int64
+	// LeafHBMBytes is the leaf group's aggregate memory capacity.
+	LeafHBMBytes int64
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *PlanNode) IsLeaf() bool { return n.Left == nil }
+
+// Time returns the modelled per-iteration execution time of the subtree:
+// communication at this split plus the slower child's subtree time; leaves
+// contribute compute + memory time. This realizes the hierarchical timing
+// model: communication occurs at every split, computation once at the
+// leaves.
+func (n *PlanNode) Time() float64 {
+	if n.IsLeaf() {
+		return n.LeafComputeTime + n.LeafMemTime + n.LeafCommTime
+	}
+	return n.Eval.CommTime + math.Max(n.Left.Time(), n.Right.Time())
+}
+
+// CommBytes returns the total bytes communicated across all splits of the
+// subtree.
+func (n *PlanNode) CommBytes() float64 {
+	if n.IsLeaf() {
+		return 0
+	}
+	return n.Eval.CommBytes + n.Left.CommBytes() + n.Right.CommBytes()
+}
+
+// Plan is a complete hierarchical partitioning of a network onto an
+// accelerator array.
+type Plan struct {
+	// Network is the partitioned network.
+	Network *dnn.Network
+	// Strategy describes the options that produced the plan.
+	Strategy string
+	// Root is the top of the decision tree.
+	Root *PlanNode
+}
+
+// Time returns the modelled per-iteration execution time in seconds.
+func (p *Plan) Time() float64 { return p.Root.Time() }
+
+// Throughput returns training throughput in samples per second.
+func (p *Plan) Throughput() float64 {
+	return float64(p.Network.Batch) / p.Time()
+}
+
+// CommBytes returns total communicated bytes per iteration.
+func (p *Plan) CommBytes() float64 { return p.Root.CommBytes() }
+
+// Levels returns the plan nodes along the leftmost spine, one per hierarchy
+// level with a split decision — the view Figure 7 of the paper presents
+// (homogeneous lower levels are symmetric between siblings, so the leftmost
+// spine is representative).
+func (p *Plan) Levels() []*PlanNode {
+	return p.Spine(false)
+}
+
+// Spine returns the plan nodes along one spine of the decision tree: the
+// leftmost (first child at every split) or, with right=true, the rightmost.
+// On the paper's heterogeneous array the left spine descends into the
+// TPU-v2 group and the right spine into the TPU-v3 group, so the two can
+// legitimately choose different types below the top split.
+func (p *Plan) Spine(right bool) []*PlanNode {
+	var out []*PlanNode
+	for n := p.Root; n != nil && !n.IsLeaf(); {
+		out = append(out, n)
+		if right {
+			n = n.Right
+		} else {
+			n = n.Left
+		}
+	}
+	return out
+}
+
+// TypesAtLevel returns the per-unit types decided at the given hierarchy
+// level (1-based) along the leftmost spine.
+func (p *Plan) TypesAtLevel(level int) ([]cost.Type, error) {
+	for _, n := range p.Levels() {
+		if n.Level == level {
+			return n.Types, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no split at level %d", level)
+}
+
+// TypeMap renders the Figure 7 style map: one row per hierarchy level, one
+// column per real weighted layer (virtual junctions omitted).
+func (p *Plan) TypeMap() string {
+	units := p.Network.Units()
+	var b strings.Builder
+	// Header row with layer names.
+	fmt.Fprintf(&b, "%-8s", "level")
+	for _, u := range units {
+		if u.Virtual {
+			continue
+		}
+		fmt.Fprintf(&b, "%-6s", u.Name)
+	}
+	b.WriteString("\n")
+	for _, n := range p.Levels() {
+		fmt.Fprintf(&b, "%-8d", n.Level)
+		for i, u := range units {
+			if u.Virtual {
+				continue
+			}
+			fmt.Fprintf(&b, "%-6s", n.Types[i].Short())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TypeHistogram counts how many (level, weighted layer) decisions used each
+// type across the whole plan tree.
+func (p *Plan) TypeHistogram() map[cost.Type]int {
+	h := map[cost.Type]int{}
+	var walk func(n *PlanNode)
+	walk = func(n *PlanNode) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		units := p.Network.Units()
+		for i, t := range n.Types {
+			if !units[i].Virtual {
+				h[t]++
+			}
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(p.Root)
+	return h
+}
+
+// Validate checks structural consistency of the plan tree.
+func (p *Plan) Validate() error {
+	nUnits := len(p.Network.Units())
+	var walk func(n *PlanNode) error
+	walk = func(n *PlanNode) error {
+		if n == nil {
+			return fmt.Errorf("core: nil plan node")
+		}
+		if n.IsLeaf() {
+			if n.Right != nil {
+				return fmt.Errorf("core: half-leaf node at level %d", n.Level)
+			}
+			if n.LeafComputeTime < 0 || n.LeafMemTime < 0 {
+				return fmt.Errorf("core: negative leaf time at level %d", n.Level)
+			}
+			return nil
+		}
+		if len(n.Types) != nUnits {
+			return fmt.Errorf("core: level %d has %d types, want %d", n.Level, len(n.Types), nUnits)
+		}
+		if n.Alpha < cost.MinRatio || n.Alpha > 1-cost.MinRatio {
+			return fmt.Errorf("core: level %d alpha %g out of range", n.Level, n.Alpha)
+		}
+		if err := walk(n.Left); err != nil {
+			return err
+		}
+		return walk(n.Right)
+	}
+	return walk(p.Root)
+}

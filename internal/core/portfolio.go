@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"accpar/internal/cost"
+	"accpar/internal/dnn"
+	"accpar/internal/hardware"
+)
+
+// The hierarchical search is greedy across levels: each level's dynamic
+// programming is exact (Eq. 9), but the dims it hands the next level depend
+// on its choices, so a level-optimal assignment is not always
+// subtree-optimal. Because AccPar's complete partition space strictly
+// contains every baseline's space, a sound implementation must never emit a
+// plan worse than a plan the restricted configurations can find. AccParVariants
+// lists the restricted configurations whose greedy paths differ; PartitionBest
+// evaluates all of them under the one true cost model and keeps the winner,
+// restoring the containment guarantee the paper's claims rest on.
+
+// AccParVariants returns the option sets the production AccPar search
+// evaluates: the full configuration plus the restricted variants it
+// subsumes (type-set restrictions, the communication-proxy objective, and
+// the baselines themselves).
+func AccParVariants() []Options {
+	twoTypesII := AccPar()
+	twoTypesII.Types = []cost.Type{cost.TypeI, cost.TypeII}
+	twoTypesIII := AccPar()
+	twoTypesIII.Types = []cost.Type{cost.TypeI, cost.TypeIII}
+	commOnly := AccPar()
+	commOnly.Objective = ObjectiveCommOnly
+	equalRatio := AccPar()
+	equalRatio.Ratio = RatioEqual
+	linearized := AccPar()
+	linearized.Linearize = true
+	return []Options{
+		AccPar(),
+		twoTypesII,
+		twoTypesIII,
+		commOnly,
+		equalRatio,
+		linearized,
+		HyPar(),
+		OWT(),
+		DataParallel(),
+	}
+}
+
+// PartitionBest partitions the network with every option set and returns
+// the plan with the lowest modelled iteration time.
+func PartitionBest(net *dnn.Network, tree *hardware.Tree, opts ...Options) (*Plan, error) {
+	if len(opts) == 0 {
+		return nil, fmt.Errorf("core: PartitionBest needs at least one option set")
+	}
+	var best *Plan
+	for _, opt := range opts {
+		plan, err := Partition(net, tree, opt)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || plan.Time() < best.Time() {
+			best = plan
+		}
+	}
+	return best, nil
+}
+
+// PartitionAccPar is the production AccPar entry point: the full
+// complete-space search plus the restricted-variant portfolio, decided by
+// the joint computation + communication cost model.
+func PartitionAccPar(net *dnn.Network, tree *hardware.Tree) (*Plan, error) {
+	return PartitionBest(net, tree, AccParVariants()...)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"accpar/internal/hardware"
+)
+
+func TestAccParVariantsContainBaselines(t *testing.T) {
+	variants := AccParVariants()
+	if len(variants) < 7 {
+		t.Fatalf("portfolio has %d variants, want >= 7", len(variants))
+	}
+	// The first variant is the full configuration.
+	full := variants[0]
+	if full.Objective != ObjectiveTime || full.Ratio != RatioFlexible || full.Linearize {
+		t.Error("first variant must be the full AccPar configuration")
+	}
+	// Every ablation configuration must be present so that removing a
+	// design element can never appear to help.
+	hasHyPar, hasEqual, hasLinear := false, false, false
+	for _, v := range variants {
+		v = v.withDefaults()
+		if v.Objective == ObjectiveCommOnly && v.Linearize && len(v.Types) == 2 {
+			hasHyPar = true
+		}
+		if v.Objective == ObjectiveTime && v.Ratio == RatioEqual && v.Fixed == nil && len(v.Types) == 3 && !v.Linearize {
+			hasEqual = true
+		}
+		if v.Objective == ObjectiveTime && v.Linearize && len(v.Types) == 3 {
+			hasLinear = true
+		}
+	}
+	if !hasHyPar || !hasEqual || !hasLinear {
+		t.Errorf("portfolio missing ablation configs: hypar=%v equal=%v linear=%v", hasHyPar, hasEqual, hasLinear)
+	}
+}
+
+// TestPartitionBestDominates: the portfolio winner is at least as good as
+// every individual variant and every baseline, on heterogeneous and
+// homogeneous arrays alike.
+func TestPartitionBestDominates(t *testing.T) {
+	trees := map[string]*hardware.Tree{
+		"het": paperTree(t, 8),
+	}
+	arrHom, err := hardware.NewHomogeneous(hardware.TPUv3(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hom, err := hardware.BuildTree(arrHom, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees["hom"] = hom
+
+	for label, tree := range trees {
+		for _, model := range []string{"alexnet", "resnet18"} {
+			net := buildNet(t, model, 64)
+			best, err := PartitionAccPar(net, tree)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", label, model, err)
+			}
+			for i, opt := range AccParVariants() {
+				plan, err := Partition(net, tree, opt)
+				if err != nil {
+					t.Fatalf("%s/%s variant %d: %v", label, model, i, err)
+				}
+				if best.Time() > plan.Time()*(1+1e-12) {
+					t.Errorf("%s/%s: portfolio %.6g worse than variant %d at %.6g",
+						label, model, best.Time(), i, plan.Time())
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionBestRequiresOptions(t *testing.T) {
+	net := buildNet(t, "lenet", 8)
+	if _, err := PartitionBest(net, paperTree(t, 2)); err == nil {
+		t.Error("empty option list must be rejected")
+	}
+}

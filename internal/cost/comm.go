@@ -1,0 +1,117 @@
+package cost
+
+import (
+	"accpar/internal/tensor"
+)
+
+// IntraCommElements returns the intra-layer communication amount, in tensor
+// elements, incurred by one accelerator under partitioning type t at a
+// layer with dims d (Table 4 of the paper):
+//
+//	Type-I   → A(W_l)      (partial sums of ΔW_l in the gradient phase)
+//	Type-II  → A(F_{l+1})  (partial sums of F_{l+1} in the forward phase)
+//	Type-III → A(E_l)      (partial sums of E_l in the backward phase)
+//
+// The amount does not depend on the partitioning ratio α: intermediate
+// results are accumulated locally, so only the partial-sum tensor itself is
+// accessed remotely (the Table 4 note).
+func IntraCommElements(t Type, d tensor.LayerDims) int64 {
+	switch t {
+	case TypeI:
+		return d.AW()
+	case TypeII:
+		return d.AFNext()
+	case TypeIII:
+		return d.AF()
+	default:
+		panic("cost: invalid type")
+	}
+}
+
+// InterCommElements returns the inter-layer communication amount, in tensor
+// elements, remotely accessed by the accelerator whose partitioning ratio
+// is alpha, when layer l uses type prev and layer l+1 uses type next
+// (Table 5 of the paper). boundary is A(F_{l+1}) = A(E_{l+1}), the size of
+// the feature-map/error tensor crossing the layer boundary.
+//
+// The cost for the peer accelerator (ratio beta = 1−alpha) is obtained by
+// calling InterCommElements with alpha and beta swapped; for the αβ
+// patterns the two directions coincide, since (1−α)(1−β) = βα when
+// α+β = 1 (Section 4.1.2).
+func InterCommElements(prev, next Type, boundary int64, alpha, beta float64) float64 {
+	b := float64(boundary)
+	switch {
+	// Same partitioning on both sides of the boundary — no conversion.
+	// Patterns (a) I→I, (f) II→III, (h) III→II.
+	case prev == next && prev == TypeI,
+		prev == TypeII && next == TypeIII,
+		prev == TypeIII && next == TypeII:
+		return 0
+	// One side partitions the batch, the other partitions channels, and
+	// the conversion tensor is the αβ-sized corner block. Patterns
+	// (b) I→II and (g) III→I transfer both F_{l+1} and E_{l+1}.
+	case prev == TypeI && next == TypeII,
+		prev == TypeIII && next == TypeI:
+		return alpha * beta * (b + b)
+	// The remaining patterns transfer a β-sized slab of one tensor:
+	// (c) I→III and (i) III→III transfer F_{l+1};
+	// (d) II→I and (e) II→II transfer E_{l+1}.
+	case prev == TypeI && next == TypeIII,
+		prev == TypeIII && next == TypeIII:
+		return beta * b
+	case prev == TypeII && (next == TypeI || next == TypeII):
+		return beta * b
+	default:
+		panic("cost: unhandled inter-layer pattern")
+	}
+}
+
+// InterCommTotalElements returns the combined inter-layer traffic of both
+// accelerators for the transition, i.e. the sum over the two directions.
+// This is the quantity a communication-only objective (HyPar's proxy)
+// minimizes.
+func InterCommTotalElements(prev, next Type, boundary int64, alpha float64) float64 {
+	beta := 1 - alpha
+	return InterCommElements(prev, next, boundary, alpha, beta) +
+		InterCommElements(prev, next, boundary, beta, alpha)
+}
+
+// ComputeFLOPs returns the total FLOPs of one training iteration of a layer
+// (forward + backward + gradient, Table 6). An accelerator with
+// partitioning ratio α performs α·ComputeFLOPs of them (Eq. 8).
+func ComputeFLOPs(d tensor.LayerDims) int64 { return tensor.TrainingFLOPs(d) }
+
+// SolveRatio solves the generalized Eq. 10 for the partitioning ratio α of
+// accelerator group i: it balances
+//
+//	constI + slopeI·α  =  constJ + slopeJ·(1−α)
+//
+// where slope terms are the ratio-proportional costs (computation, Eq. 8)
+// and const terms are the ratio-independent costs (intra-layer partial-sum
+// transfers, Table 4 note). With zero const terms this reduces exactly to
+// the paper's α·E_i = β·E_j. The result is clamped to [MinRatio, 1−MinRatio]
+// so that neither group is starved.
+func SolveRatio(constI, slopeI, constJ, slopeJ float64) float64 {
+	den := slopeI + slopeJ
+	if den <= 0 {
+		return 0.5
+	}
+	alpha := (constJ + slopeJ - constI) / den
+	return ClampRatio(alpha)
+}
+
+// MinRatio bounds the partitioning ratio away from 0 and 1: a zero ratio
+// would mean a group holds no shard at all, which the hierarchy cannot
+// represent.
+const MinRatio = 1.0 / 4096
+
+// ClampRatio clamps α into [MinRatio, 1−MinRatio].
+func ClampRatio(alpha float64) float64 {
+	if alpha < MinRatio {
+		return MinRatio
+	}
+	if alpha > 1-MinRatio {
+		return 1 - MinRatio
+	}
+	return alpha
+}

@@ -1,0 +1,66 @@
+package cost
+
+import (
+	"testing"
+
+	"accpar/internal/tensor"
+)
+
+// FuzzInterComm asserts Table 5 invariants under arbitrary ratios and
+// boundary sizes: non-negative, bounded by 2A, and direction-symmetric for
+// the αβ patterns.
+func FuzzInterComm(f *testing.F) {
+	f.Add(int8(0), int8(1), int64(1000), 0.5)
+	f.Add(int8(2), int8(2), int64(7), 0.9)
+	f.Add(int8(1), int8(0), int64(1), 0.001)
+	f.Fuzz(func(t *testing.T, p8, n8 int8, boundary int64, alpha float64) {
+		if p8 < 0 || p8 > 2 || n8 < 0 || n8 > 2 || boundary < 1 || boundary > 1<<40 {
+			t.Skip()
+		}
+		if alpha != alpha || alpha <= 0 || alpha >= 1 { // NaN or out of range
+			t.Skip()
+		}
+		p, n := Type(p8), Type(n8)
+		beta := 1 - alpha
+		ci := InterCommElements(p, n, boundary, alpha, beta)
+		cj := InterCommElements(p, n, boundary, beta, alpha)
+		if ci < 0 || cj < 0 {
+			t.Fatalf("negative cost: %g %g", ci, cj)
+		}
+		if max := 2 * float64(boundary); ci > max+1e-9 || cj > max+1e-9 {
+			t.Fatalf("cost above 2A: %g %g vs %g", ci, cj, max)
+		}
+		// αβ patterns are direction-symmetric.
+		if (p == TypeI && n == TypeII) || (p == TypeIII && n == TypeI) {
+			if diff := ci - cj; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("αβ pattern asymmetric: %g vs %g", ci, cj)
+			}
+		}
+	})
+}
+
+// FuzzIntraComm asserts Table 4 invariants for arbitrary dims.
+func FuzzIntraComm(f *testing.F) {
+	f.Add(4, 3, 5, 2, 2, 1)
+	f.Add(1, 1, 1, 1, 1, 1)
+	f.Fuzz(func(t *testing.T, b, di, do, sp, spOut, k int) {
+		if b < 1 || di < 1 || do < 1 || sp < 1 || spOut < 1 || k < 1 ||
+			b > 1024 || di > 1024 || do > 1024 || sp > 64 || spOut > 64 || k > 11 {
+			t.Skip()
+		}
+		d := tensor.Conv(b, di, do, sp, sp, spOut, spOut, k, k)
+		seen := map[int64]bool{}
+		for _, ty := range Types {
+			v := IntraCommElements(ty, d)
+			if v < 1 {
+				t.Fatalf("%v: non-positive intra comm %d", ty, v)
+			}
+			seen[v] = true
+		}
+		// The three psum tensors are A(W), A(F_{l+1}), A(E_l); they can
+		// coincide for degenerate dims but never vanish.
+		if len(seen) < 1 {
+			t.Fatal("no intra comm values")
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package cost
+
+import "accpar/internal/tensor"
+
+// InterCommSplit decomposes the Table 5 inter-layer conversion cost into
+// its two tensor components for the accelerator with ratio alpha: the
+// feature-map conversion F_{l+1} (paid during the forward phase) and the
+// error conversion E_{l+1} (paid during the backward phase). Their sum is
+// InterCommElements. The split is what phase-aware consumers (the
+// simulators, inference-mode costing) need:
+//
+//	I→I, II→III, III→II:  0 / 0
+//	I→II, III→I:          αβ·A / αβ·A   (both tensors convert)
+//	I→III, III→III:       β·A / 0      (feature map only)
+//	II→I,  II→II:         0   / β·A    (error only)
+func InterCommSplit(prev, next Type, boundary int64, alpha, beta float64) (fwd, bwd float64) {
+	a := float64(boundary)
+	switch {
+	case prev == next && prev == TypeI,
+		prev == TypeII && next == TypeIII,
+		prev == TypeIII && next == TypeII:
+		return 0, 0
+	case prev == TypeI && next == TypeII,
+		prev == TypeIII && next == TypeI:
+		return alpha * beta * a, alpha * beta * a
+	case prev == TypeI && next == TypeIII,
+		prev == TypeIII && next == TypeIII:
+		return beta * a, 0
+	case prev == TypeII && (next == TypeI || next == TypeII):
+		return 0, beta * a
+	default:
+		panic("cost: unhandled inter-layer pattern")
+	}
+}
+
+// IntraCommElementsInference returns the intra-layer exchange of the
+// forward phase only — what DNN inference (data forward only, Section 1)
+// incurs. Only Type-II's partial-sum combination of F_{l+1} survives;
+// Type-I's gradient psums and Type-III's backward psums never happen.
+func IntraCommElementsInference(t Type, d tensor.LayerDims) int64 {
+	if t == TypeII {
+		return d.AFNext()
+	}
+	return 0
+}

@@ -1,0 +1,61 @@
+package dnn
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format: weighted layers as
+// boxes, junctions as diamonds, everything else as ellipses, with inferred
+// output shapes in the labels when available.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=TB;\n")
+	for _, n := range g.nodes {
+		shapeAttr := "ellipse"
+		switch k := n.Layer.Op.Kind(); {
+		case k.Weighted():
+			shapeAttr = "box"
+		case k == KindAdd || k == KindConcat:
+			shapeAttr = "diamond"
+		}
+		label := n.Layer.Name
+		if n.Out != nil {
+			label = fmt.Sprintf("%s\\n%s %s", n.Layer.Name, n.Layer.Op.Kind(), n.Out)
+		}
+		fmt.Fprintf(&b, "  n%d [shape=%s, label=%q];\n", n.ID, shapeAttr, label)
+	}
+	for _, n := range g.nodes {
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in, n.ID)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteNetworkDOT renders the extracted series-parallel network: units as
+// boxes connected by the boundary edges, with virtual junctions as
+// diamonds.
+func (n *Network) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", n.Name)
+	b.WriteString("  rankdir=TB;\n")
+	for i, u := range n.Units() {
+		shapeAttr := "box"
+		if u.Virtual {
+			shapeAttr = "diamond"
+		}
+		fmt.Fprintf(&b, "  u%d [shape=%s, label=%q];\n", i, shapeAttr,
+			fmt.Sprintf("%s\\nB=%d Di=%d Do=%d", u.Name, u.Dims.B, u.Dims.Di, u.Dims.Do))
+	}
+	for _, e := range n.Edges() {
+		fmt.Fprintf(&b, "  u%d -> u%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

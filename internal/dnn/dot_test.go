@@ -1,0 +1,47 @@
+package dnn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGraphWriteDOT(t *testing.T) {
+	g := tinyResidual(t)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	for _, want := range []string{"digraph", "shape=box", "shape=diamond", "cv1", "add", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Every node declared, every edge present: 6 nodes (input + 4 conv +
+	// add... plus relu? tinyResidual has input, cv1..cv4, add = no relus) —
+	// count edges instead: cv1→cv2, cv1→add, cv2→cv3, cv3→add, add→cv4,
+	// input→cv1.
+	if got := strings.Count(dot, "->"); got != 6 {
+		t.Errorf("edges = %d, want 6", got)
+	}
+}
+
+func TestNetworkWriteDOT(t *testing.T) {
+	g := tinyResidual(t)
+	net, err := ExtractNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	if !strings.Contains(dot, "shape=diamond") {
+		t.Error("junction must render as diamond")
+	}
+	if got, want := strings.Count(dot, "->"), len(net.Edges()); got != want {
+		t.Errorf("edges = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,339 @@
+// Package dnn models deep neural networks as directed acyclic graphs of
+// layers, with shape inference, validation and series-parallel structure
+// extraction. It is the substrate the AccPar partitioner operates on:
+// the partitioner only ever decides types for *weighted* layers (CONV and
+// FC); all other operators are element-wise or local reshapes that inherit
+// the partition of their input (Section 3.3 of the paper).
+package dnn
+
+import (
+	"fmt"
+
+	"accpar/internal/tensor"
+)
+
+// Kind enumerates the operator taxonomy supported by the model zoo
+// (LeNet, AlexNet, the VGG series and the ResNet series).
+type Kind int
+
+const (
+	// KindConv is a 2D convolution — a weighted layer.
+	KindConv Kind = iota
+	// KindFC is a fully-connected (dense) layer — a weighted layer.
+	KindFC
+	// KindMaxPool is spatial max pooling.
+	KindMaxPool
+	// KindAvgPool is spatial average pooling (including global average pool).
+	KindAvgPool
+	// KindReLU is the rectified-linear activation.
+	KindReLU
+	// KindBatchNorm is batch normalization.
+	KindBatchNorm
+	// KindLRN is local response normalization (AlexNet).
+	KindLRN
+	// KindDropout is dropout (a no-op for shape and cost purposes).
+	KindDropout
+	// KindFlatten collapses (B, C, H, W) to (B, C·H·W).
+	KindFlatten
+	// KindAdd is the element-wise residual addition joining two paths.
+	KindAdd
+	// KindConcat joins parallel paths by channel concatenation
+	// (inception-style modules).
+	KindConcat
+	// KindSoftmax is the softmax classifier head.
+	KindSoftmax
+	// KindInput is the graph's input placeholder.
+	KindInput
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindConv:
+		return "conv"
+	case KindFC:
+		return "fc"
+	case KindMaxPool:
+		return "maxpool"
+	case KindAvgPool:
+		return "avgpool"
+	case KindReLU:
+		return "relu"
+	case KindBatchNorm:
+		return "batchnorm"
+	case KindLRN:
+		return "lrn"
+	case KindDropout:
+		return "dropout"
+	case KindFlatten:
+		return "flatten"
+	case KindAdd:
+		return "add"
+	case KindConcat:
+		return "concat"
+	case KindSoftmax:
+		return "softmax"
+	case KindInput:
+		return "input"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Weighted reports whether layers of this kind carry trainable kernels and
+// therefore participate in tensor partitioning decisions.
+func (k Kind) Weighted() bool { return k == KindConv || k == KindFC }
+
+// Layer describes one operator. Op carries the kind-specific parameters.
+type Layer struct {
+	// Name is a human-readable identifier, unique within a graph
+	// (e.g. "cv1", "fc3", "res2a_branch2a").
+	Name string
+	// Op holds the operator parameters.
+	Op Op
+}
+
+// Op is implemented by every operator parameter struct. OutShape infers the
+// output tensor shape from the input shapes (most operators take exactly
+// one input; Add takes two).
+type Op interface {
+	Kind() Kind
+	// OutShape infers the output shape, or an error if the inputs are
+	// incompatible with the operator.
+	OutShape(in []tensor.Shape) (tensor.Shape, error)
+}
+
+// ConvOp parameterizes a 2D convolution.
+type ConvOp struct {
+	OutChannels int
+	KH, KW      int
+	StrideH     int
+	StrideW     int
+	PadH        int
+	PadW        int
+}
+
+// Kind implements Op.
+func (ConvOp) Kind() Kind { return KindConv }
+
+// OutShape implements Op. Input must be (B, C, H, W).
+func (o ConvOp) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	s, err := single(in, 4)
+	if err != nil {
+		return nil, fmt.Errorf("conv: %w", err)
+	}
+	if o.OutChannels <= 0 || o.KH <= 0 || o.KW <= 0 {
+		return nil, fmt.Errorf("conv: invalid parameters %+v", o)
+	}
+	sh, sw := o.StrideH, o.StrideW
+	if sh == 0 {
+		sh = 1
+	}
+	if sw == 0 {
+		sw = 1
+	}
+	hout := (s[2]+2*o.PadH-o.KH)/sh + 1
+	wout := (s[3]+2*o.PadW-o.KW)/sw + 1
+	if hout <= 0 || wout <= 0 {
+		return nil, fmt.Errorf("conv: kernel %dx%d stride %dx%d pad %dx%d does not fit input %v",
+			o.KH, o.KW, sh, sw, o.PadH, o.PadW, s)
+	}
+	return tensor.NewShape(s[0], o.OutChannels, hout, wout), nil
+}
+
+// FCOp parameterizes a fully-connected layer.
+type FCOp struct {
+	OutFeatures int
+}
+
+// Kind implements Op.
+func (FCOp) Kind() Kind { return KindFC }
+
+// OutShape implements Op. Input must be (B, D).
+func (o FCOp) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	s, err := single(in, 2)
+	if err != nil {
+		return nil, fmt.Errorf("fc: %w", err)
+	}
+	if o.OutFeatures <= 0 {
+		return nil, fmt.Errorf("fc: invalid OutFeatures %d", o.OutFeatures)
+	}
+	return tensor.NewShape(s[0], o.OutFeatures), nil
+}
+
+// PoolOp parameterizes max or average pooling. Global=true pools the whole
+// spatial extent to 1×1 regardless of KH/KW.
+type PoolOp struct {
+	Max     bool
+	KH, KW  int
+	StrideH int
+	StrideW int
+	PadH    int
+	PadW    int
+	Global  bool
+}
+
+// Kind implements Op.
+func (o PoolOp) Kind() Kind {
+	if o.Max {
+		return KindMaxPool
+	}
+	return KindAvgPool
+}
+
+// OutShape implements Op. Input must be (B, C, H, W).
+func (o PoolOp) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	s, err := single(in, 4)
+	if err != nil {
+		return nil, fmt.Errorf("pool: %w", err)
+	}
+	if o.Global {
+		return tensor.NewShape(s[0], s[1], 1, 1), nil
+	}
+	sh, sw := o.StrideH, o.StrideW
+	if sh == 0 {
+		sh = o.KH
+	}
+	if sw == 0 {
+		sw = o.KW
+	}
+	if o.KH <= 0 || o.KW <= 0 || sh <= 0 || sw <= 0 {
+		return nil, fmt.Errorf("pool: invalid parameters %+v", o)
+	}
+	hout := (s[2]+2*o.PadH-o.KH)/sh + 1
+	wout := (s[3]+2*o.PadW-o.KW)/sw + 1
+	if hout <= 0 || wout <= 0 {
+		return nil, fmt.Errorf("pool: window %dx%d does not fit input %v", o.KH, o.KW, s)
+	}
+	return tensor.NewShape(s[0], s[1], hout, wout), nil
+}
+
+// ElementwiseOp covers shape-preserving single-input operators: ReLU,
+// BatchNorm, LRN, Dropout, Softmax.
+type ElementwiseOp struct {
+	K Kind
+}
+
+// Kind implements Op.
+func (o ElementwiseOp) Kind() Kind { return o.K }
+
+// OutShape implements Op: output shape equals input shape.
+func (o ElementwiseOp) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("%v: want 1 input, got %d", o.K, len(in))
+	}
+	return in[0].Clone(), nil
+}
+
+// FlattenOp collapses all non-batch dimensions.
+type FlattenOp struct{}
+
+// Kind implements Op.
+func (FlattenOp) Kind() Kind { return KindFlatten }
+
+// OutShape implements Op.
+func (FlattenOp) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("flatten: want 1 input, got %d", len(in))
+	}
+	s := in[0]
+	if s.Rank() < 2 {
+		return nil, fmt.Errorf("flatten: input rank %d < 2", s.Rank())
+	}
+	d := int64(1)
+	for _, v := range s[1:] {
+		d *= int64(v)
+	}
+	return tensor.NewShape(s[0], int(d)), nil
+}
+
+// ConcatOp joins two or more inputs along the channel dimension; all other
+// extents must agree.
+type ConcatOp struct{}
+
+// Kind implements Op.
+func (ConcatOp) Kind() Kind { return KindConcat }
+
+// OutShape implements Op: channel extents sum, everything else must match.
+func (ConcatOp) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) < 2 {
+		return nil, fmt.Errorf("concat: want >= 2 inputs, got %d", len(in))
+	}
+	first := in[0]
+	if first.Rank() != 4 {
+		return nil, fmt.Errorf("concat: want rank-4 inputs, got %v", first)
+	}
+	channels := 0
+	for _, s := range in {
+		if s.Rank() != 4 || s[0] != first[0] || s[2] != first[2] || s[3] != first[3] {
+			return nil, fmt.Errorf("concat: incompatible input %v vs %v", s, first)
+		}
+		channels += s[1]
+	}
+	return tensor.NewShape(first[0], channels, first[2], first[3]), nil
+}
+
+// AddOp is the element-wise two-input residual addition.
+type AddOp struct{}
+
+// Kind implements Op.
+func (AddOp) Kind() Kind { return KindAdd }
+
+// OutShape implements Op: both inputs must have identical shape.
+func (AddOp) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("add: want 2 inputs, got %d", len(in))
+	}
+	if !in[0].Equal(in[1]) {
+		return nil, fmt.Errorf("add: mismatched input shapes %v vs %v", in[0], in[1])
+	}
+	return in[0].Clone(), nil
+}
+
+// InputOp is the graph entry placeholder carrying the input shape.
+type InputOp struct {
+	Shape tensor.Shape
+}
+
+// Kind implements Op.
+func (InputOp) Kind() Kind { return KindInput }
+
+// OutShape implements Op.
+func (o InputOp) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 0 {
+		return nil, fmt.Errorf("input: want 0 inputs, got %d", len(in))
+	}
+	if len(o.Shape) == 0 {
+		return nil, fmt.Errorf("input: empty shape")
+	}
+	return o.Shape.Clone(), nil
+}
+
+// single checks that exactly one input of the given rank was supplied.
+func single(in []tensor.Shape, rank int) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("want 1 input, got %d", len(in))
+	}
+	if in[0].Rank() != rank {
+		return nil, fmt.Errorf("want rank-%d input, got %v", rank, in[0])
+	}
+	return in[0], nil
+}
+
+// ReLU returns a ReLU layer with the given name.
+func ReLU(name string) Layer { return Layer{Name: name, Op: ElementwiseOp{K: KindReLU}} }
+
+// BatchNorm returns a batch-normalization layer.
+func BatchNorm(name string) Layer { return Layer{Name: name, Op: ElementwiseOp{K: KindBatchNorm}} }
+
+// LRN returns a local-response-normalization layer.
+func LRN(name string) Layer { return Layer{Name: name, Op: ElementwiseOp{K: KindLRN}} }
+
+// Dropout returns a dropout layer.
+func Dropout(name string) Layer { return Layer{Name: name, Op: ElementwiseOp{K: KindDropout}} }
+
+// Softmax returns a softmax layer.
+func Softmax(name string) Layer { return Layer{Name: name, Op: ElementwiseOp{K: KindSoftmax}} }
+
+// Flatten returns a flatten layer.
+func Flatten(name string) Layer { return Layer{Name: name, Op: FlattenOp{}} }

@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"fmt"
+
+	"accpar/internal/core"
+	"accpar/internal/cost"
+	"accpar/internal/hardware"
+	"accpar/internal/models"
+	"accpar/internal/report"
+)
+
+// Ablation disables one AccPar design element, isolating its contribution
+// — the design choices Section 5 argues for.
+type Ablation int
+
+const (
+	// AblationCommOnly replaces the joint time objective with HyPar's
+	// communication-only proxy (keeps the complete type space and flexible
+	// ratios).
+	AblationCommOnly Ablation = iota
+	// AblationTwoTypes removes Type-III, restricting the search to the
+	// OWT/HyPar space (keeps the joint objective and flexible ratios).
+	AblationTwoTypes
+	// AblationEqualRatio forces α = 0.5, removing heterogeneity balancing.
+	AblationEqualRatio
+	// AblationLinearized flattens multi-path regions before searching.
+	AblationLinearized
+)
+
+// Ablations lists all ablations in presentation order.
+var Ablations = []Ablation{AblationCommOnly, AblationTwoTypes, AblationEqualRatio, AblationLinearized}
+
+// String names the ablation.
+func (a Ablation) String() string {
+	switch a {
+	case AblationCommOnly:
+		return "comm-only objective"
+	case AblationTwoTypes:
+		return "no Type-III"
+	case AblationEqualRatio:
+		return "equal ratio"
+	case AblationLinearized:
+		return "linearized multi-path"
+	default:
+		return fmt.Sprintf("Ablation(%d)", int(a))
+	}
+}
+
+// Options returns AccPar with the ablated element removed.
+func (a Ablation) Options() core.Options {
+	opt := core.AccPar()
+	switch a {
+	case AblationCommOnly:
+		opt.Objective = core.ObjectiveCommOnly
+	case AblationTwoTypes:
+		opt.Types = []cost.Type{cost.TypeI, cost.TypeII}
+	case AblationEqualRatio:
+		opt.Ratio = core.RatioEqual
+	case AblationLinearized:
+		opt.Linearize = true
+	}
+	return opt
+}
+
+// AblationResult reports, per model, the slowdown factor incurred by
+// removing one design element (ablated time / full AccPar time, ≥ 1 up to
+// search noise).
+type AblationResult struct {
+	Ablation Ablation
+	Model    string
+	FullTime float64
+	Time     float64
+	Slowdown float64
+}
+
+// RunAblations evaluates every ablation on the heterogeneous array.
+func RunAblations(cfg Config) ([]AblationResult, *report.Table, error) {
+	cfg = cfg.withDefaults()
+	tree, err := HeterogeneousTree(cfg.PerKind)
+	if err != nil {
+		return nil, nil, err
+	}
+	return RunAblationsOn(tree, cfg)
+}
+
+// RunAblationsOn evaluates every ablation on the given hierarchy.
+func RunAblationsOn(tree *hardware.Tree, cfg Config) ([]AblationResult, *report.Table, error) {
+	cfg = cfg.withDefaults()
+	var out []AblationResult
+	tbl := report.NewTable("AccPar ablations (slowdown vs full AccPar)", "model", "comm-only", "no Type-III", "equal ratio", "linearized")
+	for _, name := range cfg.Models {
+		net, err := models.BuildNetwork(name, cfg.Batch)
+		if err != nil {
+			return nil, nil, err
+		}
+		full, err := core.PartitionAccPar(net, tree)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := []float64{}
+		for _, a := range Ablations {
+			plan, err := core.Partition(net, tree, a.Options())
+			if err != nil {
+				return nil, nil, fmt.Errorf("eval: ablation %v on %s: %w", a, name, err)
+			}
+			r := AblationResult{
+				Ablation: a,
+				Model:    name,
+				FullTime: full.Time(),
+				Time:     plan.Time(),
+				Slowdown: plan.Time() / full.Time(),
+			}
+			out = append(out, r)
+			row = append(row, r.Slowdown)
+		}
+		tbl.AddFloatRow(name, 3, row...)
+	}
+	return out, tbl, nil
+}

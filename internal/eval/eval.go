@@ -1,0 +1,377 @@
+// Package eval reproduces every experiment of the paper's evaluation
+// (Section 6): Figure 5 (heterogeneous-array speedups), Figure 6
+// (homogeneous-array speedups), Figure 7 (selected partition types per
+// AlexNet layer across hierarchy levels), Figure 8 (scalability with
+// hierarchy levels on Vgg19), Table 8 (flexibility comparison), and the
+// headline geometric-mean speedups, plus the ablation studies motivated by
+// the paper's design arguments.
+package eval
+
+import (
+	"fmt"
+
+	"accpar/internal/core"
+	"accpar/internal/dnn"
+	"accpar/internal/hardware"
+	"accpar/internal/models"
+	"accpar/internal/report"
+)
+
+// Scheme identifies one of the four compared parallelization schemes.
+type Scheme int
+
+const (
+	// SchemeDP is the data-parallelism baseline.
+	SchemeDP Scheme = iota
+	// SchemeOWT is "one weird trick".
+	SchemeOWT
+	// SchemeHyPar is the HyPar baseline.
+	SchemeHyPar
+	// SchemeAccPar is the paper's contribution.
+	SchemeAccPar
+)
+
+// Schemes lists the four schemes in presentation order.
+var Schemes = []Scheme{SchemeDP, SchemeOWT, SchemeHyPar, SchemeAccPar}
+
+// String names the scheme as in the figures.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeDP:
+		return "DP"
+	case SchemeOWT:
+		return "OWT"
+	case SchemeHyPar:
+		return "HyPar"
+	case SchemeAccPar:
+		return "AccPar"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Options returns the partitioner configuration of the scheme.
+func (s Scheme) Options() core.Options {
+	switch s {
+	case SchemeDP:
+		return core.DataParallel()
+	case SchemeOWT:
+		return core.OWT()
+	case SchemeHyPar:
+		return core.HyPar()
+	case SchemeAccPar:
+		return core.AccPar()
+	default:
+		panic(fmt.Sprintf("eval: invalid scheme %d", int(s)))
+	}
+}
+
+// Partition produces the scheme's plan. AccPar uses the production
+// portfolio search (core.PartitionAccPar), which restores the guarantee
+// that its complete space never loses to the restricted baselines; the
+// baselines use their single configuration.
+func (s Scheme) Partition(net *dnn.Network, tree *hardware.Tree) (*core.Plan, error) {
+	if s == SchemeAccPar {
+		return core.PartitionAccPar(net, tree)
+	}
+	return core.Partition(net, tree, s.Options())
+}
+
+// Config sizes the experiments. The zero value is upgraded to the paper's
+// setup by withDefaults: batch 512, 128 TPU-v2 + 128 TPU-v3 heterogeneous
+// array, 256 TPU-v3 homogeneous array, all nine models.
+type Config struct {
+	Batch   int
+	PerKind int
+	HomSize int
+	Models  []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Batch == 0 {
+		c.Batch = 512
+	}
+	if c.PerKind == 0 {
+		c.PerKind = 128
+	}
+	if c.HomSize == 0 {
+		c.HomSize = 256
+	}
+	if len(c.Models) == 0 {
+		c.Models = models.EvaluationOrder()
+	}
+	return c
+}
+
+// HeterogeneousTree builds the paper's evaluation array: perKind TPU-v2
+// plus perKind TPU-v3, fully split.
+func HeterogeneousTree(perKind int) (*hardware.Tree, error) {
+	arr, err := hardware.NewHeterogeneous(
+		hardware.GroupSpec{Spec: hardware.TPUv2(), Count: perKind},
+		hardware.GroupSpec{Spec: hardware.TPUv3(), Count: perKind})
+	if err != nil {
+		return nil, err
+	}
+	return hardware.BuildTree(arr, 64)
+}
+
+// HomogeneousTree builds the Section 6.3 array: n TPU-v3, fully split.
+func HomogeneousTree(n int) (*hardware.Tree, error) {
+	arr, err := hardware.NewHomogeneous(hardware.TPUv3(), n)
+	if err != nil {
+		return nil, err
+	}
+	return hardware.BuildTree(arr, 64)
+}
+
+// ModelResult is one model's outcome across the four schemes.
+type ModelResult struct {
+	Model string
+	// Time is modelled per-iteration time per scheme, seconds.
+	Time map[Scheme]float64
+	// Speedup is normalized to DP, the paper's baseline.
+	Speedup map[Scheme]float64
+}
+
+// SpeedupSweep partitions every model with every scheme on the tree and
+// normalizes to data parallelism.
+func SpeedupSweep(tree *hardware.Tree, modelNames []string, batch int) ([]ModelResult, error) {
+	var out []ModelResult
+	for _, name := range modelNames {
+		net, err := models.BuildNetwork(name, batch)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", name, err)
+		}
+		r := ModelResult{Model: name, Time: map[Scheme]float64{}, Speedup: map[Scheme]float64{}}
+		for _, s := range Schemes {
+			plan, err := s.Partition(net, tree)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s/%v: %w", name, s, err)
+			}
+			r.Time[s] = plan.Time()
+		}
+		for _, s := range Schemes {
+			r.Speedup[s] = r.Time[SchemeDP] / r.Time[s]
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FigureResult bundles a rendered table, per-scheme speedup series and
+// geometric means.
+type FigureResult struct {
+	Name    string
+	Table   *report.Table
+	Series  map[Scheme]*report.Series
+	Geomean map[Scheme]float64
+	Results []ModelResult
+}
+
+// render assembles the presentation pieces from sweep results.
+func render(name, xlabel string, results []ModelResult) *FigureResult {
+	fr := &FigureResult{
+		Name:    name,
+		Table:   report.NewTable(name, xlabel, "DP", "OWT", "HyPar", "AccPar"),
+		Series:  map[Scheme]*report.Series{},
+		Geomean: map[Scheme]float64{},
+		Results: results,
+	}
+	for _, s := range Schemes {
+		fr.Series[s] = &report.Series{Name: s.String(), XLabel: xlabel, YLabel: "speedup vs DP"}
+	}
+	for _, r := range results {
+		fr.Table.AddFloatRow(r.Model, 2, r.Speedup[SchemeDP], r.Speedup[SchemeOWT], r.Speedup[SchemeHyPar], r.Speedup[SchemeAccPar])
+		for _, s := range Schemes {
+			fr.Series[s].Add(r.Model, r.Speedup[s])
+		}
+	}
+	for _, s := range Schemes {
+		var vals []float64
+		for _, r := range results {
+			vals = append(vals, r.Speedup[s])
+		}
+		fr.Geomean[s] = report.Geomean(vals)
+	}
+	fr.Table.AddFloatRow("geomean", 2, fr.Geomean[SchemeDP], fr.Geomean[SchemeOWT], fr.Geomean[SchemeHyPar], fr.Geomean[SchemeAccPar])
+	return fr
+}
+
+// Figure5 reproduces the heterogeneous-array speedups (Section 6.2): nine
+// DNNs on 128 TPU-v2 + 128 TPU-v3, normalized to data parallelism.
+func Figure5(cfg Config) (*FigureResult, error) {
+	cfg = cfg.withDefaults()
+	tree, err := HeterogeneousTree(cfg.PerKind)
+	if err != nil {
+		return nil, err
+	}
+	results, err := SpeedupSweep(tree, cfg.Models, cfg.Batch)
+	if err != nil {
+		return nil, err
+	}
+	return render("Figure 5: speedup on heterogeneous array (vs DP)", "model", results), nil
+}
+
+// Figure6 reproduces the homogeneous-array speedups (Section 6.3): nine
+// DNNs on 256 TPU-v3.
+func Figure6(cfg Config) (*FigureResult, error) {
+	cfg = cfg.withDefaults()
+	tree, err := HomogeneousTree(cfg.HomSize)
+	if err != nil {
+		return nil, err
+	}
+	results, err := SpeedupSweep(tree, cfg.Models, cfg.Batch)
+	if err != nil {
+		return nil, err
+	}
+	return render("Figure 6: speedup on homogeneous array (vs DP)", "model", results), nil
+}
+
+// Figure7 reproduces the AlexNet partition-type map: the types AccPar
+// selects for the weighted layers cv1..cv5, fc1..fc3 across 7 hierarchy
+// levels at batch 128 (the figure's caption parameters), on a 128-way
+// homogeneous array.
+func Figure7() (*core.Plan, string, error) {
+	net, err := models.BuildNetwork("alexnet", 128)
+	if err != nil {
+		return nil, "", err
+	}
+	arr, err := hardware.NewHomogeneous(hardware.TPUv3(), 128)
+	if err != nil {
+		return nil, "", err
+	}
+	tree, err := hardware.BuildTree(arr, 7)
+	if err != nil {
+		return nil, "", err
+	}
+	plan, err := core.Partition(net, tree, core.AccPar())
+	if err != nil {
+		return nil, "", err
+	}
+	return plan, "Figure 7: AccPar partition types for Alexnet (7 hierarchies, batch 128)\n" + plan.TypeMap(), nil
+}
+
+// Figure8 reproduces the hierarchy-level scalability study: Vgg19 on the
+// heterogeneous array, hierarchy level h = 2..9, each scheme normalized to
+// DP at the same h. Hierarchy level h corresponds to h−1 explicit split
+// levels; unsplit leaf groups fall back to internal data parallelism.
+func Figure8(cfg Config) (*FigureResult, error) {
+	cfg = cfg.withDefaults()
+	arr, err := hardware.NewHeterogeneous(
+		hardware.GroupSpec{Spec: hardware.TPUv2(), Count: cfg.PerKind},
+		hardware.GroupSpec{Spec: hardware.TPUv3(), Count: cfg.PerKind})
+	if err != nil {
+		return nil, err
+	}
+	net, err := models.BuildNetwork("vgg19", cfg.Batch)
+	if err != nil {
+		return nil, err
+	}
+	fr := &FigureResult{
+		Name:    "Figure 8: speedup vs hierarchy level on Vgg19 (heterogeneous array)",
+		Table:   report.NewTable("Figure 8: speedup vs hierarchy level on Vgg19 (heterogeneous array)", "h", "DP", "OWT", "HyPar", "AccPar"),
+		Series:  map[Scheme]*report.Series{},
+		Geomean: map[Scheme]float64{},
+	}
+	for _, s := range Schemes {
+		fr.Series[s] = &report.Series{Name: s.String(), XLabel: "hierarchy level", YLabel: "speedup vs DP"}
+	}
+	var speedups = map[Scheme][]float64{}
+	for h := 2; h <= 9; h++ {
+		tree, err := hardware.BuildTree(arr, h-1)
+		if err != nil {
+			return nil, err
+		}
+		times := map[Scheme]float64{}
+		for _, s := range Schemes {
+			plan, err := s.Partition(net, tree)
+			if err != nil {
+				return nil, fmt.Errorf("eval: figure8 h=%d %v: %w", h, s, err)
+			}
+			times[s] = plan.Time()
+		}
+		label := fmt.Sprintf("h=%d", h)
+		row := []float64{1.0}
+		for _, s := range Schemes[1:] {
+			row = append(row, times[SchemeDP]/times[s])
+		}
+		fr.Table.AddFloatRow(label, 2, row...)
+		for i, s := range Schemes {
+			sp := row[i]
+			fr.Series[s].Add(label, sp)
+			speedups[s] = append(speedups[s], sp)
+		}
+	}
+	for _, s := range Schemes {
+		fr.Geomean[s] = report.Geomean(speedups[s])
+	}
+	return fr, nil
+}
+
+// FlexibilityRow quantifies Table 8: whether a scheme's configuration is
+// static or dynamic, how many distinct partition configurations it selects
+// across the plan trees of all models, and its geomean speedup — making the
+// paper's DP ≺ OWT ≺ HyPar ≺ AccPar ordering measurable.
+type FlexibilityRow struct {
+	Scheme          Scheme
+	Dynamic         bool
+	DistinctConfigs int
+	Geomean         float64
+}
+
+// Table8 computes the flexibility comparison on the heterogeneous array.
+func Table8(cfg Config) ([]FlexibilityRow, *report.Table, error) {
+	cfg = cfg.withDefaults()
+	tree, err := HeterogeneousTree(cfg.PerKind)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, err := SpeedupSweep(tree, cfg.Models, cfg.Batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []FlexibilityRow
+	tbl := report.NewTable("Table 8: flexibility of DP, OWT, HyPar and AccPar", "scheme", "configuration", "distinct configs", "geomean speedup")
+	for _, s := range Schemes {
+		configs := map[string]bool{}
+		for _, name := range cfg.Models {
+			net, err := models.BuildNetwork(name, cfg.Batch)
+			if err != nil {
+				return nil, nil, err
+			}
+			plan, err := s.Partition(net, tree)
+			if err != nil {
+				return nil, nil, err
+			}
+			units := net.Units()
+			for _, lvl := range plan.Levels() {
+				for i, ty := range lvl.Types {
+					if units[i].Virtual {
+						continue
+					}
+					configs[fmt.Sprintf("%s/%s=%v", name, units[i].Name, ty)] = true
+				}
+			}
+		}
+		var vals []float64
+		for _, r := range results {
+			vals = append(vals, r.Speedup[s])
+		}
+		row := FlexibilityRow{
+			Scheme:          s,
+			Dynamic:         s == SchemeHyPar || s == SchemeAccPar,
+			DistinctConfigs: len(configs),
+			Geomean:         report.Geomean(vals),
+		}
+		rows = append(rows, row)
+		mode := "static"
+		if row.Dynamic {
+			mode = "dynamic"
+		}
+		tbl.AddRow(s.String(), mode, fmt.Sprintf("%d", row.DistinctConfigs), fmt.Sprintf("%.2f", row.Geomean))
+	}
+	return rows, tbl, nil
+}
+
+// ensure dnn is linked for documentation references.
+var _ = dnn.KindConv

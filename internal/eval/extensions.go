@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"fmt"
+
+	"accpar/internal/core"
+	"accpar/internal/hardware"
+	"accpar/internal/models"
+	"accpar/internal/report"
+)
+
+// This file holds extension experiments beyond the paper's figures: the
+// interconnect-topology sensitivity study and the batch-size sweep. Both
+// probe regimes the paper's analysis predicts — communication-bound plans
+// should react strongly to bisection bandwidth, and Type-I's relative
+// appeal should grow with batch size (Section 6.2's model-size vs
+// compute-density argument).
+
+// TopologyResult is one (topology, scheme) outcome.
+type TopologyResult struct {
+	Topology hardware.Topology
+	Model    string
+	Scheme   Scheme
+	Time     float64
+	Speedup  float64 // vs DP under the same topology
+}
+
+// TopologySweep evaluates every scheme under every interconnect topology
+// on the heterogeneous array.
+func TopologySweep(cfg Config, model string) ([]TopologyResult, *report.Table, error) {
+	cfg = cfg.withDefaults()
+	tree, err := HeterogeneousTree(cfg.PerKind)
+	if err != nil {
+		return nil, nil, err
+	}
+	net, err := models.BuildNetwork(model, cfg.Batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []TopologyResult
+	tbl := report.NewTable(
+		fmt.Sprintf("Topology sensitivity on %s (speedup vs DP per topology)", model),
+		"topology", "DP time (s)", "OWT", "HyPar", "AccPar")
+	for _, topo := range hardware.Topologies {
+		times := map[Scheme]float64{}
+		for _, s := range Schemes {
+			opt := s.Options()
+			opt.Topology = topo
+			var plan *core.Plan
+			var err error
+			if s == SchemeAccPar {
+				variants := core.AccParVariants()
+				for i := range variants {
+					variants[i].Topology = topo
+				}
+				plan, err = core.PartitionBest(net, tree, variants...)
+			} else {
+				plan, err = core.Partition(net, tree, opt)
+			}
+			if err != nil {
+				return nil, nil, fmt.Errorf("eval: topology %v scheme %v: %w", topo, s, err)
+			}
+			times[s] = plan.Time()
+		}
+		row := []string{topo.String(), fmt.Sprintf("%.4g", times[SchemeDP])}
+		for _, s := range Schemes[1:] {
+			sp := times[SchemeDP] / times[s]
+			row = append(row, fmt.Sprintf("%.2f", sp))
+			out = append(out, TopologyResult{Topology: topo, Model: model, Scheme: s, Time: times[s], Speedup: sp})
+		}
+		out = append(out, TopologyResult{Topology: topo, Model: model, Scheme: SchemeDP, Time: times[SchemeDP], Speedup: 1})
+		tbl.AddRow(row...)
+	}
+	return out, tbl, nil
+}
+
+// BatchResult is one (batch, scheme) outcome.
+type BatchResult struct {
+	Batch   int
+	Model   string
+	Scheme  Scheme
+	Time    float64
+	Speedup float64
+}
+
+// BatchSweep evaluates speedups across mini-batch sizes on the
+// heterogeneous array.
+func BatchSweep(cfg Config, model string, batches []int) ([]BatchResult, *report.Table, error) {
+	cfg = cfg.withDefaults()
+	if len(batches) == 0 {
+		batches = []int{64, 128, 256, 512, 1024}
+	}
+	tree, err := HeterogeneousTree(cfg.PerKind)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []BatchResult
+	tbl := report.NewTable(
+		fmt.Sprintf("Batch-size sweep on %s (speedup vs DP per batch)", model),
+		"batch", "DP time (s)", "OWT", "HyPar", "AccPar")
+	for _, b := range batches {
+		net, err := models.BuildNetwork(model, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		times := map[Scheme]float64{}
+		for _, s := range Schemes {
+			plan, err := s.Partition(net, tree)
+			if err != nil {
+				return nil, nil, fmt.Errorf("eval: batch %d scheme %v: %w", b, s, err)
+			}
+			times[s] = plan.Time()
+		}
+		row := []string{fmt.Sprintf("%d", b), fmt.Sprintf("%.4g", times[SchemeDP])}
+		for _, s := range Schemes[1:] {
+			sp := times[SchemeDP] / times[s]
+			row = append(row, fmt.Sprintf("%.2f", sp))
+			out = append(out, BatchResult{Batch: b, Model: model, Scheme: s, Time: times[s], Speedup: sp})
+		}
+		out = append(out, BatchResult{Batch: b, Model: model, Scheme: SchemeDP, Time: times[SchemeDP], Speedup: 1})
+		tbl.AddRow(row...)
+	}
+	return out, tbl, nil
+}

@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"fmt"
+
+	"accpar/internal/hardware"
+	"accpar/internal/models"
+	"accpar/internal/report"
+)
+
+// HeterogeneityResult is one point of the fleet-composition sweep.
+type HeterogeneityResult struct {
+	V2, V3  int
+	Scheme  Scheme
+	Time    float64
+	Speedup float64 // vs DP on the same fleet
+}
+
+// HeterogeneitySweep varies the fleet composition from all-TPU-v2 to
+// all-TPU-v3 at constant board count, quantifying how AccPar's advantage
+// over the equal-split schemes grows with heterogeneity — the paper's
+// central motivation (Section 2.3: "it is more important to explore
+// solutions for an array of heterogeneous accelerators"). The advantage
+// must vanish at both homogeneous endpoints' ratio component and peak in
+// between.
+func HeterogeneitySweep(cfg Config, model string, boards int) ([]HeterogeneityResult, *report.Table, error) {
+	cfg = cfg.withDefaults()
+	if boards < 2 || boards%2 != 0 {
+		return nil, nil, fmt.Errorf("eval: boards must be even and ≥ 2, got %d", boards)
+	}
+	net, err := models.BuildNetwork(model, cfg.Batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []HeterogeneityResult
+	tbl := report.NewTable(
+		fmt.Sprintf("Fleet-composition sweep on %s (%d boards; speedup vs DP per fleet)", model, boards),
+		"fleet", "DP time (s)", "OWT", "HyPar", "AccPar")
+
+	step := boards / 4
+	if step == 0 {
+		step = 1
+	}
+	for v3 := 0; v3 <= boards; v3 += step {
+		v2 := boards - v3
+		var arr *hardware.Array
+		switch {
+		case v2 == 0:
+			arr, err = hardware.NewHomogeneous(hardware.TPUv3(), v3)
+		case v3 == 0:
+			arr, err = hardware.NewHomogeneous(hardware.TPUv2(), v2)
+		default:
+			arr, err = hardware.NewHeterogeneous(
+				hardware.GroupSpec{Spec: hardware.TPUv2(), Count: v2},
+				hardware.GroupSpec{Spec: hardware.TPUv3(), Count: v3})
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		tree, err := hardware.BuildTree(arr, 64)
+		if err != nil {
+			return nil, nil, err
+		}
+		times := map[Scheme]float64{}
+		for _, s := range Schemes {
+			plan, err := s.Partition(net, tree)
+			if err != nil {
+				return nil, nil, fmt.Errorf("eval: fleet %d+%d scheme %v: %w", v2, v3, s, err)
+			}
+			times[s] = plan.Time()
+		}
+		row := []string{fmt.Sprintf("%d×v2+%d×v3", v2, v3), fmt.Sprintf("%.4g", times[SchemeDP])}
+		for _, s := range Schemes[1:] {
+			sp := times[SchemeDP] / times[s]
+			row = append(row, fmt.Sprintf("%.2f", sp))
+			out = append(out, HeterogeneityResult{V2: v2, V3: v3, Scheme: s, Time: times[s], Speedup: sp})
+		}
+		out = append(out, HeterogeneityResult{V2: v2, V3: v3, Scheme: SchemeDP, Time: times[SchemeDP], Speedup: 1})
+		tbl.AddRow(row...)
+	}
+	return out, tbl, nil
+}

@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"fmt"
+
+	"accpar/internal/cost"
+	"accpar/internal/hardware"
+	"accpar/internal/report"
+	"accpar/internal/tensor"
+)
+
+// This file regenerates the paper's non-experimental tables (3–7) from the
+// implementation itself, so every table in the paper has a code artifact
+// that reproduces it.
+
+// Table3 renders the rotational symmetry of the three tensor
+// multiplications: for each training phase, the shapes involved, the
+// partitioned dimension and the partial-sum shape, derived from the cost
+// package's structures rather than hard-coded.
+func Table3() *report.Table {
+	tbl := report.NewTable("Table 3: rotational symmetry of the three tensor multiplications",
+		"multiplication", "L shape", "R shapes", "partition dim", "psum shape", "basic type")
+	rows := []struct {
+		mult, l, r, psum string
+		t                cost.Type
+	}{
+		{"F_{l+1} = F_l × W_l", "(B, Do)", "(B, Di), (Di, Do)", "(B, Do)", cost.TypeII},
+		{"E_l = E_{l+1} × W_l^T", "(B, Di)", "(B, Do), (Di, Do)", "(B, Di)", cost.TypeIII},
+		{"ΔW_l = F_l^T × E_{l+1}", "(Di, Do)", "(B, Di), (B, Do)", "(Di, Do)", cost.TypeI},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.mult, r.l, r.r, r.t.Dim().String(), r.psum, r.t.String())
+	}
+	return tbl
+}
+
+// Table4 renders the intra-layer communication cost of the three types,
+// evaluated both symbolically and on a concrete example layer.
+func Table4(d tensor.LayerDims) *report.Table {
+	tbl := report.NewTable("Table 4: intra-layer communication cost (example layer "+exampleDims(d)+")",
+		"basic type", "psum phase", "cost", "elements on example")
+	symbol := map[cost.Type]string{
+		cost.TypeI:   "A(W_l)/b_i",
+		cost.TypeII:  "A(F_{l+1})/b_i",
+		cost.TypeIII: "A(E_l)/b_i",
+	}
+	for _, t := range cost.Types {
+		tbl.AddRow(t.String(), t.PsumPhase().String(), symbol[t],
+			fmt.Sprintf("%d", cost.IntraCommElements(t, d)))
+	}
+	return tbl
+}
+
+// Table5 renders the nine inter-layer transition costs, symbolically and
+// evaluated at a concrete boundary and ratio.
+func Table5(boundary int64, alpha float64) *report.Table {
+	tbl := report.NewTable(
+		fmt.Sprintf("Table 5: inter-layer communication cost (A(F_{l+1}) = %d, α = %.2f)", boundary, alpha),
+		"layer l \\ l+1", "Type-I", "Type-II", "Type-III")
+	beta := 1 - alpha
+	for _, p := range cost.Types {
+		row := []string{p.String()}
+		for _, n := range cost.Types {
+			v := cost.InterCommElements(p, n, boundary, alpha, beta)
+			row = append(row, fmt.Sprintf("%.0f", v))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl
+}
+
+// Table6 renders the FLOP counts of the three multiplications on a
+// concrete example layer.
+func Table6(d tensor.LayerDims) *report.Table {
+	tbl := report.NewTable("Table 6: FLOP counts (example layer "+exampleDims(d)+")",
+		"multiplication", "formula", "FLOPs on example")
+	tbl.AddRow("F_{l+1} = F_l × W_l", "A(F_{l+1})·(2·Di·KH·KW − 1)", fmt.Sprintf("%d", tensor.ForwardFLOPs(d)))
+	tbl.AddRow("E_l = E_{l+1} × W_l^T", "A(E_l)·(2·Do·KH·KW − 1)", fmt.Sprintf("%d", tensor.BackwardFLOPs(d)))
+	tbl.AddRow("ΔW_l = F_l^T × E_{l+1}", "A(W_l)·(2·B·HOut·WOut − 1)", fmt.Sprintf("%d", tensor.GradientFLOPs(d)))
+	return tbl
+}
+
+// Table7 renders the accelerator specifications from the hardware package.
+func Table7() *report.Table {
+	tbl := report.NewTable("Table 7: accelerator specifications",
+		"", "TPU-v2", "TPU-v3")
+	v2, v3 := hardware.TPUv2(), hardware.TPUv3()
+	tbl.AddRow("FLOPS", fmt.Sprintf("%.0fT", v2.FLOPS/1e12), fmt.Sprintf("%.0fT", v3.FLOPS/1e12))
+	tbl.AddRow("HBM memory", fmt.Sprintf("%dGB", v2.HBMBytes>>30), fmt.Sprintf("%dGB", v3.HBMBytes>>30))
+	tbl.AddRow("memory bandwidth", fmt.Sprintf("%.0fGB/s", v2.MemBandwidth/1e9), fmt.Sprintf("%.0fGB/s", v3.MemBandwidth/1e9))
+	tbl.AddRow("network data rate", fmt.Sprintf("%.0fGb/s", v2.NetBandwidth*8/1e9), fmt.Sprintf("%.0fGb/s", v3.NetBandwidth*8/1e9))
+	tbl.AddRow("# accelerators", "128", "128")
+	return tbl
+}
+
+func exampleDims(d tensor.LayerDims) string {
+	if d.IsFC() {
+		return fmt.Sprintf("FC B=%d Di=%d Do=%d", d.B, d.Di, d.Do)
+	}
+	return fmt.Sprintf("CONV B=%d Di=%d Do=%d %dx%d k%dx%d", d.B, d.Di, d.Do, d.HIn, d.WIn, d.KH, d.KW)
+}

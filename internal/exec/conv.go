@@ -1,0 +1,341 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"accpar/internal/cost"
+	"accpar/internal/tensor"
+)
+
+// Tensor4 is a dense 4-dimensional tensor with extents (N0,N1,N2,N3),
+// row-major. Feature maps use (batch, channel, height, width); kernels use
+// (in-channel, out-channel, kernel-height, kernel-width) — the layouts of
+// Section 3.3.
+type Tensor4 struct {
+	N0, N1, N2, N3 int
+	Data           []float64
+}
+
+// NewTensor4 allocates a zero tensor.
+func NewTensor4(n0, n1, n2, n3 int) *Tensor4 {
+	if n0 <= 0 || n1 <= 0 || n2 <= 0 || n3 <= 0 {
+		panic(fmt.Sprintf("exec: invalid tensor %dx%dx%dx%d", n0, n1, n2, n3))
+	}
+	return &Tensor4{N0: n0, N1: n1, N2: n2, N3: n3, Data: make([]float64, n0*n1*n2*n3)}
+}
+
+func (t *Tensor4) idx(a, b, c, d int) int {
+	return ((a*t.N1+b)*t.N2+c)*t.N3 + d
+}
+
+// At returns one element.
+func (t *Tensor4) At(a, b, c, d int) float64 { return t.Data[t.idx(a, b, c, d)] }
+
+// Set assigns one element.
+func (t *Tensor4) Set(a, b, c, d int, v float64) { t.Data[t.idx(a, b, c, d)] = v }
+
+// AddAt accumulates into one element.
+func (t *Tensor4) AddAt(a, b, c, d int, v float64) { t.Data[t.idx(a, b, c, d)] += v }
+
+// Randomize fills the tensor from the source.
+func (t *Tensor4) Randomize(rnd *rand.Rand) {
+	for i := range t.Data {
+		t.Data[i] = rnd.NormFloat64()
+	}
+}
+
+// Add accumulates o element-wise.
+func (t *Tensor4) Add(o *Tensor4) {
+	if len(t.Data) != len(o.Data) {
+		panic("exec: Tensor4.Add shape mismatch")
+	}
+	for i := range t.Data {
+		t.Data[i] += o.Data[i]
+	}
+}
+
+// MaxAbsDiff returns the largest absolute element difference.
+func (t *Tensor4) MaxAbsDiff(o *Tensor4) float64 {
+	if len(t.Data) != len(o.Data) {
+		return 1e308
+	}
+	var max float64
+	for i := range t.Data {
+		d := t.Data[i] - o.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Slice0 copies the [lo,hi) range of the first dimension.
+func (t *Tensor4) Slice0(lo, hi int) *Tensor4 {
+	out := NewTensor4(hi-lo, t.N1, t.N2, t.N3)
+	stride := t.N1 * t.N2 * t.N3
+	copy(out.Data, t.Data[lo*stride:hi*stride])
+	return out
+}
+
+// Slice1 copies the [lo,hi) range of the second dimension.
+func (t *Tensor4) Slice1(lo, hi int) *Tensor4 {
+	out := NewTensor4(t.N0, hi-lo, t.N2, t.N3)
+	inner := t.N2 * t.N3
+	for a := 0; a < t.N0; a++ {
+		for b := lo; b < hi; b++ {
+			copy(out.Data[(a*out.N1+(b-lo))*inner:(a*out.N1+(b-lo)+1)*inner],
+				t.Data[(a*t.N1+b)*inner:(a*t.N1+b+1)*inner])
+		}
+	}
+	return out
+}
+
+// Embed0 writes src into the [lo,...) range of the first dimension.
+func (t *Tensor4) Embed0(lo int, src *Tensor4) {
+	stride := t.N1 * t.N2 * t.N3
+	copy(t.Data[lo*stride:], src.Data)
+}
+
+// Embed1 writes src into the [lo,...) range of the second dimension.
+func (t *Tensor4) Embed1(lo int, src *Tensor4) {
+	inner := t.N2 * t.N3
+	for a := 0; a < t.N0; a++ {
+		for b := 0; b < src.N1; b++ {
+			copy(t.Data[(a*t.N1+lo+b)*inner:(a*t.N1+lo+b+1)*inner],
+				src.Data[(a*src.N1+b)*inner:(a*src.N1+b+1)*inner])
+		}
+	}
+}
+
+// ConvState holds the tensors of one CONV training step, with stride 1 and
+// symmetric padding pad: F (B,Ci,H,W), W (Ci,Co,KH,KW), E (B,Co,Hout,Wout).
+type ConvState struct {
+	F   *Tensor4
+	W   *Tensor4
+	E   *Tensor4
+	Pad int
+}
+
+// NewConvState builds random tensors for the dims (stride 1; the padding
+// is derived from the dims so that HOut = HIn + 2·pad − KH + 1 holds).
+func NewConvState(d tensor.LayerDims, pad int, seed int64) (*ConvState, error) {
+	hout := d.HIn + 2*pad - d.KH + 1
+	wout := d.WIn + 2*pad - d.KW + 1
+	if hout != d.HOut || wout != d.WOut {
+		return nil, fmt.Errorf("exec: dims inconsistent with stride-1 pad-%d conv: want out %dx%d, dims say %dx%d",
+			pad, hout, wout, d.HOut, d.WOut)
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	s := &ConvState{
+		F:   NewTensor4(d.B, d.Di, d.HIn, d.WIn),
+		W:   NewTensor4(d.Di, d.Do, d.KH, d.KW),
+		E:   NewTensor4(d.B, d.Do, d.HOut, d.WOut),
+		Pad: pad,
+	}
+	s.F.Randomize(rnd)
+	s.W.Randomize(rnd)
+	s.E.Randomize(rnd)
+	return s, nil
+}
+
+// ConvResult is the output of one CONV training step.
+type ConvResult struct {
+	FNext *Tensor4 // B×Co×Hout×Wout
+	EPrev *Tensor4 // B×Ci×H×W
+	DW    *Tensor4 // Ci×Co×KH×KW
+}
+
+// convForward computes F_{l+1} = F ⊛ W (cross-correlation, stride 1).
+func convForward(f, w *Tensor4, pad int) *Tensor4 {
+	b, ci, h, wd := f.N0, f.N1, f.N2, f.N3
+	co, kh, kw := w.N1, w.N2, w.N3
+	hout := h + 2*pad - kh + 1
+	wout := wd + 2*pad - kw + 1
+	out := NewTensor4(b, co, hout, wout)
+	for n := 0; n < b; n++ {
+		for c := 0; c < co; c++ {
+			for y := 0; y < hout; y++ {
+				for x := 0; x < wout; x++ {
+					var sum float64
+					for i := 0; i < ci; i++ {
+						for ky := 0; ky < kh; ky++ {
+							fy := y + ky - pad
+							if fy < 0 || fy >= h {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								fx := x + kx - pad
+								if fx < 0 || fx >= wd {
+									continue
+								}
+								sum += f.At(n, i, fy, fx) * w.At(i, c, ky, kx)
+							}
+						}
+					}
+					out.Set(n, c, y, x, sum)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// convBackward computes E_l = E_{l+1} ⊛ Wᵀ (transposed correlation).
+func convBackward(e, w *Tensor4, pad, h, wd int) *Tensor4 {
+	b, co, hout, wout := e.N0, e.N1, e.N2, e.N3
+	ci, kh, kw := w.N0, w.N2, w.N3
+	out := NewTensor4(b, ci, h, wd)
+	for n := 0; n < b; n++ {
+		for c := 0; c < co; c++ {
+			for y := 0; y < hout; y++ {
+				for x := 0; x < wout; x++ {
+					ev := e.At(n, c, y, x)
+					if ev == 0 {
+						continue
+					}
+					for i := 0; i < ci; i++ {
+						for ky := 0; ky < kh; ky++ {
+							fy := y + ky - pad
+							if fy < 0 || fy >= h {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								fx := x + kx - pad
+								if fx < 0 || fx >= wd {
+									continue
+								}
+								out.AddAt(n, i, fy, fx, ev*w.At(i, c, ky, kx))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// convGradient computes ΔW = Fᵀ ⊛ E_{l+1}.
+func convGradient(f, e *Tensor4, pad, kh, kw int) *Tensor4 {
+	b, ci, h, wd := f.N0, f.N1, f.N2, f.N3
+	co, hout, wout := e.N1, e.N2, e.N3
+	out := NewTensor4(ci, co, kh, kw)
+	for n := 0; n < b; n++ {
+		for c := 0; c < co; c++ {
+			for y := 0; y < hout; y++ {
+				for x := 0; x < wout; x++ {
+					ev := e.At(n, c, y, x)
+					if ev == 0 {
+						continue
+					}
+					for i := 0; i < ci; i++ {
+						for ky := 0; ky < kh; ky++ {
+							fy := y + ky - pad
+							if fy < 0 || fy >= h {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								fx := x + kx - pad
+								if fx < 0 || fx >= wd {
+									continue
+								}
+								out.AddAt(i, c, ky, kx, f.At(n, i, fy, fx)*ev)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConvForward computes F_{l+1} = F ⊛ W (cross-correlation, stride 1).
+func ConvForward(f, w *Tensor4, pad int) *Tensor4 { return convForward(f, w, pad) }
+
+// ConvBackward computes E_l = E_{l+1} ⊛ Wᵀ over an h×wd input extent.
+func ConvBackward(e, w *Tensor4, pad, h, wd int) *Tensor4 { return convBackward(e, w, pad, h, wd) }
+
+// ConvGradient computes ΔW = Fᵀ ⊛ E_{l+1} for a kh×kw kernel.
+func ConvGradient(f, e *Tensor4, pad, kh, kw int) *Tensor4 { return convGradient(f, e, pad, kh, kw) }
+
+// ConvReference computes the three phases unpartitioned.
+func ConvReference(s *ConvState) *ConvResult {
+	return &ConvResult{
+		FNext: convForward(s.F, s.W, s.Pad),
+		EPrev: convBackward(s.E, s.W, s.Pad, s.F.N2, s.F.N3),
+		DW:    convGradient(s.F, s.E, s.Pad, s.W.N2, s.W.N3),
+	}
+}
+
+// ConvPartitioned computes the three phases with two workers under the
+// given partition type (Section 3.3: the partition types carry over to
+// convolutions unchanged; only the meaning of an "element" grows from a
+// scalar to a 2D map).
+func ConvPartitioned(s *ConvState, t cost.Type, share int) (*ConvResult, error) {
+	b, ci := s.F.N0, s.F.N1
+	co := s.W.N1
+	total := map[cost.Type]int{cost.TypeI: b, cost.TypeII: ci, cost.TypeIII: co}[t]
+	if share <= 0 || share >= total {
+		return nil, fmt.Errorf("exec: share %d must be strictly inside (0,%d)", share, total)
+	}
+
+	switch t {
+	case cost.TypeI:
+		f0, f1 := s.F.Slice0(0, share), s.F.Slice0(share, b)
+		e0, e1 := s.E.Slice0(0, share), s.E.Slice0(share, b)
+		fn := NewTensor4(b, co, s.E.N2, s.E.N3)
+		fn.Embed0(0, convForward(f0, s.W, s.Pad))
+		fn.Embed0(share, convForward(f1, s.W, s.Pad))
+		ep := NewTensor4(b, ci, s.F.N2, s.F.N3)
+		ep.Embed0(0, convBackward(e0, s.W, s.Pad, s.F.N2, s.F.N3))
+		ep.Embed0(share, convBackward(e1, s.W, s.Pad, s.F.N2, s.F.N3))
+		dw := convGradient(f0, e0, s.Pad, s.W.N2, s.W.N3)
+		dw.Add(convGradient(f1, e1, s.Pad, s.W.N2, s.W.N3))
+		return &ConvResult{FNext: fn, EPrev: ep, DW: dw}, nil
+
+	case cost.TypeII:
+		f0, f1 := s.F.Slice1(0, share), s.F.Slice1(share, ci)
+		w0, w1 := s.W.Slice0(0, share), s.W.Slice0(share, ci)
+		fn := convForward(f0, w0, s.Pad)
+		fn.Add(convForward(f1, w1, s.Pad))
+		ep := NewTensor4(b, ci, s.F.N2, s.F.N3)
+		ep.Embed1(0, convBackward(s.E, w0, s.Pad, s.F.N2, s.F.N3))
+		ep.Embed1(share, convBackward(s.E, w1, s.Pad, s.F.N2, s.F.N3))
+		dw := NewTensor4(ci, co, s.W.N2, s.W.N3)
+		dw.Embed0(0, convGradient(f0, s.E, s.Pad, s.W.N2, s.W.N3))
+		dw.Embed0(share, convGradient(f1, s.E, s.Pad, s.W.N2, s.W.N3))
+		return &ConvResult{FNext: fn, EPrev: ep, DW: dw}, nil
+
+	case cost.TypeIII:
+		w0, w1 := s.W.Slice1(0, share), s.W.Slice1(share, co)
+		e0, e1 := s.E.Slice1(0, share), s.E.Slice1(share, co)
+		fn := NewTensor4(b, co, s.E.N2, s.E.N3)
+		fn.Embed1(0, convForward(s.F, w0, s.Pad))
+		fn.Embed1(share, convForward(s.F, w1, s.Pad))
+		ep := convBackward(e0, w0, s.Pad, s.F.N2, s.F.N3)
+		ep.Add(convBackward(e1, w1, s.Pad, s.F.N2, s.F.N3))
+		dw := NewTensor4(ci, co, s.W.N2, s.W.N3)
+		dw.Embed1(0, convGradient(s.F, e0, s.Pad, s.W.N2, s.W.N3))
+		dw.Embed1(share, convGradient(s.F, e1, s.Pad, s.W.N2, s.W.N3))
+		return &ConvResult{FNext: fn, EPrev: ep, DW: dw}, nil
+	}
+	return nil, fmt.Errorf("exec: invalid type %v", t)
+}
+
+// MaxConvDeviation returns the largest element-wise deviation between two
+// conv results across all three output tensors.
+func MaxConvDeviation(a, b *ConvResult) float64 {
+	max := a.FNext.MaxAbsDiff(b.FNext)
+	if d := a.EPrev.MaxAbsDiff(b.EPrev); d > max {
+		max = d
+	}
+	if d := a.DW.MaxAbsDiff(b.DW); d > max {
+		max = d
+	}
+	return max
+}

@@ -1,0 +1,275 @@
+// Package exec is a numerical execution engine that validates the tensor
+// partitioning semantics of Section 3 of the paper with real arithmetic:
+// it computes the forward, backward and gradient phases of FC and CONV
+// layers (Equations 1–6) both unpartitioned and under each of the three
+// basic partition types — two workers holding shards, replicating what
+// each type replicates, and combining partial sums exactly where the paper
+// says communication happens — and exposes the results for equivalence
+// checking.
+//
+// The engine is deliberately naive (nested loops, float64): it exists to
+// prove the partitioning algebra, not to be fast. The performance model
+// lives in internal/cost and internal/sim.
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"accpar/internal/cost"
+	"accpar/internal/tensor"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("exec: invalid matrix %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Randomize fills the matrix from the given source.
+func (m *Matrix) Randomize(rnd *rand.Rand) {
+	for i := range m.Data {
+		m.Data[i] = rnd.NormFloat64()
+	}
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// RowSlice returns rows [lo, hi) as a view-copy.
+func (m *Matrix) RowSlice(lo, hi int) *Matrix {
+	out := NewMatrix(hi-lo, m.Cols)
+	copy(out.Data, m.Data[lo*m.Cols:hi*m.Cols])
+	return out
+}
+
+// ColSlice returns columns [lo, hi) as a copy.
+func (m *Matrix) ColSlice(lo, hi int) *Matrix {
+	out := NewMatrix(m.Rows, hi-lo)
+	for r := 0; r < m.Rows; r++ {
+		copy(out.Data[r*out.Cols:(r+1)*out.Cols], m.Data[r*m.Cols+lo:r*m.Cols+hi])
+	}
+	return out
+}
+
+// SetRowSlice writes src into rows [lo, lo+src.Rows).
+func (m *Matrix) SetRowSlice(lo int, src *Matrix) {
+	copy(m.Data[lo*m.Cols:], src.Data)
+}
+
+// SetColSlice writes src into columns [lo, lo+src.Cols).
+func (m *Matrix) SetColSlice(lo int, src *Matrix) {
+	for r := 0; r < src.Rows; r++ {
+		copy(m.Data[r*m.Cols+lo:r*m.Cols+lo+src.Cols], src.Data[r*src.Cols:(r+1)*src.Cols])
+	}
+}
+
+// Add accumulates o into m element-wise.
+func (m *Matrix) Add(o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("exec: Add shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += o.Data[i]
+	}
+}
+
+// MaxAbsDiff returns the largest absolute element difference.
+func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return 1e308
+	}
+	var max float64
+	for i := range m.Data {
+		d := m.Data[i] - o.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MatMul computes a × b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("exec: matmul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(r, k)
+			if av == 0 {
+				continue
+			}
+			for c := 0; c < b.Cols; c++ {
+				out.Data[r*out.Cols+c] += av * b.At(k, c)
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func Transpose(m *Matrix) *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.Set(c, r, m.At(r, c))
+		}
+	}
+	return out
+}
+
+// FCState holds the tensors of one FC training step: F_l (B×Di), W_l
+// (Di×Do) and E_{l+1} (B×Do).
+type FCState struct {
+	F *Matrix
+	W *Matrix
+	E *Matrix
+}
+
+// NewFCState builds random tensors for the dims.
+func NewFCState(d tensor.LayerDims, seed int64) *FCState {
+	rnd := rand.New(rand.NewSource(seed))
+	s := &FCState{
+		F: NewMatrix(d.B, d.Di),
+		W: NewMatrix(d.Di, d.Do),
+		E: NewMatrix(d.B, d.Do),
+	}
+	s.F.Randomize(rnd)
+	s.W.Randomize(rnd)
+	s.E.Randomize(rnd)
+	return s
+}
+
+// FCResult is the output of one FC training step: F_{l+1}, E_l and ΔW_l.
+// (Activation derivatives are omitted, exactly as in the paper's Section 3
+// space relations: the element-wise ⊙ f'(F_l) can be performed in place
+// and does not interact with partitioning.)
+type FCResult struct {
+	FNext *Matrix // B×Do
+	EPrev *Matrix // B×Di
+	DW    *Matrix // Di×Do
+}
+
+// FCReference computes the three phases unpartitioned (Equations 1–3):
+//
+//	F_{l+1} = F_l × W_l
+//	E_l     = E_{l+1} × W_lᵀ
+//	ΔW_l    = F_lᵀ × E_{l+1}
+func FCReference(s *FCState) *FCResult {
+	return &FCResult{
+		FNext: MatMul(s.F, s.W),
+		EPrev: MatMul(s.E, Transpose(s.W)),
+		DW:    MatMul(Transpose(s.F), s.E),
+	}
+}
+
+// FCPartitioned computes the same three phases with two workers under the
+// given partition type and an integer share of the partitioned dimension
+// for worker 0 (worker 1 gets the remainder), replicating and exchanging
+// exactly what Section 3 prescribes:
+//
+//   - Type-I: batch rows split; W replicated; ΔW needs a partial-sum
+//     exchange (Eq. 4).
+//   - Type-II: D_i columns of F and rows of W split; E replicated; F_{l+1}
+//     needs a partial-sum exchange (Eq. 5).
+//   - Type-III: D_o columns of W and E split; F replicated; E_l needs a
+//     partial-sum exchange (Eq. 6).
+func FCPartitioned(s *FCState, t cost.Type, share int) (*FCResult, error) {
+	d := tensor.FC(s.F.Rows, s.F.Cols, s.W.Cols)
+	total := map[cost.Type]int{cost.TypeI: d.B, cost.TypeII: d.Di, cost.TypeIII: d.Do}[t]
+	if share <= 0 || share >= total {
+		return nil, fmt.Errorf("exec: share %d must be strictly inside (0,%d)", share, total)
+	}
+
+	switch t {
+	case cost.TypeI:
+		// Worker 0 holds rows [0,share), worker 1 rows [share,B); W is
+		// replicated on both.
+		f0, f1 := s.F.RowSlice(0, share), s.F.RowSlice(share, d.B)
+		e0, e1 := s.E.RowSlice(0, share), s.E.RowSlice(share, d.B)
+		// Forward: disjoint row blocks of F_{l+1}.
+		fn := NewMatrix(d.B, d.Do)
+		fn.SetRowSlice(0, MatMul(f0, s.W))
+		fn.SetRowSlice(share, MatMul(f1, s.W))
+		// Backward: disjoint row blocks of E_l.
+		ep := NewMatrix(d.B, d.Di)
+		ep.SetRowSlice(0, MatMul(e0, Transpose(s.W)))
+		ep.SetRowSlice(share, MatMul(e1, Transpose(s.W)))
+		// Gradient: full-shape partial sums combined element-wise (Eq. 4
+		// — the intra-layer exchange).
+		dw := MatMul(Transpose(f0), e0)
+		dw.Add(MatMul(Transpose(f1), e1))
+		return &FCResult{FNext: fn, EPrev: ep, DW: dw}, nil
+
+	case cost.TypeII:
+		// Worker 0 holds F columns and W rows [0,share); E replicated.
+		f0, f1 := s.F.ColSlice(0, share), s.F.ColSlice(share, d.Di)
+		w0, w1 := s.W.RowSlice(0, share), s.W.RowSlice(share, d.Di)
+		// Forward: full-shape partial sums combined element-wise (Eq. 5).
+		fn := MatMul(f0, w0)
+		fn.Add(MatMul(f1, w1))
+		// Backward: disjoint column blocks of E_l (E replicated).
+		ep := NewMatrix(d.B, d.Di)
+		ep.SetColSlice(0, MatMul(s.E, Transpose(w0)))
+		ep.SetColSlice(share, MatMul(s.E, Transpose(w1)))
+		// Gradient: disjoint row blocks of ΔW.
+		dw := NewMatrix(d.Di, d.Do)
+		dw.SetRowSlice(0, MatMul(Transpose(f0), s.E))
+		dw.SetRowSlice(share, MatMul(Transpose(f1), s.E))
+		return &FCResult{FNext: fn, EPrev: ep, DW: dw}, nil
+
+	case cost.TypeIII:
+		// Worker 0 holds W and E columns [0,share); F replicated.
+		w0, w1 := s.W.ColSlice(0, share), s.W.ColSlice(share, d.Do)
+		e0, e1 := s.E.ColSlice(0, share), s.E.ColSlice(share, d.Do)
+		// Forward: disjoint column blocks of F_{l+1} (F replicated).
+		fn := NewMatrix(d.B, d.Do)
+		fn.SetColSlice(0, MatMul(s.F, w0))
+		fn.SetColSlice(share, MatMul(s.F, w1))
+		// Backward: full-shape partial sums combined element-wise (Eq. 6).
+		ep := MatMul(e0, Transpose(w0))
+		ep.Add(MatMul(e1, Transpose(w1)))
+		// Gradient: disjoint column blocks of ΔW.
+		dw := NewMatrix(d.Di, d.Do)
+		dw.SetColSlice(0, MatMul(Transpose(s.F), e0))
+		dw.SetColSlice(share, MatMul(Transpose(s.F), e1))
+		return &FCResult{FNext: fn, EPrev: ep, DW: dw}, nil
+	}
+	return nil, fmt.Errorf("exec: invalid type %v", t)
+}
+
+// MaxDeviation returns the largest element-wise deviation between two
+// results across all three output tensors.
+func MaxDeviation(a, b *FCResult) float64 {
+	max := a.FNext.MaxAbsDiff(b.FNext)
+	if d := a.EPrev.MaxAbsDiff(b.EPrev); d > max {
+		max = d
+	}
+	if d := a.DW.MaxAbsDiff(b.DW); d > max {
+		max = d
+	}
+	return max
+}

@@ -1,0 +1,311 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"accpar/internal/cost"
+	"accpar/internal/tensor"
+)
+
+const tol = 1e-9
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Error("Set/At")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 5)
+	if m.At(0, 0) == 5 {
+		t.Error("clone aliases original")
+	}
+	if m.MaxAbsDiff(c) != 5 {
+		t.Errorf("MaxAbsDiff = %g", m.MaxAbsDiff(c))
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := NewMatrix(2, 1)
+	b.Set(0, 0, 5)
+	b.Set(1, 0, 6)
+	c := MatMul(a, b)
+	if c.At(0, 0) != 17 || c.At(1, 0) != 39 {
+		t.Errorf("matmul = %v", c.Data)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	m := NewMatrix(3, 5)
+	m.Randomize(rnd)
+	if m.MaxAbsDiff(Transpose(Transpose(m))) != 0 {
+		t.Error("transpose is not an involution")
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	m := NewMatrix(4, 6)
+	m.Randomize(rnd)
+	r := NewMatrix(4, 6)
+	r.SetRowSlice(0, m.RowSlice(0, 2))
+	r.SetRowSlice(2, m.RowSlice(2, 4))
+	if m.MaxAbsDiff(r) != 0 {
+		t.Error("row slice round trip")
+	}
+	c := NewMatrix(4, 6)
+	c.SetColSlice(0, m.ColSlice(0, 4))
+	c.SetColSlice(4, m.ColSlice(4, 6))
+	if m.MaxAbsDiff(c) != 0 {
+		t.Error("col slice round trip")
+	}
+}
+
+// TestFCPartitionEquivalence is the numerical proof of Section 3: for every
+// partition type and several shares, the two-worker computation with
+// replication and partial-sum combination reproduces the unpartitioned
+// result exactly (up to float64 reassociation).
+func TestFCPartitionEquivalence(t *testing.T) {
+	d := tensor.FC(8, 12, 10)
+	s := NewFCState(d, 42)
+	ref := FCReference(s)
+	shares := map[cost.Type][]int{
+		cost.TypeI:   {1, 3, 4, 7},
+		cost.TypeII:  {1, 5, 6, 11},
+		cost.TypeIII: {1, 4, 5, 9},
+	}
+	for ty, list := range shares {
+		for _, share := range list {
+			got, err := FCPartitioned(s, ty, share)
+			if err != nil {
+				t.Fatalf("%v share %d: %v", ty, share, err)
+			}
+			if dev := MaxDeviation(ref, got); dev > tol {
+				t.Errorf("%v share %d: deviation %g", ty, share, dev)
+			}
+		}
+	}
+}
+
+// TestFCPartitionedRejectsDegenerateShares: zero or full shares leave one
+// worker empty, which the two-accelerator formulation does not model.
+func TestFCPartitionedRejectsDegenerateShares(t *testing.T) {
+	s := NewFCState(tensor.FC(4, 4, 4), 1)
+	for _, share := range []int{0, 4} {
+		if _, err := FCPartitioned(s, cost.TypeI, share); err == nil {
+			t.Errorf("share %d must be rejected", share)
+		}
+	}
+}
+
+// TestFCReferencePsumPhaseShapes: the shapes of the partial-sum tensors
+// match Table 3 (the Psum Shape column): ΔW for Type-I, F_{l+1} for
+// Type-II, E_l for Type-III.
+func TestFCReferencePsumPhaseShapes(t *testing.T) {
+	d := tensor.FC(6, 5, 7)
+	s := NewFCState(d, 3)
+	ref := FCReference(s)
+	if ref.DW.Rows != 5 || ref.DW.Cols != 7 {
+		t.Errorf("ΔW shape %dx%d", ref.DW.Rows, ref.DW.Cols)
+	}
+	if ref.FNext.Rows != 6 || ref.FNext.Cols != 7 {
+		t.Errorf("F_{l+1} shape %dx%d", ref.FNext.Rows, ref.FNext.Cols)
+	}
+	if ref.EPrev.Rows != 6 || ref.EPrev.Cols != 5 {
+		t.Errorf("E_l shape %dx%d", ref.EPrev.Rows, ref.EPrev.Cols)
+	}
+}
+
+// TestPropertyFCEquivalence: random shapes, types, shares and seeds all
+// reproduce the reference.
+func TestPropertyFCEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		d := tensor.FC(2+rnd.Intn(8), 2+rnd.Intn(8), 2+rnd.Intn(8))
+		s := NewFCState(d, seed)
+		ref := FCReference(s)
+		ty := cost.Types[rnd.Intn(3)]
+		total := map[cost.Type]int{cost.TypeI: d.B, cost.TypeII: d.Di, cost.TypeIII: d.Do}[ty]
+		share := 1 + rnd.Intn(total-1)
+		got, err := FCPartitioned(s, ty, share)
+		if err != nil {
+			return false
+		}
+		return MaxDeviation(ref, got) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTensor4Basics(t *testing.T) {
+	x := NewTensor4(2, 3, 4, 5)
+	x.Set(1, 2, 3, 4, 9)
+	if x.At(1, 2, 3, 4) != 9 {
+		t.Error("Set/At")
+	}
+	x.AddAt(1, 2, 3, 4, 1)
+	if x.At(1, 2, 3, 4) != 10 {
+		t.Error("AddAt")
+	}
+}
+
+func TestTensor4SliceRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	x := NewTensor4(4, 6, 2, 3)
+	x.Randomize(rnd)
+	r0 := NewTensor4(4, 6, 2, 3)
+	r0.Embed0(0, x.Slice0(0, 1))
+	r0.Embed0(1, x.Slice0(1, 4))
+	if x.MaxAbsDiff(r0) != 0 {
+		t.Error("Slice0/Embed0 round trip")
+	}
+	r1 := NewTensor4(4, 6, 2, 3)
+	r1.Embed1(0, x.Slice1(0, 2))
+	r1.Embed1(2, x.Slice1(2, 6))
+	if x.MaxAbsDiff(r1) != 0 {
+		t.Error("Slice1/Embed1 round trip")
+	}
+}
+
+// TestConvForwardKnown pins a hand-computed 1-channel 2x2-kernel example.
+func TestConvForwardKnown(t *testing.T) {
+	f := NewTensor4(1, 1, 2, 2)
+	f.Set(0, 0, 0, 0, 1)
+	f.Set(0, 0, 0, 1, 2)
+	f.Set(0, 0, 1, 0, 3)
+	f.Set(0, 0, 1, 1, 4)
+	w := NewTensor4(1, 1, 2, 2)
+	w.Set(0, 0, 0, 0, 1)
+	w.Set(0, 0, 0, 1, 1)
+	w.Set(0, 0, 1, 0, 1)
+	w.Set(0, 0, 1, 1, 1)
+	out := convForward(f, w, 0)
+	if out.N2 != 1 || out.N3 != 1 {
+		t.Fatalf("out spatial %dx%d, want 1x1", out.N2, out.N3)
+	}
+	if out.At(0, 0, 0, 0) != 10 {
+		t.Errorf("conv = %g, want 10", out.At(0, 0, 0, 0))
+	}
+}
+
+// TestConvPartitionEquivalence: the three types reproduce the reference
+// conv training step exactly, including padding.
+func TestConvPartitionEquivalence(t *testing.T) {
+	d := tensor.Conv(4, 3, 5, 6, 6, 6, 6, 3, 3) // stride 1, pad 1
+	s, err := NewConvState(d, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ConvReference(s)
+	shares := map[cost.Type][]int{
+		cost.TypeI:   {1, 2, 3},
+		cost.TypeII:  {1, 2},
+		cost.TypeIII: {1, 2, 4},
+	}
+	for ty, list := range shares {
+		for _, share := range list {
+			got, err := ConvPartitioned(s, ty, share)
+			if err != nil {
+				t.Fatalf("%v share %d: %v", ty, share, err)
+			}
+			if dev := MaxConvDeviation(ref, got); dev > tol {
+				t.Errorf("%v share %d: deviation %g", ty, share, dev)
+			}
+		}
+	}
+}
+
+// TestConvNoPadding: valid convolution (pad 0) also holds.
+func TestConvNoPadding(t *testing.T) {
+	d := tensor.Conv(2, 2, 3, 5, 5, 3, 3, 3, 3)
+	s, err := NewConvState(d, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ConvReference(s)
+	for _, ty := range cost.Types {
+		got, err := ConvPartitioned(s, ty, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev := MaxConvDeviation(ref, got); dev > tol {
+			t.Errorf("%v: deviation %g", ty, dev)
+		}
+	}
+}
+
+// TestConvStateRejectsBadDims: dims inconsistent with stride-1 shapes are
+// rejected.
+func TestConvStateRejectsBadDims(t *testing.T) {
+	d := tensor.Conv(2, 2, 3, 5, 5, 4, 4, 3, 3) // 5+0-3+1=3, not 4
+	if _, err := NewConvState(d, 0, 1); err == nil {
+		t.Error("inconsistent dims must be rejected")
+	}
+}
+
+// TestPropertyConvEquivalence: random conv shapes under random types and
+// shares match the reference.
+func TestPropertyConvEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		kh := 1 + rnd.Intn(3)
+		pad := rnd.Intn(kh)
+		h := kh + rnd.Intn(4)
+		d := tensor.LayerDims{
+			B: 2 + rnd.Intn(3), Di: 2 + rnd.Intn(3), Do: 2 + rnd.Intn(3),
+			HIn: h, WIn: h,
+			HOut: h + 2*pad - kh + 1, WOut: h + 2*pad - kh + 1,
+			KH: kh, KW: kh,
+		}
+		s, err := NewConvState(d, pad, seed)
+		if err != nil {
+			return false
+		}
+		ref := ConvReference(s)
+		ty := cost.Types[rnd.Intn(3)]
+		total := map[cost.Type]int{cost.TypeI: d.B, cost.TypeII: d.Di, cost.TypeIII: d.Do}[ty]
+		share := 1 + rnd.Intn(total-1)
+		got, err := ConvPartitioned(s, ty, share)
+		if err != nil {
+			return false
+		}
+		return MaxConvDeviation(ref, got) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConvFLOPMatchesModel: the reference conv's multiply count equals the
+// Table 6 CONV formula — tying the numeric engine back to the cost model.
+func TestConvFLOPMatchesModel(t *testing.T) {
+	d := tensor.Conv(2, 3, 4, 4, 4, 4, 4, 3, 3)
+	// Count multiplies in the forward loop by instrumenting with a ones
+	// tensor: with F=1 and W=1 everywhere, each output element equals the
+	// number of products that contributed (boundary effects shrink it at
+	// the edges; at pad=1 the centre elements see the full Di·KH·KW).
+	s, err := NewConvState(d, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.F.Data {
+		s.F.Data[i] = 1
+	}
+	for i := range s.W.Data {
+		s.W.Data[i] = 1
+	}
+	out := convForward(s.F, s.W, 1)
+	centre := out.At(0, 0, 2, 2)
+	if want := float64(3 * 3 * 3); centre != want {
+		t.Errorf("centre contribution = %g, want Di·KH·KW = %g", centre, want)
+	}
+}

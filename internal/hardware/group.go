@@ -1,0 +1,201 @@
+package hardware
+
+import (
+	"fmt"
+)
+
+// Group is a contiguous set of accelerators acting as one side of a
+// bi-partition at some hierarchy level. The cost model treats a group as a
+// virtual accelerator whose computation density is the sum of its members'
+// FLOPS and whose effective network bandwidth is the sum of its members'
+// link rates: each member transfers its own shard of a remotely-accessed
+// tensor in parallel (the shards are disjoint because deeper levels
+// partition the tensors further).
+type Group struct {
+	// Accel are the member specs.
+	Accel []Spec
+}
+
+// Size returns the member count.
+func (g *Group) Size() int { return len(g.Accel) }
+
+// ComputeDensity returns c_i for the group: aggregate peak FLOPS.
+func (g *Group) ComputeDensity() float64 {
+	var c float64
+	for _, s := range g.Accel {
+		c += s.FLOPS
+	}
+	return c
+}
+
+// NetBandwidth returns b_i for the group: aggregate network byte rate.
+func (g *Group) NetBandwidth() float64 {
+	var b float64
+	for _, s := range g.Accel {
+		b += s.NetBandwidth
+	}
+	return b
+}
+
+// MemBandwidth returns the aggregate HBM byte rate.
+func (g *Group) MemBandwidth() float64 {
+	var b float64
+	for _, s := range g.Accel {
+		b += s.MemBandwidth
+	}
+	return b
+}
+
+// HBMBytes returns the aggregate memory capacity.
+func (g *Group) HBMBytes() int64 {
+	var b int64
+	for _, s := range g.Accel {
+		b += s.HBMBytes
+	}
+	return b
+}
+
+// Homogeneous reports whether all members share one spec name.
+func (g *Group) Homogeneous() bool {
+	for _, s := range g.Accel[1:] {
+		if s.Name != g.Accel[0].Name {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the group.
+func (g *Group) String() string {
+	if g.Size() == 0 {
+		return "group{}"
+	}
+	if g.Homogeneous() {
+		return fmt.Sprintf("%d×%s", g.Size(), g.Accel[0].Name)
+	}
+	counts := map[string]int{}
+	order := []string{}
+	for _, s := range g.Accel {
+		if counts[s.Name] == 0 {
+			order = append(order, s.Name)
+		}
+		counts[s.Name]++
+	}
+	out := ""
+	for i, n := range order {
+		if i > 0 {
+			out += "+"
+		}
+		out += fmt.Sprintf("%d×%s", counts[n], n)
+	}
+	return out
+}
+
+// Bisect splits the group into two halves for the next hierarchy level.
+// A heterogeneous group splits along the spec boundary (the paper's top
+// split separates the 128 TPU-v2 from the 128 TPU-v3); a homogeneous group
+// splits evenly. The left half receives the slower (or first) spec so
+// splits are deterministic. Returns an error when the group cannot be
+// split (fewer than 2 members).
+func (g *Group) Bisect() (left, right *Group, err error) {
+	if g.Size() < 2 {
+		return nil, nil, fmt.Errorf("hardware: cannot bisect group of size %d", g.Size())
+	}
+	if !g.Homogeneous() {
+		// Split along the first spec-name boundary. Members with the first
+		// spec go left, everything else right.
+		first := g.Accel[0].Name
+		l, r := &Group{}, &Group{}
+		for _, s := range g.Accel {
+			if s.Name == first {
+				l.Accel = append(l.Accel, s)
+			} else {
+				r.Accel = append(r.Accel, s)
+			}
+		}
+		return l, r, nil
+	}
+	mid := g.Size() / 2
+	return &Group{Accel: append([]Spec(nil), g.Accel[:mid]...)},
+		&Group{Accel: append([]Spec(nil), g.Accel[mid:]...)},
+		nil
+}
+
+// Tree is the recursive bi-partition hierarchy: each non-leaf node has two
+// child groups; the layer-wise partitioning runs once per node, deciding
+// partition types and the ratio between the node's two children.
+type Tree struct {
+	Group       *Group
+	Left, Right *Tree
+	// Level is the node's depth: the root is level 1 (the paper's Figure 7
+	// numbers hierarchy levels starting at 1).
+	Level int
+}
+
+// BuildTree constructs the hierarchy for the array, stopping after
+// maxLevels levels of splitting or when groups become singletons, whichever
+// comes first. maxLevels ≥ 1; a full binary hierarchy over 2^h accelerators
+// has h levels.
+func BuildTree(a *Array, maxLevels int) (*Tree, error) {
+	if a.Size() == 0 {
+		return nil, fmt.Errorf("hardware: empty array")
+	}
+	if maxLevels < 1 {
+		return nil, fmt.Errorf("hardware: maxLevels %d < 1", maxLevels)
+	}
+	root := &Tree{Group: &Group{Accel: append([]Spec(nil), a.Accel...)}, Level: 1}
+	var grow func(t *Tree) error
+	grow = func(t *Tree) error {
+		if t.Level > maxLevels || t.Group.Size() < 2 {
+			return nil
+		}
+		l, r, err := t.Group.Bisect()
+		if err != nil {
+			return err
+		}
+		t.Left = &Tree{Group: l, Level: t.Level + 1}
+		t.Right = &Tree{Group: r, Level: t.Level + 1}
+		if err := grow(t.Left); err != nil {
+			return err
+		}
+		return grow(t.Right)
+	}
+	if err := grow(root); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// IsLeaf reports whether the node has no children.
+func (t *Tree) IsLeaf() bool { return t.Left == nil }
+
+// Depth returns the number of levels in the subtree rooted at t.
+func (t *Tree) Depth() int {
+	if t.IsLeaf() {
+		return 1
+	}
+	ld, rd := t.Left.Depth(), t.Right.Depth()
+	if ld > rd {
+		return 1 + ld
+	}
+	return 1 + rd
+}
+
+// SplitCount returns the number of non-leaf nodes (partitioning decisions).
+func (t *Tree) SplitCount() int {
+	if t.IsLeaf() {
+		return 0
+	}
+	return 1 + t.Left.SplitCount() + t.Right.SplitCount()
+}
+
+// Walk visits every node pre-order.
+func (t *Tree) Walk(visit func(*Tree)) {
+	visit(t)
+	if t.Left != nil {
+		t.Left.Walk(visit)
+	}
+	if t.Right != nil {
+		t.Right.Walk(visit)
+	}
+}

@@ -1,0 +1,163 @@
+// Package hardware models accelerator arrays for the AccPar cost model:
+// individual accelerator specifications (Table 7 of the paper: TPU-v2 and
+// TPU-v3 boards), flat arrays, and the recursive bi-partition hierarchy the
+// layer-wise partitioning descends (Section 5.1: "apply the layer-wise
+// partitioning recursively on a partitioned hierarchy").
+package hardware
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Spec describes one accelerator board.
+type Spec struct {
+	// Name identifies the accelerator model, e.g. "tpu-v2".
+	Name string
+	// FLOPS is the peak floating-point throughput in operations per second
+	// — the computation density c_i of the cost model.
+	FLOPS float64
+	// HBMBytes is the on-board high-bandwidth-memory capacity in bytes.
+	HBMBytes int64
+	// MemBandwidth is the HBM bandwidth in bytes per second.
+	MemBandwidth float64
+	// NetBandwidth is the inter-accelerator network data rate in bytes per
+	// second — the b_i of the cost model.
+	NetBandwidth float64
+}
+
+// Validate reports an error for non-positive spec fields.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("hardware: spec with empty name")
+	}
+	if s.FLOPS <= 0 || s.HBMBytes <= 0 || s.MemBandwidth <= 0 || s.NetBandwidth <= 0 {
+		return fmt.Errorf("hardware: spec %q has non-positive fields: %+v", s.Name, s)
+	}
+	return nil
+}
+
+const (
+	// Tera is 10^12.
+	Tera = 1e12
+	// Giga is 10^9.
+	Giga = 1e9
+	// GiB is 2^30 bytes.
+	GiB = int64(1) << 30
+)
+
+// TPUv2 returns the TPU-v2 board specification from Table 7 of the paper:
+// 180 TFLOPS, 64 GB HBM, 2400 GB/s memory bandwidth, and an 8 Gb/s network
+// data rate (4 chips × 2 cores at a 2 Gb/s maximum per-core rate; the paper
+// sets 8 Gb/s for the board).
+func TPUv2() Spec {
+	return Spec{
+		Name:         "tpu-v2",
+		FLOPS:        180 * Tera,
+		HBMBytes:     64 * GiB,
+		MemBandwidth: 2400 * Giga,
+		NetBandwidth: 8 * Giga / 8, // 8 Gb/s → bytes/s
+	}
+}
+
+// TPUv3 returns the TPU-v3 board specification from Table 7: 420 TFLOPS,
+// 128 GB HBM, an assumed 4800 GB/s memory bandwidth, and a 16 Gb/s network
+// data rate.
+func TPUv3() Spec {
+	return Spec{
+		Name:         "tpu-v3",
+		FLOPS:        420 * Tera,
+		HBMBytes:     128 * GiB,
+		MemBandwidth: 4800 * Giga,
+		NetBandwidth: 16 * Giga / 8, // 16 Gb/s → bytes/s
+	}
+}
+
+// Array is an ordered collection of accelerators.
+type Array struct {
+	// Name labels the array, e.g. "128×tpu-v2 + 128×tpu-v3".
+	Name  string
+	Accel []Spec
+}
+
+// NewHomogeneous returns an array of n identical accelerators.
+func NewHomogeneous(spec Spec, n int) (*Array, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("hardware: array needs at least 1 accelerator, got %d", n)
+	}
+	a := &Array{Name: fmt.Sprintf("%d×%s", n, spec.Name)}
+	for i := 0; i < n; i++ {
+		a.Accel = append(a.Accel, spec)
+	}
+	return a, nil
+}
+
+// NewHeterogeneous returns an array mixing the given accelerator groups.
+// The paper's evaluation array is NewHeterogeneous(128×TPU-v2, 128×TPU-v3).
+func NewHeterogeneous(groups ...GroupSpec) (*Array, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("hardware: heterogeneous array needs at least one group")
+	}
+	var names []string
+	a := &Array{}
+	for _, g := range groups {
+		if err := g.Spec.Validate(); err != nil {
+			return nil, err
+		}
+		if g.Count < 1 {
+			return nil, fmt.Errorf("hardware: group %q has count %d", g.Spec.Name, g.Count)
+		}
+		names = append(names, fmt.Sprintf("%d×%s", g.Count, g.Spec.Name))
+		for i := 0; i < g.Count; i++ {
+			a.Accel = append(a.Accel, g.Spec)
+		}
+	}
+	a.Name = strings.Join(names, " + ")
+	return a, nil
+}
+
+// GroupSpec pairs a spec with a count for heterogeneous array construction.
+type GroupSpec struct {
+	Spec  Spec
+	Count int
+}
+
+// Size returns the number of accelerators.
+func (a *Array) Size() int { return len(a.Accel) }
+
+// TotalFLOPS returns the aggregate peak FLOPS.
+func (a *Array) TotalFLOPS() float64 {
+	var t float64
+	for _, s := range a.Accel {
+		t += s.FLOPS
+	}
+	return t
+}
+
+// Heterogeneous reports whether the array mixes accelerator models.
+func (a *Array) Heterogeneous() bool {
+	for _, s := range a.Accel[1:] {
+		if s.Name != a.Accel[0].Name {
+			return true
+		}
+	}
+	return false
+}
+
+// SpecNames returns the distinct accelerator model names, sorted.
+func (a *Array) SpecNames() []string {
+	set := map[string]bool{}
+	for _, s := range a.Accel {
+		set[s.Name] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,286 @@
+package hardware
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestTPUSpecs pins the Table 7 numbers.
+func TestTPUSpecs(t *testing.T) {
+	v2 := TPUv2()
+	if v2.FLOPS != 180e12 {
+		t.Errorf("TPU-v2 FLOPS = %g, want 180T", v2.FLOPS)
+	}
+	if v2.HBMBytes != 64*GiB {
+		t.Errorf("TPU-v2 HBM = %d, want 64 GiB", v2.HBMBytes)
+	}
+	if v2.MemBandwidth != 2400e9 {
+		t.Errorf("TPU-v2 mem BW = %g, want 2400 GB/s", v2.MemBandwidth)
+	}
+	if v2.NetBandwidth != 1e9 {
+		t.Errorf("TPU-v2 net BW = %g B/s, want 8 Gb/s = 1e9 B/s", v2.NetBandwidth)
+	}
+	v3 := TPUv3()
+	if v3.FLOPS != 420e12 {
+		t.Errorf("TPU-v3 FLOPS = %g, want 420T", v3.FLOPS)
+	}
+	if v3.HBMBytes != 128*GiB {
+		t.Errorf("TPU-v3 HBM = %d, want 128 GiB", v3.HBMBytes)
+	}
+	if v3.MemBandwidth != 4800e9 {
+		t.Errorf("TPU-v3 mem BW = %g, want 4800 GB/s", v3.MemBandwidth)
+	}
+	if v3.NetBandwidth != 2e9 {
+		t.Errorf("TPU-v3 net BW = %g B/s, want 16 Gb/s = 2e9 B/s", v3.NetBandwidth)
+	}
+	for _, s := range []Spec{v2, v3} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := TPUv2()
+	bad.FLOPS = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero FLOPS must be rejected")
+	}
+	bad = TPUv2()
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name must be rejected")
+	}
+}
+
+func TestHomogeneousArray(t *testing.T) {
+	a, err := NewHomogeneous(TPUv3(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 128 {
+		t.Errorf("Size = %d", a.Size())
+	}
+	if a.Heterogeneous() {
+		t.Error("homogeneous array must not report heterogeneous")
+	}
+	if got, want := a.TotalFLOPS(), 128*420e12; got != want {
+		t.Errorf("TotalFLOPS = %g, want %g", got, want)
+	}
+	if a.Name != "128×tpu-v3" {
+		t.Errorf("Name = %q", a.Name)
+	}
+	if _, err := NewHomogeneous(TPUv3(), 0); err == nil {
+		t.Error("zero-size array must be rejected")
+	}
+}
+
+func TestHeterogeneousArray(t *testing.T) {
+	// The paper's evaluation array (Section 6.2).
+	a, err := NewHeterogeneous(GroupSpec{TPUv2(), 128}, GroupSpec{TPUv3(), 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 256 {
+		t.Errorf("Size = %d, want 256", a.Size())
+	}
+	if !a.Heterogeneous() {
+		t.Error("mixed array must report heterogeneous")
+	}
+	names := a.SpecNames()
+	if len(names) != 2 || names[0] != "tpu-v2" || names[1] != "tpu-v3" {
+		t.Errorf("SpecNames = %v", names)
+	}
+	if _, err := NewHeterogeneous(); err == nil {
+		t.Error("empty group list must be rejected")
+	}
+	if _, err := NewHeterogeneous(GroupSpec{TPUv2(), 0}); err == nil {
+		t.Error("zero-count group must be rejected")
+	}
+}
+
+func TestGroupAggregates(t *testing.T) {
+	g := &Group{Accel: []Spec{TPUv2(), TPUv2(), TPUv3()}}
+	if got := g.ComputeDensity(); got != 2*180e12+420e12 {
+		t.Errorf("ComputeDensity = %g", got)
+	}
+	if got := g.NetBandwidth(); got != 2*1e9+2e9 {
+		t.Errorf("NetBandwidth = %g", got)
+	}
+	if got := g.MemBandwidth(); got != 2*2400e9+4800e9 {
+		t.Errorf("MemBandwidth = %g", got)
+	}
+	if got := g.HBMBytes(); got != 2*64*GiB+128*GiB {
+		t.Errorf("HBMBytes = %d", got)
+	}
+	if g.Homogeneous() {
+		t.Error("mixed group must not be homogeneous")
+	}
+	if g.String() != "2×tpu-v2+1×tpu-v3" {
+		t.Errorf("String = %q", g.String())
+	}
+}
+
+func TestBisectHeterogeneousSplitsBySpec(t *testing.T) {
+	a, _ := NewHeterogeneous(GroupSpec{TPUv2(), 4}, GroupSpec{TPUv3(), 4})
+	g := &Group{Accel: a.Accel}
+	l, r, err := g.Bisect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Homogeneous() || l.Accel[0].Name != "tpu-v2" || l.Size() != 4 {
+		t.Errorf("left = %v", l)
+	}
+	if !r.Homogeneous() || r.Accel[0].Name != "tpu-v3" || r.Size() != 4 {
+		t.Errorf("right = %v", r)
+	}
+}
+
+func TestBisectHomogeneousSplitsEvenly(t *testing.T) {
+	g := &Group{}
+	for i := 0; i < 8; i++ {
+		g.Accel = append(g.Accel, TPUv3())
+	}
+	l, r, err := g.Bisect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 4 || r.Size() != 4 {
+		t.Errorf("sizes = %d, %d", l.Size(), r.Size())
+	}
+	if _, _, err := (&Group{Accel: []Spec{TPUv2()}}).Bisect(); err == nil {
+		t.Error("singleton bisect must error")
+	}
+}
+
+func TestBuildTreeFull(t *testing.T) {
+	a, _ := NewHomogeneous(TPUv3(), 8)
+	tree, err := BuildTree(a, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 = 2^3 accelerators → depth 4 (root level 1 + 3 splits per path).
+	if got := tree.Depth(); got != 4 {
+		t.Errorf("Depth = %d, want 4", got)
+	}
+	// A full binary tree over 8 leaves has 7 internal nodes.
+	if got := tree.SplitCount(); got != 7 {
+		t.Errorf("SplitCount = %d, want 7", got)
+	}
+	leaves := 0
+	tree.Walk(func(n *Tree) {
+		if n.IsLeaf() {
+			leaves++
+			if n.Group.Size() != 1 {
+				t.Errorf("leaf group size = %d, want 1", n.Group.Size())
+			}
+		}
+	})
+	if leaves != 8 {
+		t.Errorf("leaves = %d, want 8", leaves)
+	}
+}
+
+func TestBuildTreeLevelLimited(t *testing.T) {
+	a, _ := NewHomogeneous(TPUv3(), 16)
+	tree, err := BuildTree(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// maxLevels=2: root (level 1) splits, children (level 2) split,
+	// grandchildren (level 3) stop.
+	if got := tree.Depth(); got != 3 {
+		t.Errorf("Depth = %d, want 3", got)
+	}
+	tree.Walk(func(n *Tree) {
+		if n.Level == 3 && !n.IsLeaf() {
+			t.Error("level-3 node must be a leaf under maxLevels=2")
+		}
+	})
+	if _, err := BuildTree(a, 0); err == nil {
+		t.Error("maxLevels=0 must be rejected")
+	}
+	if _, err := BuildTree(&Array{}, 1); err == nil {
+		t.Error("empty array must be rejected")
+	}
+}
+
+func TestBuildTreePaperArray(t *testing.T) {
+	a, _ := NewHeterogeneous(GroupSpec{TPUv2(), 128}, GroupSpec{TPUv3(), 128})
+	tree, err := BuildTree(a, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 256 = 2^8 accelerators → 8 split levels, depth 9.
+	if got := tree.Depth(); got != 9 {
+		t.Errorf("Depth = %d, want 9", got)
+	}
+	// Top split must separate the two TPU generations.
+	if !tree.Left.Group.Homogeneous() || !tree.Right.Group.Homogeneous() {
+		t.Error("top split of the paper array must be homogeneous per side")
+	}
+	if tree.Left.Group.Accel[0].Name == tree.Right.Group.Accel[0].Name {
+		t.Error("top split must separate the TPU generations")
+	}
+}
+
+// TestPropertyBisectConserves: bisecting any group conserves members,
+// compute density, and bandwidth.
+func TestPropertyBisectConserves(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := &Group{}
+		n := 2 + r.Intn(30)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				g.Accel = append(g.Accel, TPUv2())
+			} else {
+				g.Accel = append(g.Accel, TPUv3())
+			}
+		}
+		l, rr, err := g.Bisect()
+		if err != nil {
+			// Only possible if one spec dominates entirely and the group is
+			// heterogeneous — cannot happen — or size < 2 — cannot happen.
+			return false
+		}
+		if l.Size()+rr.Size() != g.Size() {
+			return false
+		}
+		if l.ComputeDensity()+rr.ComputeDensity() != g.ComputeDensity() {
+			return false
+		}
+		return l.NetBandwidth()+rr.NetBandwidth() == g.NetBandwidth()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTreeLeavesPartition: the leaves of any tree partition the
+// array exactly.
+func TestPropertyTreeLeavesPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(64)
+		a, err := NewHomogeneous(TPUv2(), n)
+		if err != nil {
+			return false
+		}
+		tree, err := BuildTree(a, 1+r.Intn(8))
+		if err != nil {
+			return false
+		}
+		total := 0
+		tree.Walk(func(t *Tree) {
+			if t.IsLeaf() {
+				total += t.Group.Size()
+			}
+		})
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package hardware
+
+// This file provides additional accelerator presets beyond the paper's
+// TPU-v2/v3 (Table 7), modelled on approximate public specifications.
+// They exist so users can explore fleets other than the paper's — the cost
+// model only needs the four numbers each preset carries. Like the paper's
+// own Table 7, these describe boards, not the authors' measurements.
+
+// GPUClassA returns a V100-class GPU board: ≈125 TFLOPS tensor throughput,
+// 32 GB HBM2 at ≈900 GB/s, and a 25 GB/s high-speed link.
+func GPUClassA() Spec {
+	return Spec{
+		Name:         "gpu-class-a",
+		FLOPS:        125 * Tera,
+		HBMBytes:     32 * GiB,
+		MemBandwidth: 900 * Giga,
+		NetBandwidth: 25 * Giga,
+	}
+}
+
+// GPUClassB returns an A100-class GPU board: ≈312 TFLOPS tensor
+// throughput, 80 GB HBM2e at ≈2000 GB/s, and a 50 GB/s link.
+func GPUClassB() Spec {
+	return Spec{
+		Name:         "gpu-class-b",
+		FLOPS:        312 * Tera,
+		HBMBytes:     80 * GiB,
+		MemBandwidth: 2000 * Giga,
+		NetBandwidth: 50 * Giga,
+	}
+}
+
+// EdgeNPU returns a small inference-class NPU pressed into training duty:
+// 8 TFLOPS, 8 GB LPDDR at 60 GB/s, 1 GB/s Ethernet — the regime where
+// memory feasibility and communication dominate every decision.
+func EdgeNPU() Spec {
+	return Spec{
+		Name:         "edge-npu",
+		FLOPS:        8 * Tera,
+		HBMBytes:     8 * GiB,
+		MemBandwidth: 60 * Giga,
+		NetBandwidth: 1 * Giga / 8,
+	}
+}
+
+// Presets returns all built-in accelerator specifications by name.
+func Presets() map[string]Spec {
+	return map[string]Spec{
+		"tpu-v2":      TPUv2(),
+		"tpu-v3":      TPUv3(),
+		"gpu-class-a": GPUClassA(),
+		"gpu-class-b": GPUClassB(),
+		"edge-npu":    EdgeNPU(),
+	}
+}

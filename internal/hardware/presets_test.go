@@ -1,0 +1,25 @@
+package hardware
+
+import "testing"
+
+func TestPresets(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 5 {
+		t.Fatalf("presets = %d, want 5", len(ps))
+	}
+	for name, s := range ps {
+		if s.Name != name {
+			t.Errorf("preset %q has spec name %q", name, s.Name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// Relative ordering of the GPU classes.
+	if GPUClassB().FLOPS <= GPUClassA().FLOPS {
+		t.Error("class B must out-compute class A")
+	}
+	if EdgeNPU().FLOPS >= GPUClassA().FLOPS {
+		t.Error("edge NPU must be the weakest")
+	}
+}

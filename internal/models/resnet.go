@@ -1,0 +1,118 @@
+package models
+
+import (
+	"fmt"
+
+	"accpar/internal/dnn"
+	"accpar/internal/tensor"
+)
+
+// This file builds the ResNet series (He et al. 2016). ResNet-18/34 use
+// basic blocks (two 3×3 convolutions per residual branch); ResNet-50 uses
+// bottleneck blocks (1×1 → 3×3 → 1×1). Stage-entry blocks downsample with
+// stride 2 and carry a 1×1 projection convolution on the shortcut; all other
+// blocks use an identity shortcut. These are exactly the "emerging
+// multi-path patterns" the AccPar multi-path search (Section 5.2) targets.
+
+// resNetStagePlan describes one ResNet variant: blocks per stage and whether
+// blocks are bottlenecks.
+type resNetStagePlan struct {
+	blocks     [4]int
+	bottleneck bool
+}
+
+var resNetPlans = map[string]resNetStagePlan{
+	"resnet18": {blocks: [4]int{2, 2, 2, 2}},
+	"resnet34": {blocks: [4]int{3, 4, 6, 3}},
+	"resnet50": {blocks: [4]int{3, 4, 6, 3}, bottleneck: true},
+}
+
+// resNetStageChannels are the base channel widths of the four stages.
+var resNetStageChannels = [4]int{64, 128, 256, 512}
+
+func convBN(g *dnn.Graph, name string, in dnn.NodeID, out, k, stride, pad int, relu bool) dnn.NodeID {
+	x := g.Add(dnn.Layer{Name: name, Op: dnn.ConvOp{
+		OutChannels: out, KH: k, KW: k, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad,
+	}}, in)
+	x = g.Add(dnn.BatchNorm(name+"_bn"), x)
+	if relu {
+		x = g.Add(dnn.ReLU(name+"_relu"), x)
+	}
+	return x
+}
+
+// basicBlock adds a two-conv residual block; project selects a 1×1
+// stride-`stride` projection shortcut (stage entries) vs identity.
+func basicBlock(g *dnn.Graph, name string, in dnn.NodeID, channels, stride int, project bool) dnn.NodeID {
+	branch := convBN(g, name+"_a", in, channels, 3, stride, 1, true)
+	branch = convBN(g, name+"_b", branch, channels, 3, 1, 1, false)
+	shortcut := in
+	if project {
+		shortcut = convBN(g, name+"_proj", in, channels, 1, stride, 0, false)
+	}
+	x := g.Add(dnn.Layer{Name: name + "_add", Op: dnn.AddOp{}}, shortcut, branch)
+	return g.Add(dnn.ReLU(name+"_relu"), x)
+}
+
+// bottleneckBlock adds a 1×1→3×3→1×1 residual block with 4× channel
+// expansion on the last convolution.
+func bottleneckBlock(g *dnn.Graph, name string, in dnn.NodeID, channels, stride int, project bool) dnn.NodeID {
+	branch := convBN(g, name+"_a", in, channels, 1, stride, 0, true)
+	branch = convBN(g, name+"_b", branch, channels, 3, 1, 1, true)
+	branch = convBN(g, name+"_c", branch, channels*4, 1, 1, 0, false)
+	shortcut := in
+	if project {
+		shortcut = convBN(g, name+"_proj", in, channels*4, 1, stride, 0, false)
+	}
+	x := g.Add(dnn.Layer{Name: name + "_add", Op: dnn.AddOp{}}, shortcut, branch)
+	return g.Add(dnn.ReLU(name+"_relu"), x)
+}
+
+func buildResNet(name string, batch int) (*dnn.Graph, error) {
+	plan, ok := resNetPlans[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown ResNet variant %q", name)
+	}
+	g := dnn.NewGraph(name)
+	in := g.Input("data", tensor.NewShape(batch, 3, 224, 224))
+	x := convBN(g, "cv1", in, 64, 7, 2, 3, true) // 64×112×112
+	x = maxPool(g, "pool1", x, 2, 2)             // 64×56×56 (3×3/2 pad1 in the original; 2×2/2 keeps shapes identical here)
+
+	for stage := 0; stage < 4; stage++ {
+		channels := resNetStageChannels[stage]
+		for blk := 0; blk < plan.blocks[stage]; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			// The first block of every stage projects: stage 0 because the
+			// bottleneck expands channels (ResNet-50) — for basic blocks
+			// stage 0 block 0 keeps 64 channels so identity suffices.
+			project := blk == 0 && (stage > 0 || plan.bottleneck)
+			blockName := fmt.Sprintf("res%d%c", stage+2, 'a'+blk)
+			if plan.bottleneck {
+				x = bottleneckBlock(g, blockName, x, channels, stride, project)
+			} else {
+				x = basicBlock(g, blockName, x, channels, stride, project)
+			}
+		}
+	}
+
+	x = g.Add(dnn.Layer{Name: "gap", Op: dnn.PoolOp{Global: true}}, x)
+	x = g.Add(dnn.Flatten("flat"), x)
+	x = g.Add(dnn.Layer{Name: "fc", Op: dnn.FCOp{OutFeatures: 1000}}, x)
+	g.Add(dnn.Softmax("prob"), x)
+	if err := g.Infer(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ResNet18 builds the 18-layer residual network (basic blocks, 2-2-2-2).
+func ResNet18(batch int) (*dnn.Graph, error) { return buildResNet("resnet18", batch) }
+
+// ResNet34 builds the 34-layer residual network (basic blocks, 3-4-6-3).
+func ResNet34(batch int) (*dnn.Graph, error) { return buildResNet("resnet34", batch) }
+
+// ResNet50 builds the 50-layer residual network (bottleneck blocks, 3-4-6-3).
+func ResNet50(batch int) (*dnn.Graph, error) { return buildResNet("resnet50", batch) }

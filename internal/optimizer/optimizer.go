@@ -1,0 +1,116 @@
+// Package optimizer models the weight-update phase of the training
+// algorithms the paper's Section 2.1 cites — Gradient Descent (plain and
+// stochastic/mini-batch), Momentum (Qian 1999) and Adam (Kingma & Ba
+// 2014). The three tensor phases (forward, backward, gradient) dominate
+// training cost, but the update step contributes per-weight arithmetic,
+// memory traffic and — for stateful optimizers — extra resident state that
+// scales with each accelerator's kernel shard: replicated kernels (Type-I)
+// pay the full update everywhere, sharded kernels (Type-II/III) amortize
+// it.
+package optimizer
+
+import (
+	"fmt"
+
+	"accpar/internal/tensor"
+)
+
+// Kind selects the update rule.
+type Kind int
+
+const (
+	// SGD is plain (mini-batch) stochastic gradient descent:
+	// θ ← θ − η·∇θ. One multiply and one subtract per weight; no state.
+	SGD Kind = iota
+	// Momentum keeps a velocity tensor: v ← γ·v + η·∇θ; θ ← θ − v
+	// (Section 2.1's example). One state tensor per weight.
+	Momentum
+	// Adam keeps first and second moment tensors and performs
+	// bias-corrected adaptive updates. Two state tensors per weight.
+	Adam
+)
+
+// Kinds lists the supported optimizers.
+var Kinds = []Kind{SGD, Momentum, Adam}
+
+// String names the optimizer.
+func (k Kind) String() string {
+	switch k {
+	case SGD:
+		return "sgd"
+	case Momentum:
+		return "momentum"
+	case Adam:
+		return "adam"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Parse converts a name to a Kind.
+func Parse(name string) (Kind, error) {
+	switch name {
+	case "sgd":
+		return SGD, nil
+	case "momentum":
+		return Momentum, nil
+	case "adam":
+		return Adam, nil
+	default:
+		return 0, fmt.Errorf("optimizer: unknown kind %q (want sgd, momentum or adam)", name)
+	}
+}
+
+// StateTensors returns the number of persistent per-weight state tensors
+// (velocity for Momentum; first and second moments for Adam).
+func (k Kind) StateTensors() int {
+	switch k {
+	case SGD:
+		return 0
+	case Momentum:
+		return 1
+	case Adam:
+		return 2
+	default:
+		panic(fmt.Sprintf("optimizer: invalid kind %d", int(k)))
+	}
+}
+
+// FLOPsPerWeight returns the arithmetic operations per weight element of
+// one update step.
+func (k Kind) FLOPsPerWeight() int64 {
+	switch k {
+	case SGD:
+		// θ − η·g: one multiply, one subtract.
+		return 2
+	case Momentum:
+		// v ← γ·v + η·g (2 mult + 1 add); θ ← θ − v (1 sub).
+		return 4
+	case Adam:
+		// m ← β1·m + (1−β1)·g (3); v ← β2·v + (1−β2)·g² (4);
+		// bias corrections (2); θ ← θ − η·m̂/(√v̂+ε) (≈4: sqrt, add,
+		// divide, subtract — counting sqrt and divide as one op each).
+		return 13
+	default:
+		panic(fmt.Sprintf("optimizer: invalid kind %d", int(k)))
+	}
+}
+
+// UpdateFLOPs returns the arithmetic of one update step over the given
+// number of kernel elements.
+func (k Kind) UpdateFLOPs(weights int64) int64 {
+	return weights * k.FLOPsPerWeight()
+}
+
+// UpdateMemBytes returns the HBM traffic of one update step: read weight +
+// read gradient + read/write each state tensor + write weight.
+func (k Kind) UpdateMemBytes(weights int64) int64 {
+	tensors := int64(3 + 2*k.StateTensors()) // W read, g read, W write, states RW
+	return weights * tensors * tensor.BytesPerElement
+}
+
+// StateBytes returns the persistent optimizer-state footprint for the
+// given number of kernel elements.
+func (k Kind) StateBytes(weights int64) int64 {
+	return weights * int64(k.StateTensors()) * tensor.BytesPerElement
+}

@@ -1,0 +1,46 @@
+package optimizer
+
+import "testing"
+
+func TestNamesAndParse(t *testing.T) {
+	for _, k := range Kinds {
+		name := k.String()
+		got, err := Parse(name)
+		if err != nil || got != k {
+			t.Errorf("Parse(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := Parse("rmsprop"); err == nil {
+		t.Error("unknown optimizer must error")
+	}
+}
+
+func TestStateTensors(t *testing.T) {
+	if SGD.StateTensors() != 0 || Momentum.StateTensors() != 1 || Adam.StateTensors() != 2 {
+		t.Error("state tensor counts wrong")
+	}
+}
+
+func TestFLOPOrdering(t *testing.T) {
+	if !(SGD.FLOPsPerWeight() < Momentum.FLOPsPerWeight() && Momentum.FLOPsPerWeight() < Adam.FLOPsPerWeight()) {
+		t.Error("per-weight FLOPs must grow SGD < Momentum < Adam")
+	}
+}
+
+func TestUpdateScaling(t *testing.T) {
+	const w = 1000
+	if SGD.UpdateFLOPs(w) != 2000 {
+		t.Errorf("SGD update FLOPs = %d", SGD.UpdateFLOPs(w))
+	}
+	// SGD: W read + g read + W write = 3 tensors × 2 bytes.
+	if SGD.UpdateMemBytes(w) != 3*2*w {
+		t.Errorf("SGD update bytes = %d", SGD.UpdateMemBytes(w))
+	}
+	// Adam: 3 + 2·2 = 7 tensors.
+	if Adam.UpdateMemBytes(w) != 7*2*w {
+		t.Errorf("Adam update bytes = %d", Adam.UpdateMemBytes(w))
+	}
+	if SGD.StateBytes(w) != 0 || Momentum.StateBytes(w) != 2*w || Adam.StateBytes(w) != 4*w {
+		t.Error("state bytes wrong")
+	}
+}

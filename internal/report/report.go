@@ -1,0 +1,150 @@
+// Package report renders experiment results as aligned ASCII tables and
+// series, the output format of the benchmark harness and the
+// figure-regeneration binaries.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Headers) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddFloatRow formats floats with the given precision after a leading
+// label cell.
+func (t *Table) AddFloatRow(label string, precision int, values ...float64) {
+	cells := []string{label}
+	for _, v := range values {
+		cells = append(cells, fmt.Sprintf("%.*f", precision, v))
+	}
+	t.AddRow(cells...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", width[i]+2, cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is a labelled sequence of (x, y) points, the text analogue of one
+// curve in a figure.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []string
+	Y      []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x string, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// String renders the series as "name: x=y x=y ...".
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", s.Name)
+	for i := range s.X {
+		fmt.Fprintf(&b, " %s=%.2f", s.X[i], s.Y[i])
+	}
+	return b.String()
+}
+
+// Bars renders a crude horizontal bar chart for quick terminal inspection:
+// one row per point, scaled to maxWidth characters.
+func (s *Series) Bars(maxWidth int) string {
+	var max float64
+	for _, y := range s.Y {
+		if y > max {
+			max = y
+		}
+	}
+	if max <= 0 || maxWidth < 1 {
+		return ""
+	}
+	var b strings.Builder
+	for i := range s.X {
+		n := int(s.Y[i] / max * float64(maxWidth))
+		fmt.Fprintf(&b, "%-10s %6.2f |%s\n", s.X[i], s.Y[i], strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// Geomean returns the geometric mean of the series values. It panics if any
+// value is non-positive — speedups are positive by construction.
+func Geomean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, v := range values {
+		if v <= 0 {
+			panic(fmt.Sprintf("report: non-positive value %g in geomean", v))
+		}
+		prod *= v
+	}
+	return math.Pow(prod, 1.0/float64(len(values)))
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("My Table", "model", "speedup")
+	tbl.AddRow("alexnet", "2.98")
+	tbl.AddFloatRow("vgg16", 2, 16.14)
+	s := tbl.String()
+	for _, want := range []string{"My Table", "model", "speedup", "alexnet", "2.98", "vgg16", "16.14"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	// Columns align: every row has the same rendered width.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	w := len(lines[1]) // header line
+	for i := 3; i < len(lines); i++ {
+		if len(lines[i]) != w {
+			t.Errorf("line %d width %d != header width %d", i, len(lines[i]), w)
+		}
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.AddRow("only")
+	if got := len(tbl.Rows[0]); got != 3 {
+		t.Errorf("padded row has %d cells, want 3", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "AccPar"}
+	s.Add("h=2", 2.5)
+	s.Add("h=3", 4.1)
+	out := s.String()
+	if !strings.Contains(out, "AccPar:") || !strings.Contains(out, "h=2=2.50") {
+		t.Errorf("series rendering: %q", out)
+	}
+	bars := s.Bars(20)
+	if !strings.Contains(bars, "#") {
+		t.Errorf("bars rendering: %q", bars)
+	}
+	// The larger value gets the full width.
+	lines := strings.Split(strings.TrimRight(bars, "\n"), "\n")
+	if !strings.HasSuffix(lines[1], strings.Repeat("#", 20)) {
+		t.Errorf("max bar not full width: %q", lines[1])
+	}
+}
+
+func TestSeriesBarsDegenerate(t *testing.T) {
+	s := &Series{Name: "empty"}
+	if s.Bars(10) != "" {
+		t.Error("empty series must render no bars")
+	}
+	s.Add("x", 0)
+	if s.Bars(10) != "" {
+		t.Error("all-zero series must render no bars")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %g, want 4", g)
+	}
+	if g := Geomean([]float64{3}); g != 3 {
+		t.Errorf("geomean(3) = %g", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %g, want 0", g)
+	}
+}
+
+func TestGeomeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("geomean of a non-positive value must panic")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}

@@ -1,0 +1,190 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"accpar/internal/cost"
+	"accpar/internal/exec"
+)
+
+// This file extends the distributed executor to convolutional chains
+// (stride 1, symmetric padding): the same three representations apply with
+// the batch dimension in place of matrix rows and the channel dimension in
+// place of matrix columns (Section 3.3: the partition types carry over to
+// convolutions unchanged).
+
+// ConvLayer is one convolution of the chain.
+type ConvLayer struct {
+	Di, Do, K, Pad int
+	Type           cost.Type
+	Share0         int
+}
+
+// ConvChain is a distributed convolutional workload over H×W feature maps.
+type ConvChain struct {
+	B, H, W int
+	Layers  []ConvLayer
+}
+
+// Validate rejects degenerate chains. Only shape-preserving convolutions
+// (pad = (K−1)/2, odd K) are supported, so boundary extents stay fixed
+// along the chain.
+func (c *ConvChain) Validate() error {
+	if c.B < 2 || c.H < 1 || c.W < 1 || len(c.Layers) == 0 {
+		return fmt.Errorf("runtime: conv chain needs B ≥ 2, positive spatial extents and layers")
+	}
+	for i, l := range c.Layers {
+		if l.K%2 == 0 || l.Pad != (l.K-1)/2 {
+			return fmt.Errorf("runtime: conv layer %d must be shape-preserving (odd K, pad (K−1)/2)", i)
+		}
+		if i > 0 && c.Layers[i-1].Do != l.Di {
+			return fmt.Errorf("runtime: conv layer %d input %d does not match previous output %d", i, l.Di, c.Layers[i-1].Do)
+		}
+		total := map[cost.Type]int{cost.TypeI: c.B, cost.TypeII: l.Di, cost.TypeIII: l.Do}[l.Type]
+		if l.Share0 <= 0 || l.Share0 >= total {
+			return fmt.Errorf("runtime: conv layer %d share %d outside (0,%d)", i, l.Share0, total)
+		}
+	}
+	return nil
+}
+
+// ConvResult carries the combined outputs.
+type ConvResult struct {
+	FNext *exec.Tensor4
+	DW    []*exec.Tensor4
+	EIn   *exec.Tensor4
+}
+
+// tshard is a worker's view of one 4D boundary tensor.
+type tshard struct {
+	repr  repr
+	split int
+	data  *exec.Tensor4
+}
+
+// tsliceFor cuts a full feature map into the worker's block: reprRows
+// slices the batch dimension, reprCols the channel dimension.
+func tsliceFor(full *exec.Tensor4, r repr, split, w int) *exec.Tensor4 {
+	switch r {
+	case reprFull:
+		out := exec.NewTensor4(full.N0, full.N1, full.N2, full.N3)
+		copy(out.Data, full.Data)
+		return out
+	case reprRows:
+		if w == 0 {
+			return full.Slice0(0, split)
+		}
+		return full.Slice0(split, full.N0)
+	case reprCols:
+		if w == 0 {
+			return full.Slice1(0, split)
+		}
+		return full.Slice1(split, full.N1)
+	default:
+		panic("runtime: bad repr")
+	}
+}
+
+// convWorker executes the conv chain on one side of a tensor fabric.
+type convWorker struct {
+	id      int
+	chain   *ConvChain
+	fabric  *TensorFabric
+	weights []*exec.Tensor4
+	inputs  []tshard
+	fnext   tshard
+	dW      []*exec.Tensor4
+	eIn     tshard
+	err     error
+}
+
+// TensorFabric is the 4D analogue of Fabric.
+type TensorFabric struct {
+	chans [2]chan *exec.Tensor4
+	mu    sync.Mutex
+	total int64
+}
+
+// NewTensorFabric builds a buffered tensor fabric.
+func NewTensorFabric() *TensorFabric {
+	return &TensorFabric{chans: [2]chan *exec.Tensor4{
+		make(chan *exec.Tensor4, 64), make(chan *exec.Tensor4, 64),
+	}}
+}
+
+// Send transmits t from worker w to its peer.
+func (f *TensorFabric) Send(w int, t *exec.Tensor4) {
+	f.mu.Lock()
+	f.total += int64(len(t.Data))
+	f.mu.Unlock()
+	f.chans[1-w] <- t
+}
+
+// Recv receives the next tensor addressed to worker w.
+func (f *TensorFabric) Recv(w int) *exec.Tensor4 { return <-f.chans[w] }
+
+// TotalElements returns all elements moved.
+func (f *TensorFabric) TotalElements() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// tconvert moves a 4D boundary tensor to the target representation.
+// Conversions between batch and channel shards go through the "assemble the
+// missing block" exchanges exactly as in the matrix executor.
+func (wk *convWorker) tconvert(s tshard, target repr, targetSplit, totalB, totalC int) tshard {
+	w := wk.id
+	if s.repr == target && (s.repr == reprFull || s.split == targetSplit) {
+		return s
+	}
+	if s.repr == reprFull {
+		return tshard{repr: target, split: targetSplit, data: tsliceFor(s.data, target, targetSplit, w)}
+	}
+	// General path: expand to full by exchanging blocks, then slice. This
+	// moves slightly more than the minimal corner for rows↔cols
+	// conversions; the conv runtime validates numerics, while exact traffic
+	// accounting is covered by the matrix executor.
+	var full *exec.Tensor4
+	switch s.repr {
+	case reprRows:
+		wk.fabric.Send(w, s.data)
+		peer := wk.fabric.Recv(w)
+		full = exec.NewTensor4(totalB, totalC, s.data.N2, s.data.N3)
+		if w == 0 {
+			full.Embed0(0, s.data)
+			full.Embed0(s.split, peer)
+		} else {
+			full.Embed0(0, peer)
+			full.Embed0(totalB-s.data.N0, s.data)
+		}
+	case reprCols:
+		wk.fabric.Send(w, s.data)
+		peer := wk.fabric.Recv(w)
+		full = exec.NewTensor4(totalB, totalC, s.data.N2, s.data.N3)
+		if w == 0 {
+			full.Embed1(0, s.data)
+			full.Embed1(s.split, peer)
+		} else {
+			full.Embed1(0, peer)
+			full.Embed1(totalC-s.data.N1, s.data)
+		}
+	}
+	if target == reprFull {
+		return tshard{repr: reprFull, data: full}
+	}
+	return tshard{repr: target, split: targetSplit, data: tsliceFor(full, target, targetSplit, w)}
+}
+
+// tpsum exchanges full-shape partial sums and returns the combination.
+func (wk *convWorker) tpsum(partial *exec.Tensor4) *exec.Tensor4 {
+	cl := exec.NewTensor4(partial.N0, partial.N1, partial.N2, partial.N3)
+	copy(cl.Data, partial.Data)
+	wk.fabric.Send(wk.id, cl)
+	peer := wk.fabric.Recv(wk.id)
+	out := exec.NewTensor4(partial.N0, partial.N1, partial.N2, partial.N3)
+	copy(out.Data, partial.Data)
+	out.Add(peer)
+	return out
+}

@@ -1,0 +1,235 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"accpar/internal/cost"
+	"accpar/internal/exec"
+)
+
+// convInSplit returns the worker-0 extent of a conv layer's input
+// representation.
+func convInSplit(l ConvLayer) int {
+	switch l.Type {
+	case cost.TypeI, cost.TypeII:
+		return l.Share0
+	default:
+		return 0
+	}
+}
+
+// convOutSplit returns the worker-0 extent of a conv layer's output
+// representation.
+func convOutSplit(l ConvLayer) int {
+	switch l.Type {
+	case cost.TypeI, cost.TypeIII:
+		return l.Share0
+	default:
+		return 0
+	}
+}
+
+// convWeightShard cuts a full kernel (Ci,Co,K,K) per the type: replicated
+// for Type-I, in-channel block for Type-II, out-channel block for Type-III.
+func convWeightShard(full *exec.Tensor4, l ConvLayer, w int) *exec.Tensor4 {
+	switch l.Type {
+	case cost.TypeI:
+		out := exec.NewTensor4(full.N0, full.N1, full.N2, full.N3)
+		copy(out.Data, full.Data)
+		return out
+	case cost.TypeII:
+		if w == 0 {
+			return full.Slice0(0, l.Share0)
+		}
+		return full.Slice0(l.Share0, full.N0)
+	case cost.TypeIII:
+		if w == 0 {
+			return full.Slice1(0, l.Share0)
+		}
+		return full.Slice1(l.Share0, full.N1)
+	default:
+		panic("runtime: bad type")
+	}
+}
+
+// run executes the conv worker's side of one training iteration.
+func (wk *convWorker) run(f0, eLast *exec.Tensor4) {
+	defer func() {
+		if r := recover(); r != nil {
+			wk.err = fmt.Errorf("runtime: conv worker %d: %v", wk.id, r)
+		}
+	}()
+	c := wk.chain
+	n := len(c.Layers)
+	wk.inputs = make([]tshard, n)
+	wk.dW = make([]*exec.Tensor4, n)
+
+	first := c.Layers[0]
+	cur := tshard{
+		repr:  inputRepr(first.Type),
+		split: convInSplit(first),
+		data:  tsliceFor(f0, inputRepr(first.Type), convInSplit(first), wk.id),
+	}
+	for l := 0; l < n; l++ {
+		layer := c.Layers[l]
+		if l > 0 {
+			cur = wk.tconvert(cur, inputRepr(layer.Type), convInSplit(layer), c.B, layer.Di)
+		}
+		wk.inputs[l] = cur
+		switch layer.Type {
+		case cost.TypeI:
+			cur = tshard{repr: reprRows, split: layer.Share0,
+				data: exec.ConvForward(cur.data, wk.weights[l], layer.Pad)}
+		case cost.TypeII:
+			partial := exec.ConvForward(cur.data, wk.weights[l], layer.Pad)
+			cur = tshard{repr: reprFull, data: wk.tpsum(partial)}
+		case cost.TypeIII:
+			cur = tshard{repr: reprCols, split: layer.Share0,
+				data: exec.ConvForward(cur.data, wk.weights[l], layer.Pad)}
+		}
+	}
+	wk.fnext = cur
+
+	last := c.Layers[n-1]
+	e := tshard{
+		repr:  outputRepr(last.Type),
+		split: convOutSplit(last),
+		data:  tsliceFor(eLast, outputRepr(last.Type), convOutSplit(last), wk.id),
+	}
+	for l := n - 1; l >= 0; l-- {
+		layer := c.Layers[l]
+		// Gradient.
+		partial := exec.ConvGradient(wk.inputs[l].data, e.data, layer.Pad, layer.K, layer.K)
+		if layer.Type == cost.TypeI {
+			wk.dW[l] = wk.tpsum(partial)
+		} else {
+			wk.dW[l] = partial
+		}
+		// Backward.
+		var eprev tshard
+		switch layer.Type {
+		case cost.TypeI:
+			eprev = tshard{repr: reprRows, split: layer.Share0,
+				data: exec.ConvBackward(e.data, wk.weights[l], layer.Pad, c.H, c.W)}
+		case cost.TypeII:
+			eprev = tshard{repr: reprCols, split: layer.Share0,
+				data: exec.ConvBackward(e.data, wk.weights[l], layer.Pad, c.H, c.W)}
+		case cost.TypeIII:
+			p := exec.ConvBackward(e.data, wk.weights[l], layer.Pad, c.H, c.W)
+			eprev = tshard{repr: reprFull, data: wk.tpsum(p)}
+		}
+		if l > 0 {
+			prev := c.Layers[l-1]
+			eprev = wk.tconvert(eprev, outputRepr(prev.Type), convOutSplit(prev), c.B, layer.Di)
+		}
+		e = eprev
+	}
+	wk.eIn = e
+}
+
+// tgather reassembles a full tensor from two shards.
+func tgather(a, b tshard, n0, n1, n2, n3 int) *exec.Tensor4 {
+	switch a.repr {
+	case reprFull:
+		out := exec.NewTensor4(n0, n1, n2, n3)
+		copy(out.Data, a.data.Data)
+		return out
+	case reprRows:
+		out := exec.NewTensor4(n0, n1, n2, n3)
+		out.Embed0(0, a.data)
+		out.Embed0(a.split, b.data)
+		return out
+	case reprCols:
+		out := exec.NewTensor4(n0, n1, n2, n3)
+		out.Embed1(0, a.data)
+		out.Embed1(a.split, b.data)
+		return out
+	default:
+		panic("runtime: bad repr")
+	}
+}
+
+// RunConv executes one distributed training iteration of the conv chain.
+func RunConv(c *ConvChain, f0 *exec.Tensor4, weights []*exec.Tensor4, eLast *exec.Tensor4) (*ConvResult, *TensorFabric, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := len(c.Layers)
+	if len(weights) != n {
+		return nil, nil, fmt.Errorf("runtime: %d weights for %d conv layers", len(weights), n)
+	}
+
+	fabric := NewTensorFabric()
+	workers := [2]*convWorker{}
+	for w := 0; w < 2; w++ {
+		wk := &convWorker{id: w, chain: c, fabric: fabric}
+		for l := 0; l < n; l++ {
+			wk.weights = append(wk.weights, convWeightShard(weights[l], c.Layers[l], w))
+		}
+		workers[w] = wk
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(wk *convWorker) {
+			defer wg.Done()
+			wk.run(f0, eLast)
+		}(workers[w])
+	}
+	wg.Wait()
+	for _, wk := range workers {
+		if wk.err != nil {
+			return nil, nil, wk.err
+		}
+	}
+
+	last := c.Layers[n-1]
+	res := &ConvResult{
+		FNext: tgather(workers[0].fnext, workers[1].fnext, c.B, last.Do, c.H, c.W),
+		EIn:   tgather(workers[0].eIn, workers[1].eIn, c.B, c.Layers[0].Di, c.H, c.W),
+	}
+	for l := 0; l < n; l++ {
+		layer := c.Layers[l]
+		a, b := workers[0].dW[l], workers[1].dW[l]
+		switch layer.Type {
+		case cost.TypeI:
+			out := exec.NewTensor4(layer.Di, layer.Do, layer.K, layer.K)
+			copy(out.Data, a.Data)
+			res.DW = append(res.DW, out)
+		case cost.TypeII:
+			out := exec.NewTensor4(layer.Di, layer.Do, layer.K, layer.K)
+			out.Embed0(0, a)
+			out.Embed0(layer.Share0, b)
+			res.DW = append(res.DW, out)
+		case cost.TypeIII:
+			out := exec.NewTensor4(layer.Di, layer.Do, layer.K, layer.K)
+			out.Embed1(0, a)
+			out.Embed1(layer.Share0, b)
+			res.DW = append(res.DW, out)
+		}
+	}
+	return res, fabric, nil
+}
+
+// ConvReferenceChain computes the same iteration on one device.
+func ConvReferenceChain(c *ConvChain, f0 *exec.Tensor4, weights []*exec.Tensor4, eLast *exec.Tensor4) (*ConvResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(c.Layers)
+	acts := make([]*exec.Tensor4, n)
+	cur := f0
+	for l := 0; l < n; l++ {
+		acts[l] = cur
+		cur = exec.ConvForward(cur, weights[l], c.Layers[l].Pad)
+	}
+	res := &ConvResult{FNext: cur, DW: make([]*exec.Tensor4, n)}
+	e := eLast
+	for l := n - 1; l >= 0; l-- {
+		res.DW[l] = exec.ConvGradient(acts[l], e, c.Layers[l].Pad, c.Layers[l].K, c.Layers[l].K)
+		e = exec.ConvBackward(e, weights[l], c.Layers[l].Pad, c.H, c.W)
+	}
+	res.EIn = e
+	return res, nil
+}

@@ -1,0 +1,152 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"accpar/internal/cost"
+	"accpar/internal/exec"
+)
+
+func buildConvInputs(c *ConvChain, seed int64) (f0 *exec.Tensor4, weights []*exec.Tensor4, eLast *exec.Tensor4) {
+	rnd := rand.New(rand.NewSource(seed))
+	f0 = exec.NewTensor4(c.B, c.Layers[0].Di, c.H, c.W)
+	f0.Randomize(rnd)
+	for _, l := range c.Layers {
+		w := exec.NewTensor4(l.Di, l.Do, l.K, l.K)
+		w.Randomize(rnd)
+		weights = append(weights, w)
+	}
+	last := c.Layers[len(c.Layers)-1]
+	eLast = exec.NewTensor4(c.B, last.Do, c.H, c.W)
+	eLast.Randomize(rnd)
+	return
+}
+
+func maxConvDeviation(a, b *ConvResult) float64 {
+	max := a.FNext.MaxAbsDiff(b.FNext)
+	if d := a.EIn.MaxAbsDiff(b.EIn); d > max {
+		max = d
+	}
+	for l := range a.DW {
+		if d := a.DW[l].MaxAbsDiff(b.DW[l]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TestConvChainUniformTypes: each uniform assignment reproduces the
+// reference conv training step.
+func TestConvChainUniformTypes(t *testing.T) {
+	for _, ty := range cost.Types {
+		c := &ConvChain{B: 4, H: 5, W: 5, Layers: []ConvLayer{
+			{Di: 3, Do: 4, K: 3, Pad: 1, Type: ty, Share0: shareFor(ty, 4, 3, 4)},
+			{Di: 4, Do: 6, K: 3, Pad: 1, Type: ty, Share0: shareFor(ty, 4, 4, 6)},
+		}}
+		f0, weights, eLast := buildConvInputs(c, 5)
+		dist, fabric, err := RunConv(c, f0, weights, eLast)
+		if err != nil {
+			t.Fatalf("%v: %v", ty, err)
+		}
+		ref, err := ConvReferenceChain(c, f0, weights, eLast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev := maxConvDeviation(dist, ref); dev > tol {
+			t.Errorf("%v: deviation %g", ty, dev)
+		}
+		if fabric.TotalElements() == 0 {
+			t.Errorf("%v: no fabric traffic — partition types always exchange something", ty)
+		}
+	}
+}
+
+func shareFor(ty cost.Type, b, di, do int) int {
+	switch ty {
+	case cost.TypeI:
+		return b / 2
+	case cost.TypeII:
+		return di / 2
+	default:
+		return do / 2
+	}
+}
+
+// TestConvChainMixedTypes: random mixed assignments across a 3-layer conv
+// chain reproduce the reference.
+func TestConvChainMixedTypes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		c := &ConvChain{B: 4, H: 4, W: 4}
+		di := 2 + rnd.Intn(3)
+		for l := 0; l < 3; l++ {
+			do := 2 + rnd.Intn(4)
+			ty := cost.Types[rnd.Intn(3)]
+			var share int
+			switch ty {
+			case cost.TypeI:
+				share = 2
+			case cost.TypeII:
+				share = 1 + rnd.Intn(di-1)
+			case cost.TypeIII:
+				share = 1 + rnd.Intn(do-1)
+			}
+			c.Layers = append(c.Layers, ConvLayer{Di: di, Do: do, K: 3, Pad: 1, Type: ty, Share0: share})
+			di = do
+		}
+		f0, weights, eLast := buildConvInputs(c, int64(trial))
+		dist, _, err := RunConv(c, f0, weights, eLast)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, c.Layers, err)
+		}
+		ref, err := ConvReferenceChain(c, f0, weights, eLast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev := maxConvDeviation(dist, ref); dev > tol {
+			t.Errorf("trial %d (%+v): deviation %g", trial, c.Layers, dev)
+		}
+	}
+}
+
+// TestConvChainValidation: unsupported configurations are rejected.
+func TestConvChainValidation(t *testing.T) {
+	ok := &ConvChain{B: 4, H: 4, W: 4, Layers: []ConvLayer{{Di: 2, Do: 2, K: 3, Pad: 1, Type: cost.TypeI, Share0: 2}}}
+	f0, weights, eLast := buildConvInputs(ok, 1)
+	badK := &ConvChain{B: 4, H: 4, W: 4, Layers: []ConvLayer{{Di: 2, Do: 2, K: 2, Pad: 0, Type: cost.TypeI, Share0: 2}}}
+	if _, _, err := RunConv(badK, f0, weights, eLast); err == nil {
+		t.Error("even kernel must be rejected")
+	}
+	badPad := &ConvChain{B: 4, H: 4, W: 4, Layers: []ConvLayer{{Di: 2, Do: 2, K: 3, Pad: 0, Type: cost.TypeI, Share0: 2}}}
+	if _, _, err := RunConv(badPad, f0, weights, eLast); err == nil {
+		t.Error("non-preserving padding must be rejected")
+	}
+	if _, _, err := RunConv(ok, f0, nil, eLast); err == nil {
+		t.Error("missing weights must be rejected")
+	}
+}
+
+// TestConvMatchesLayerwiseExec: the chain executor and the per-layer exec
+// validator agree on a single layer.
+func TestConvMatchesLayerwiseExec(t *testing.T) {
+	c := &ConvChain{B: 4, H: 5, W: 5, Layers: []ConvLayer{
+		{Di: 3, Do: 4, K: 3, Pad: 1, Type: cost.TypeII, Share0: 1},
+	}}
+	f0, weights, eLast := buildConvInputs(c, 9)
+	dist, _, err := RunConv(c, f0, weights, eLast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := &exec.ConvState{F: f0, W: weights[0], E: eLast, Pad: 1}
+	ref := exec.ConvReference(state)
+	if d := dist.FNext.MaxAbsDiff(ref.FNext); d > tol {
+		t.Errorf("FNext deviation %g vs exec reference", d)
+	}
+	if d := dist.DW[0].MaxAbsDiff(ref.DW); d > tol {
+		t.Errorf("DW deviation %g vs exec reference", d)
+	}
+	if d := dist.EIn.MaxAbsDiff(ref.EPrev); d > tol {
+		t.Errorf("EIn deviation %g vs exec reference", d)
+	}
+}

@@ -1,0 +1,227 @@
+package runtime
+
+import (
+	"fmt"
+
+	"accpar/internal/exec"
+)
+
+// shard is a worker's view of one boundary tensor: the representation plus
+// the extent of worker 0's leading block (rows or columns). Worker 0 always
+// owns the leading block, worker 1 the trailing one.
+type shard struct {
+	repr  repr
+	split int // worker 0's row count (reprRows) or column count (reprCols)
+	data  *exec.Matrix
+}
+
+// worker executes the chain on one side of the fabric.
+type worker struct {
+	id     int
+	chain  *Chain
+	fabric *Fabric
+	// weights[l] is the worker's kernel shard of layer l.
+	weights []*exec.Matrix
+	// saved forward inputs per layer, in the layer's input representation.
+	inputs []shard
+	// outputs of the run.
+	fnext shard
+	dW    []*exec.Matrix
+	eIn   shard
+	err   error
+}
+
+// sliceFor cuts a full global matrix into the worker's block for the given
+// representation and split.
+func sliceFor(full *exec.Matrix, r repr, split, w int) *exec.Matrix {
+	switch r {
+	case reprFull:
+		return full.Clone()
+	case reprRows:
+		if w == 0 {
+			return full.RowSlice(0, split)
+		}
+		return full.RowSlice(split, full.Rows)
+	case reprCols:
+		if w == 0 {
+			return full.ColSlice(0, split)
+		}
+		return full.ColSlice(split, full.Cols)
+	default:
+		panic("runtime: bad repr")
+	}
+}
+
+// convert moves a boundary tensor from its current shard form to the
+// target representation with the target split, exchanging exactly the
+// missing pieces over the fabric. totalRows and totalCols describe the
+// global tensor.
+func (wk *worker) convert(s shard, target repr, targetSplit, totalRows, totalCols int, tag string) shard {
+	w := wk.id
+	if s.repr == target {
+		if s.repr == reprFull || s.split == targetSplit {
+			return s
+		}
+		// Same kind, different split: exchange the delta block.
+		switch s.repr {
+		case reprRows:
+			lo, hi := s.split, targetSplit
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			// The delta rows [lo,hi) move from one worker to the other.
+			growing := (w == 0) == (targetSplit > s.split)
+			if growing {
+				delta := wk.fabric.Recv(w)
+				out := exec.NewMatrix(blockExtent(targetSplit, totalRows, w), totalCols)
+				if w == 0 {
+					out.SetRowSlice(0, s.data)
+					out.SetRowSlice(s.split, delta)
+				} else {
+					out.SetRowSlice(0, delta)
+					out.SetRowSlice(hi-lo, s.data)
+				}
+				return shard{repr: reprRows, split: targetSplit, data: out}
+			}
+			var delta, keep *exec.Matrix
+			if w == 0 {
+				keep = s.data.RowSlice(0, targetSplit)
+				delta = s.data.RowSlice(targetSplit, s.data.Rows)
+			} else {
+				delta = s.data.RowSlice(0, hi-lo)
+				keep = s.data.RowSlice(hi-lo, s.data.Rows)
+			}
+			wk.fabric.Send(w, tag, delta)
+			return shard{repr: reprRows, split: targetSplit, data: keep}
+		case reprCols:
+			growing := (w == 0) == (targetSplit > s.split)
+			lo, hi := s.split, targetSplit
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if growing {
+				delta := wk.fabric.Recv(w)
+				out := exec.NewMatrix(totalRows, blockExtent(targetSplit, totalCols, w))
+				if w == 0 {
+					out.SetColSlice(0, s.data)
+					out.SetColSlice(s.split, delta)
+				} else {
+					out.SetColSlice(0, delta)
+					out.SetColSlice(hi-lo, s.data)
+				}
+				return shard{repr: reprCols, split: targetSplit, data: out}
+			}
+			var delta, keep *exec.Matrix
+			if w == 0 {
+				keep = s.data.ColSlice(0, targetSplit)
+				delta = s.data.ColSlice(targetSplit, s.data.Cols)
+			} else {
+				delta = s.data.ColSlice(0, hi-lo)
+				keep = s.data.ColSlice(hi-lo, s.data.Cols)
+			}
+			wk.fabric.Send(w, tag, delta)
+			return shard{repr: reprCols, split: targetSplit, data: keep}
+		}
+	}
+
+	switch {
+	case s.repr == reprFull:
+		// Slicing a replicated tensor is free.
+		return shard{repr: target, split: targetSplit, data: sliceFor(s.data, target, targetSplit, w)}
+
+	case s.repr == reprRows && target == reprFull:
+		// Exchange whole row blocks (β·A per receiver — Table 5 patterns
+		// (c)/(i) and the E side of (d)/(e)).
+		wk.fabric.Send(w, tag, s.data)
+		peer := wk.fabric.Recv(w)
+		out := exec.NewMatrix(totalRows, totalCols)
+		if w == 0 {
+			out.SetRowSlice(0, s.data)
+			out.SetRowSlice(s.split, peer)
+		} else {
+			out.SetRowSlice(0, peer)
+			out.SetRowSlice(totalRows-s.data.Rows, s.data)
+		}
+		return shard{repr: reprFull, data: out}
+
+	case s.repr == reprCols && target == reprFull:
+		wk.fabric.Send(w, tag, s.data)
+		peer := wk.fabric.Recv(w)
+		out := exec.NewMatrix(totalRows, totalCols)
+		if w == 0 {
+			out.SetColSlice(0, s.data)
+			out.SetColSlice(s.split, peer)
+		} else {
+			out.SetColSlice(0, peer)
+			out.SetColSlice(totalCols-s.data.Cols, s.data)
+		}
+		return shard{repr: reprFull, data: out}
+
+	case s.repr == reprRows && target == reprCols:
+		// Keep own rows in own column range; receive the peer's rows
+		// restricted to own columns (the αβ corner — Table 5 patterns
+		// (b)/(g)).
+		myCols := colRange(targetSplit, totalCols, w)
+		peerCols := colRange(targetSplit, totalCols, 1-w)
+		wk.fabric.Send(w, tag, s.data.ColSlice(peerCols[0], peerCols[1]))
+		peer := wk.fabric.Recv(w)
+		out := exec.NewMatrix(totalRows, myCols[1]-myCols[0])
+		own := s.data.ColSlice(myCols[0], myCols[1])
+		if w == 0 {
+			out.SetRowSlice(0, own)
+			out.SetRowSlice(s.split, peer)
+		} else {
+			out.SetRowSlice(0, peer)
+			out.SetRowSlice(totalRows-own.Rows, own)
+		}
+		return shard{repr: reprCols, split: targetSplit, data: out}
+
+	case s.repr == reprCols && target == reprRows:
+		myRows := rowRange(targetSplit, totalRows, w)
+		peerRows := rowRange(targetSplit, totalRows, 1-w)
+		wk.fabric.Send(w, tag, s.data.RowSlice(peerRows[0], peerRows[1]))
+		peer := wk.fabric.Recv(w)
+		out := exec.NewMatrix(myRows[1]-myRows[0], totalCols)
+		own := s.data.RowSlice(myRows[0], myRows[1])
+		if w == 0 {
+			out.SetColSlice(0, own)
+			out.SetColSlice(s.split, peer)
+		} else {
+			out.SetColSlice(0, peer)
+			out.SetColSlice(totalCols-own.Cols, own)
+		}
+		return shard{repr: reprRows, split: targetSplit, data: out}
+	}
+	panic(fmt.Sprintf("runtime: unhandled conversion %v→%v", s.repr, target))
+}
+
+func rowRange(split, total, w int) [2]int {
+	if w == 0 {
+		return [2]int{0, split}
+	}
+	return [2]int{split, total}
+}
+
+func colRange(split, total, w int) [2]int {
+	if w == 0 {
+		return [2]int{0, split}
+	}
+	return [2]int{split, total}
+}
+
+func blockExtent(split, total, w int) int {
+	if w == 0 {
+		return split
+	}
+	return total - split
+}
+
+// psumExchange swaps full-shape partial sums and returns their sum — the
+// intra-layer communication of Table 4.
+func (wk *worker) psumExchange(partial *exec.Matrix, tag string) *exec.Matrix {
+	wk.fabric.Send(wk.id, tag, partial.Clone())
+	peer := wk.fabric.Recv(wk.id)
+	out := partial.Clone()
+	out.Add(peer)
+	return out
+}

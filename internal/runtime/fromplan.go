@@ -1,0 +1,71 @@
+package runtime
+
+import (
+	"fmt"
+
+	"accpar/internal/core"
+	"accpar/internal/cost"
+	"accpar/internal/dnn"
+	"accpar/internal/trace"
+)
+
+// ChainFromPlan converts the root split of a partitioning plan into an
+// executable distributed chain — the bridge that proves a plan actually
+// runs: the planner's per-layer types and ratio become concrete integer
+// shares, the chain executes on two workers with real arithmetic, and the
+// result must match the unpartitioned reference.
+//
+// Only all-FC linear networks (e.g. the "mlp" model) are supported: the
+// executor works on matrix chains. The plan's α is rounded to integer
+// shares per partitioned dimension; Type-I layers share one batch split so
+// that I→I boundaries stay conversion-free, exactly as the paper's "same
+// partition parameter per dimension" assumption prescribes.
+func ChainFromPlan(plan *core.Plan) (*Chain, error) {
+	if plan.Root.IsLeaf() {
+		return nil, fmt.Errorf("runtime: single-accelerator plan has no split to execute")
+	}
+	units := plan.Network.Units()
+	c := &Chain{B: plan.Network.Batch}
+	alpha := plan.Root.Alpha
+	bShare := trace.SplitShare(c.B, alpha)
+	if bShare == 0 {
+		bShare = 1
+	}
+	if bShare == c.B {
+		bShare = c.B - 1
+	}
+	for i, u := range units {
+		if u.Virtual {
+			return nil, fmt.Errorf("runtime: network %q has junctions; the chain executor needs a linear all-FC model", plan.Network.Name)
+		}
+		if u.Kind != dnn.KindFC {
+			return nil, fmt.Errorf("runtime: layer %q is %v; the chain executor needs FC layers", u.Name, u.Kind)
+		}
+		t := plan.Root.Types[i]
+		l := Layer{Di: u.Dims.Di, Do: u.Dims.Do, Type: t}
+		switch t {
+		case cost.TypeI:
+			l.Share0 = bShare
+		case cost.TypeII:
+			l.Share0 = clampShare(trace.SplitShare(l.Di, alpha), l.Di)
+		case cost.TypeIII:
+			l.Share0 = clampShare(trace.SplitShare(l.Do, alpha), l.Do)
+		}
+		c.Layers = append(c.Layers, l)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// clampShare keeps an integer share strictly inside (0, total).
+func clampShare(s, total int) int {
+	if s < 1 {
+		return 1
+	}
+	if s >= total {
+		return total - 1
+	}
+	return s
+}

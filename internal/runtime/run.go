@@ -1,0 +1,256 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"accpar/internal/cost"
+	"accpar/internal/exec"
+)
+
+// inSplit returns the worker-0 extent of a layer's input representation.
+func inSplit(l Layer, b int) int {
+	switch l.Type {
+	case cost.TypeI:
+		return l.Share0
+	case cost.TypeII:
+		return l.Share0
+	case cost.TypeIII:
+		return 0 // full: split unused
+	default:
+		panic("runtime: bad type")
+	}
+}
+
+// outSplit returns the worker-0 extent of a layer's output representation.
+func outSplit(l Layer) int {
+	switch l.Type {
+	case cost.TypeI:
+		return l.Share0
+	case cost.TypeII:
+		return 0 // full
+	case cost.TypeIII:
+		return l.Share0
+	default:
+		panic("runtime: bad type")
+	}
+}
+
+// weightShard cuts a full kernel into the worker's block for the layer's
+// type: replicated for Type-I, row block for Type-II, column block for
+// Type-III.
+func weightShard(full *exec.Matrix, l Layer, w int) *exec.Matrix {
+	switch l.Type {
+	case cost.TypeI:
+		return full.Clone()
+	case cost.TypeII:
+		if w == 0 {
+			return full.RowSlice(0, l.Share0)
+		}
+		return full.RowSlice(l.Share0, full.Rows)
+	case cost.TypeIII:
+		if w == 0 {
+			return full.ColSlice(0, l.Share0)
+		}
+		return full.ColSlice(l.Share0, full.Cols)
+	default:
+		panic("runtime: bad type")
+	}
+}
+
+// run executes the worker's side of one training iteration.
+func (wk *worker) run(f0, eLast *exec.Matrix) {
+	defer func() {
+		if r := recover(); r != nil {
+			wk.err = fmt.Errorf("runtime: worker %d: %v", wk.id, r)
+		}
+	}()
+	c := wk.chain
+	n := len(c.Layers)
+	wk.inputs = make([]shard, n)
+	wk.dW = make([]*exec.Matrix, n)
+
+	// Forward sweep. The initial input distribution is outside the cost
+	// model: each worker starts with its slice of F_0 in the first layer's
+	// required representation.
+	first := c.Layers[0]
+	cur := shard{
+		repr:  inputRepr(first.Type),
+		split: inSplit(first, c.B),
+		data:  sliceFor(f0, inputRepr(first.Type), inSplit(first, c.B), wk.id),
+	}
+	for l := 0; l < n; l++ {
+		layer := c.Layers[l]
+		if l > 0 {
+			cur = wk.convert(cur, inputRepr(layer.Type), inSplit(layer, c.B), c.B, layer.Di,
+				fmt.Sprintf("xferF/%d", l))
+		}
+		wk.inputs[l] = cur
+		switch layer.Type {
+		case cost.TypeI:
+			cur = shard{repr: reprRows, split: layer.Share0, data: exec.MatMul(cur.data, wk.weights[l])}
+		case cost.TypeII:
+			partial := exec.MatMul(cur.data, wk.weights[l])
+			cur = shard{repr: reprFull, data: wk.psumExchange(partial, fmt.Sprintf("psumF/%d", l))}
+		case cost.TypeIII:
+			cur = shard{repr: reprCols, split: layer.Share0, data: exec.MatMul(cur.data, wk.weights[l])}
+		}
+	}
+	wk.fnext = cur
+
+	// Backward and gradient sweep. The loss-side error arrives already
+	// distributed in the last layer's output representation.
+	last := c.Layers[n-1]
+	e := shard{
+		repr:  outputRepr(last.Type),
+		split: outSplit(last),
+		data:  sliceFor(eLast, outputRepr(last.Type), outSplit(last), wk.id),
+	}
+	for l := n - 1; l >= 0; l-- {
+		layer := c.Layers[l]
+		// Gradient: ΔW_l = F_l^T × E_{l+1} over the worker's shards.
+		partial := exec.MatMul(exec.Transpose(wk.inputs[l].data), e.data)
+		if layer.Type == cost.TypeI {
+			wk.dW[l] = wk.psumExchange(partial, fmt.Sprintf("psumW/%d", l))
+		} else {
+			wk.dW[l] = partial
+		}
+		// Backward: E_l = E_{l+1} × W_l^T.
+		var eprev shard
+		switch layer.Type {
+		case cost.TypeI:
+			eprev = shard{repr: reprRows, split: layer.Share0,
+				data: exec.MatMul(e.data, exec.Transpose(wk.weights[l]))}
+		case cost.TypeII:
+			eprev = shard{repr: reprCols, split: layer.Share0,
+				data: exec.MatMul(e.data, exec.Transpose(wk.weights[l]))}
+		case cost.TypeIII:
+			p := exec.MatMul(e.data, exec.Transpose(wk.weights[l]))
+			eprev = shard{repr: reprFull, data: wk.psumExchange(p, fmt.Sprintf("psumE/%d", l))}
+		}
+		if l > 0 {
+			prev := c.Layers[l-1]
+			eprev = wk.convert(eprev, outputRepr(prev.Type), outSplit(prev), c.B, layer.Di,
+				fmt.Sprintf("xferE/%d", l))
+		}
+		e = eprev
+	}
+	wk.eIn = e
+}
+
+// gather reassembles a full global matrix from the two workers' shards.
+func gather(a, b shard, rows, cols int) *exec.Matrix {
+	switch a.repr {
+	case reprFull:
+		return a.data.Clone()
+	case reprRows:
+		out := exec.NewMatrix(rows, cols)
+		out.SetRowSlice(0, a.data)
+		out.SetRowSlice(a.split, b.data)
+		return out
+	case reprCols:
+		out := exec.NewMatrix(rows, cols)
+		out.SetColSlice(0, a.data)
+		out.SetColSlice(a.split, b.data)
+		return out
+	default:
+		panic("runtime: bad repr")
+	}
+}
+
+// Run executes one distributed training iteration of the chain: f0 is the
+// global input feature map (B × Di_0), weights the full per-layer kernels,
+// eLast the global loss-side error (B × Do_last). It returns the combined
+// results and the instrumented fabric.
+func Run(c *Chain, f0 *exec.Matrix, weights []*exec.Matrix, eLast *exec.Matrix) (*Result, *Fabric, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := len(c.Layers)
+	if len(weights) != n {
+		return nil, nil, fmt.Errorf("runtime: %d weights for %d layers", len(weights), n)
+	}
+	if f0.Rows != c.B || f0.Cols != c.Layers[0].Di {
+		return nil, nil, fmt.Errorf("runtime: input shape %dx%d, want %dx%d", f0.Rows, f0.Cols, c.B, c.Layers[0].Di)
+	}
+	last := c.Layers[n-1]
+	if eLast.Rows != c.B || eLast.Cols != last.Do {
+		return nil, nil, fmt.Errorf("runtime: error shape %dx%d, want %dx%d", eLast.Rows, eLast.Cols, c.B, last.Do)
+	}
+	for l, w := range weights {
+		if w.Rows != c.Layers[l].Di || w.Cols != c.Layers[l].Do {
+			return nil, nil, fmt.Errorf("runtime: weight %d shape %dx%d, want %dx%d",
+				l, w.Rows, w.Cols, c.Layers[l].Di, c.Layers[l].Do)
+		}
+	}
+
+	fabric := NewFabric()
+	workers := [2]*worker{}
+	for w := 0; w < 2; w++ {
+		wk := &worker{id: w, chain: c, fabric: fabric}
+		for l := 0; l < n; l++ {
+			wk.weights = append(wk.weights, weightShard(weights[l], c.Layers[l], w))
+		}
+		workers[w] = wk
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(wk *worker) {
+			defer wg.Done()
+			wk.run(f0, eLast)
+		}(workers[w])
+	}
+	wg.Wait()
+	for _, wk := range workers {
+		if wk.err != nil {
+			return nil, nil, wk.err
+		}
+	}
+
+	res := &Result{
+		FNext: gather(workers[0].fnext, workers[1].fnext, c.B, last.Do),
+		EIn:   gather(workers[0].eIn, workers[1].eIn, c.B, c.Layers[0].Di),
+	}
+	for l := 0; l < n; l++ {
+		a, b := workers[0].dW[l], workers[1].dW[l]
+		switch c.Layers[l].Type {
+		case cost.TypeI:
+			res.DW = append(res.DW, a.Clone()) // replicated: both hold the full gradient
+		case cost.TypeII:
+			out := exec.NewMatrix(c.Layers[l].Di, c.Layers[l].Do)
+			out.SetRowSlice(0, a)
+			out.SetRowSlice(c.Layers[l].Share0, b)
+			res.DW = append(res.DW, out)
+		case cost.TypeIII:
+			out := exec.NewMatrix(c.Layers[l].Di, c.Layers[l].Do)
+			out.SetColSlice(0, a)
+			out.SetColSlice(c.Layers[l].Share0, b)
+			res.DW = append(res.DW, out)
+		}
+	}
+	return res, fabric, nil
+}
+
+// Reference computes the same iteration on a single device.
+func Reference(c *Chain, f0 *exec.Matrix, weights []*exec.Matrix, eLast *exec.Matrix) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(c.Layers)
+	acts := make([]*exec.Matrix, n)
+	cur := f0
+	for l := 0; l < n; l++ {
+		acts[l] = cur
+		cur = exec.MatMul(cur, weights[l])
+	}
+	res := &Result{FNext: cur, DW: make([]*exec.Matrix, n)}
+	e := eLast
+	for l := n - 1; l >= 0; l-- {
+		res.DW[l] = exec.MatMul(exec.Transpose(acts[l]), e)
+		e = exec.MatMul(e, exec.Transpose(weights[l]))
+	}
+	res.EIn = e
+	return res, nil
+}

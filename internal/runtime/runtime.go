@@ -1,0 +1,159 @@
+// Package runtime is a reference distributed executor: it runs one real
+// training iteration of a fully-connected chain on two worker goroutines
+// that hold only their tensor shards and move every remote byte through an
+// instrumented channel fabric. It exists to close the loop between the
+// paper's algebra and its cost model with an actual execution:
+//
+//   - numerics: the sharded, exchanging execution reproduces the
+//     single-device reference bit-for-bit (up to float64 reassociation);
+//   - traffic: the bytes counted on the fabric equal the Table 4
+//     (intra-layer partial sums) and Table 5 (inter-layer conversions)
+//     amounts evaluated at the exact integer shares.
+//
+// The executor supports arbitrary per-layer partition-type assignments,
+// which makes it an end-to-end check that the three types *compose* across
+// layer boundaries exactly as the inter-layer conversion table claims.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"accpar/internal/cost"
+	"accpar/internal/exec"
+)
+
+// Fabric connects the two workers. Every transfer is tagged and counted.
+type Fabric struct {
+	chans [2]chan *exec.Matrix
+
+	mu    sync.Mutex
+	sent  [2]int64 // elements sent by worker w
+	byTag map[string]int64
+}
+
+// NewFabric builds a fabric with enough buffering that the two symmetric
+// workers never deadlock on paired exchanges.
+func NewFabric() *Fabric {
+	return &Fabric{
+		chans: [2]chan *exec.Matrix{
+			make(chan *exec.Matrix, 64),
+			make(chan *exec.Matrix, 64),
+		},
+		byTag: map[string]int64{},
+	}
+}
+
+// Send transmits m from worker w to its peer under the given tag.
+func (f *Fabric) Send(w int, tag string, m *exec.Matrix) {
+	f.mu.Lock()
+	f.sent[w] += int64(len(m.Data))
+	f.byTag[tag] += int64(len(m.Data))
+	f.mu.Unlock()
+	f.chans[1-w] <- m
+}
+
+// Recv receives the next matrix addressed to worker w.
+func (f *Fabric) Recv(w int) *exec.Matrix {
+	return <-f.chans[w]
+}
+
+// TotalElements returns all elements moved across the fabric.
+func (f *Fabric) TotalElements() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sent[0] + f.sent[1]
+}
+
+// ElementsByTag returns a copy of the per-tag counters.
+func (f *Fabric) ElementsByTag() map[string]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int64, len(f.byTag))
+	for k, v := range f.byTag {
+		out[k] = v
+	}
+	return out
+}
+
+// Layer is one FC layer of the chain with its assignment: the full weight
+// (sharded internally per the type) and the owned share of the partitioned
+// dimension for worker 0.
+type Layer struct {
+	Di, Do int
+	Type   cost.Type
+	Share0 int // worker 0's share of the partitioned dimension
+}
+
+// Chain is the distributed workload: batch size, layers, and the input and
+// loss-side error tensors.
+type Chain struct {
+	B      int
+	Layers []Layer
+}
+
+// Validate rejects degenerate chains.
+func (c *Chain) Validate() error {
+	if c.B < 2 || len(c.Layers) == 0 {
+		return fmt.Errorf("runtime: chain needs B ≥ 2 and at least one layer")
+	}
+	for i, l := range c.Layers {
+		if i > 0 && c.Layers[i-1].Do != l.Di {
+			return fmt.Errorf("runtime: layer %d input %d does not match previous output %d", i, l.Di, c.Layers[i-1].Do)
+		}
+		total := map[cost.Type]int{cost.TypeI: c.B, cost.TypeII: l.Di, cost.TypeIII: l.Do}[l.Type]
+		if l.Share0 <= 0 || l.Share0 >= total {
+			return fmt.Errorf("runtime: layer %d share %d outside (0,%d)", i, l.Share0, total)
+		}
+	}
+	return nil
+}
+
+// Result carries the combined outputs of one distributed iteration.
+type Result struct {
+	// FNext is the final layer's output feature map.
+	FNext *exec.Matrix
+	// DW are the weight gradients per layer.
+	DW []*exec.Matrix
+	// EIn is the error propagated back to the chain input.
+	EIn *exec.Matrix
+}
+
+// repr tags how a worker currently holds a boundary tensor.
+type repr int
+
+const (
+	reprRows repr = iota // owns a row (batch) slice
+	reprCols             // owns a column (feature) slice
+	reprFull             // holds the full tensor
+)
+
+// outputRepr is the representation layer type t produces for F_{l+1}
+// (and symmetrically the representation in which E_{l+1} must arrive).
+func outputRepr(t cost.Type) repr {
+	switch t {
+	case cost.TypeI:
+		return reprRows
+	case cost.TypeII:
+		return reprFull // after the forward psum exchange
+	case cost.TypeIII:
+		return reprCols
+	default:
+		panic("runtime: bad type")
+	}
+}
+
+// inputRepr is the representation layer type t consumes for F_l (and the
+// representation in which it produces E_l).
+func inputRepr(t cost.Type) repr {
+	switch t {
+	case cost.TypeI:
+		return reprRows
+	case cost.TypeII:
+		return reprCols
+	case cost.TypeIII:
+		return reprFull
+	default:
+		panic("runtime: bad type")
+	}
+}

@@ -1,0 +1,234 @@
+package runtime
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"accpar/internal/cost"
+	"accpar/internal/exec"
+	"accpar/internal/tensor"
+)
+
+// buildInputs creates random global tensors for a chain.
+func buildInputs(c *Chain, seed int64) (f0 *exec.Matrix, weights []*exec.Matrix, eLast *exec.Matrix) {
+	rnd := rand.New(rand.NewSource(seed))
+	f0 = exec.NewMatrix(c.B, c.Layers[0].Di)
+	f0.Randomize(rnd)
+	for _, l := range c.Layers {
+		w := exec.NewMatrix(l.Di, l.Do)
+		w.Randomize(rnd)
+		weights = append(weights, w)
+	}
+	eLast = exec.NewMatrix(c.B, c.Layers[len(c.Layers)-1].Do)
+	eLast.Randomize(rnd)
+	return
+}
+
+// maxDeviation compares distributed and reference results.
+func maxDeviation(a, b *Result) float64 {
+	max := a.FNext.MaxAbsDiff(b.FNext)
+	if d := a.EIn.MaxAbsDiff(b.EIn); d > max {
+		max = d
+	}
+	for l := range a.DW {
+		if d := a.DW[l].MaxAbsDiff(b.DW[l]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+const tol = 1e-8
+
+// TestUniformTypeEquivalenceAndTraffic: for each uniform type assignment,
+// the distributed execution matches the reference and the fabric counters
+// match the cost model's Table 4 amounts exactly (no conversions occur
+// between same-type layers with consistent shares).
+func TestUniformTypeEquivalenceAndTraffic(t *testing.T) {
+	chainFor := func(ty cost.Type) *Chain {
+		share := map[cost.Type][]int{
+			cost.TypeI:   {4, 4, 4}, // B share (must agree across Type-I layers)
+			cost.TypeII:  {3, 4, 2}, // Di shares
+			cost.TypeIII: {4, 2, 5}, // Do shares
+		}[ty]
+		return &Chain{B: 8, Layers: []Layer{
+			{Di: 6, Do: 8, Type: ty, Share0: share[0]},
+			{Di: 8, Do: 4, Type: ty, Share0: share[1]},
+			{Di: 4, Do: 10, Type: ty, Share0: share[2]},
+		}}
+	}
+	for _, ty := range cost.Types {
+		c := chainFor(ty)
+		if ty == cost.TypeII {
+			// Type-II shares are of Di; pick any valid values.
+			c.Layers[0].Share0, c.Layers[1].Share0, c.Layers[2].Share0 = 3, 4, 2
+		}
+		f0, weights, eLast := buildInputs(c, 42)
+		dist, fabric, err := Run(c, f0, weights, eLast)
+		if err != nil {
+			t.Fatalf("%v: %v", ty, err)
+		}
+		ref, err := Reference(c, f0, weights, eLast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev := maxDeviation(dist, ref); dev > tol {
+			t.Errorf("%v: deviation %g", ty, dev)
+		}
+
+		// Traffic: only intra-layer psum exchanges, 2×Table 4 per layer
+		// (both directions).
+		var want int64
+		for _, l := range c.Layers {
+			want += 2 * cost.IntraCommElements(ty, tensor.FC(c.B, l.Di, l.Do))
+		}
+		// For Type-II, inter-layer II→II boundaries also move the error
+		// tensor (Table 5: total A(E_{l+1}) per boundary); for Type-III,
+		// III→III boundaries move the feature map (total A(F_{l+1})).
+		switch ty {
+		case cost.TypeII, cost.TypeIII:
+			for i := 1; i < len(c.Layers); i++ {
+				want += int64(c.B) * int64(c.Layers[i].Di)
+			}
+		}
+		if got := fabric.TotalElements(); got != want {
+			t.Errorf("%v: fabric moved %d elements, cost model says %d\nby tag: %v",
+				ty, got, want, fabric.ElementsByTag())
+		}
+	}
+}
+
+// TestMixedAssignmentsEquivalence: random per-layer type assignments and
+// shares still reproduce the reference — the types compose across
+// boundaries.
+func TestMixedAssignmentsEquivalence(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		nLayers := 2 + rnd.Intn(3)
+		c := &Chain{B: 4 + 2*rnd.Intn(4)}
+		di := 2 + rnd.Intn(8)
+		bShare := 1 + rnd.Intn(c.B-1) // consistent across Type-I layers
+		for l := 0; l < nLayers; l++ {
+			do := 2 + rnd.Intn(8)
+			ty := cost.Types[rnd.Intn(3)]
+			var share int
+			switch ty {
+			case cost.TypeI:
+				share = bShare
+			case cost.TypeII:
+				share = 1 + rnd.Intn(di-1)
+			case cost.TypeIII:
+				share = 1 + rnd.Intn(do-1)
+			}
+			c.Layers = append(c.Layers, Layer{Di: di, Do: do, Type: ty, Share0: share})
+			di = do
+		}
+		f0, weights, eLast := buildInputs(c, int64(trial))
+		dist, _, err := Run(c, f0, weights, eLast)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, c.Layers, err)
+		}
+		ref, err := Reference(c, f0, weights, eLast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev := maxDeviation(dist, ref); dev > tol {
+			t.Errorf("trial %d (%+v): deviation %g", trial, c.Layers, dev)
+		}
+	}
+}
+
+// TestInterLayerTrafficMatchesTable5: a two-layer I→II chain with
+// proportional shares moves exactly 2αβ·A(F) forward and 2αβ·A(E) backward
+// across the boundary, plus the per-layer psum exchanges.
+func TestInterLayerTrafficMatchesTable5(t *testing.T) {
+	// B = 8 with bShare 2 → α = 1/4; boundary D = 8 with diShare 2 → 1/4.
+	c := &Chain{B: 8, Layers: []Layer{
+		{Di: 4, Do: 8, Type: cost.TypeI, Share0: 2},
+		{Di: 8, Do: 4, Type: cost.TypeII, Share0: 2},
+	}}
+	f0, weights, eLast := buildInputs(c, 7)
+	dist, fabric, err := Run(c, f0, weights, eLast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Reference(c, f0, weights, eLast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev := maxDeviation(dist, ref); dev > tol {
+		t.Fatalf("deviation %g", dev)
+	}
+	byTag := fabric.ElementsByTag()
+	// Boundary tensor A = 8×8 = 64, α = β... here α = 2/8 = 1/4 for rows
+	// and 2/8 = 1/4 for cols. Forward conversion moves
+	// s·(D−c) + (B−s)·c = 2·6 + 6·2 = 24 elements = 2αβ(with α=1/4)·A·...
+	// evaluated exactly from the integer shares.
+	if got := byTag["xferF/1"]; got != 24 {
+		t.Errorf("forward conversion moved %d, want 24", got)
+	}
+	if got := byTag["xferE/1"]; got != 24 {
+		t.Errorf("backward conversion moved %d, want 24", got)
+	}
+	// Layer 0 (Type-I): ΔW psum, 2·A(W_0) = 2·32.
+	if got := byTag["psumW/0"]; got != 64 {
+		t.Errorf("psumW/0 moved %d, want 64", got)
+	}
+	// Layer 1 (Type-II): F psum, 2·A(F_2) = 2·8·4.
+	if got := byTag["psumF/1"]; got != 64 {
+		t.Errorf("psumF/1 moved %d, want 64", got)
+	}
+}
+
+// TestZeroCostTransitions: II→III and III→II boundaries move nothing.
+func TestZeroCostTransitions(t *testing.T) {
+	c := &Chain{B: 6, Layers: []Layer{
+		{Di: 4, Do: 6, Type: cost.TypeIII, Share0: 2},
+		{Di: 6, Do: 4, Type: cost.TypeII, Share0: 2},
+	}}
+	f0, weights, eLast := buildInputs(c, 3)
+	dist, fabric, err := Run(c, f0, weights, eLast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Reference(c, f0, weights, eLast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev := maxDeviation(dist, ref); dev > tol {
+		t.Fatalf("deviation %g", dev)
+	}
+	byTag := fabric.ElementsByTag()
+	for tag, n := range byTag {
+		if strings.HasPrefix(tag, "xfer") && n != 0 {
+			t.Errorf("III→II boundary moved %d elements under %s; Table 5 says 0", n, tag)
+		}
+	}
+}
+
+// TestRunValidation: malformed inputs are rejected.
+func TestRunValidation(t *testing.T) {
+	good := &Chain{B: 4, Layers: []Layer{{Di: 2, Do: 2, Type: cost.TypeI, Share0: 2}}}
+	f0, weights, eLast := buildInputs(good, 1)
+	if _, _, err := Run(&Chain{B: 1, Layers: good.Layers}, f0, weights, eLast); err == nil {
+		t.Error("B=1 must be rejected")
+	}
+	bad := &Chain{B: 4, Layers: []Layer{{Di: 2, Do: 2, Type: cost.TypeI, Share0: 0}}}
+	if _, _, err := Run(bad, f0, weights, eLast); err == nil {
+		t.Error("zero share must be rejected")
+	}
+	mismatch := &Chain{B: 4, Layers: []Layer{
+		{Di: 2, Do: 3, Type: cost.TypeI, Share0: 2},
+		{Di: 4, Do: 2, Type: cost.TypeI, Share0: 2},
+	}}
+	if _, _, err := Run(mismatch, f0, weights, eLast); err == nil {
+		t.Error("dimension mismatch must be rejected")
+	}
+	if _, _, err := Run(good, f0, nil, eLast); err == nil {
+		t.Error("missing weights must be rejected")
+	}
+	if _, _, err := Run(good, exec.NewMatrix(3, 2), weights, eLast); err == nil {
+		t.Error("wrong input shape must be rejected")
+	}
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+
+	"accpar/internal/cost"
+	"accpar/internal/optimizer"
+)
+
+// TestOptimizerCostOrdering: heavier optimizers take longer and leave a
+// larger memory footprint, in both the simulator and the residency model.
+func TestOptimizerCostOrdering(t *testing.T) {
+	net := netFor(t, "alexnet", 8)
+	s := Split{Net: net, Types: allTypes(net, cost.TypeI), Alpha: 0.5}
+	var prevTime float64
+	var prevMem int64
+	for i, k := range optimizer.Kinds {
+		res, err := Simulate(s, twoV3(), Config{Optimizer: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if res.Time < prevTime {
+				t.Errorf("%v iteration time %g below %v's %g", k, res.Time, optimizer.Kinds[i-1], prevTime)
+			}
+			if res.PeakMemBytes[0] <= prevMem && k.StateTensors() > optimizer.Kinds[i-1].StateTensors() {
+				t.Errorf("%v peak mem %d not above %v's %d", k, res.PeakMemBytes[0], optimizer.Kinds[i-1], prevMem)
+			}
+		}
+		prevTime, prevMem = res.Time, res.PeakMemBytes[0]
+	}
+}
+
+// TestUpdateShardedVsReplicated: under Type-II the per-machine update work
+// is roughly halved relative to Type-I at α=0.5 (sharded vs replicated
+// kernels).
+func TestUpdateShardedVsReplicated(t *testing.T) {
+	net := netFor(t, "vgg11", 8)
+	machines := twoV3()
+	b1 := newBuilder(Split{Net: net, Types: allTypes(net, cost.TypeI), Alpha: 0.5}, machines)
+	b2 := newBuilder(Split{Net: net, Types: allTypes(net, cost.TypeII), Alpha: 0.5}, machines)
+	var w1, w2 int64
+	for u := range net.Units() {
+		w1 += b1.weightShard(u, 0)
+		w2 += b2.weightShard(u, 0)
+	}
+	if w1 != net.ParameterCount() {
+		t.Errorf("Type-I shard = %d, want full model %d", w1, net.ParameterCount())
+	}
+	lo := net.ParameterCount() * 45 / 100
+	hi := net.ParameterCount() * 55 / 100
+	if w2 < lo || w2 > hi {
+		t.Errorf("Type-II shard = %d, want ≈ half of %d", w2, net.ParameterCount())
+	}
+}

@@ -1,0 +1,570 @@
+// Package sim is the trace-driven performance simulator (Section 6.1 of
+// the paper): it derives per-layer, per-phase tensor access and computation
+// traces with package trace, builds the dependency graph of one training
+// iteration (forward chain → backward chain → gradient computations, with
+// partial-sum exchanges and inter-layer conversion transfers), and
+// schedules it over the compute, HBM and network resources of the two
+// accelerator groups of a bi-partition.
+//
+// The simulator cross-validates the analytic hierarchical cost model in
+// internal/core at the granularity the paper's cost tables are derived
+// for — one split between two accelerator groups — and additionally models
+// pipelining effects the analytic model ignores (e.g. gradient computation
+// overlapping the backward sweep, communication/computation overlap when
+// Config.OverlapComm is set).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"accpar/internal/cost"
+	"accpar/internal/dnn"
+	"accpar/internal/optimizer"
+	"accpar/internal/tensor"
+	"accpar/internal/trace"
+)
+
+// Machine models one accelerator group of the split.
+type Machine struct {
+	// Name labels the group in reports.
+	Name string
+	// Compute is aggregate peak FLOPS.
+	Compute float64
+	// MemBW is aggregate HBM bandwidth, bytes/s.
+	MemBW float64
+	// NetBW is aggregate network bandwidth, bytes/s.
+	NetBW float64
+	// HBMBytes is aggregate memory capacity.
+	HBMBytes int64
+}
+
+// Validate rejects non-positive resources.
+func (m Machine) Validate() error {
+	if m.Compute <= 0 || m.MemBW <= 0 || m.NetBW <= 0 {
+		return fmt.Errorf("sim: machine %q has non-positive resources", m.Name)
+	}
+	return nil
+}
+
+// Config tunes the simulation.
+type Config struct {
+	// OverlapComm lets network transfers proceed concurrently with compute
+	// on the same group (dedicated DMA engines). When false, a group
+	// serializes its transfers with its computation, matching the analytic
+	// model's assumption.
+	OverlapComm bool
+	// Optimizer selects the weight-update rule appended after each layer's
+	// gradient phase. Default SGD.
+	Optimizer optimizer.Kind
+	// RecordTimeline captures per-task start/end times into
+	// Result.Timeline (off by default: large models schedule thousands of
+	// tasks).
+	RecordTimeline bool
+}
+
+// Split is the workload description: a network, the per-unit partition
+// types and the ratio of the first machine.
+type Split struct {
+	Net   *dnn.Network
+	Types []cost.Type
+	Alpha float64
+}
+
+// Result is the outcome of one simulated training iteration.
+type Result struct {
+	// Time is the makespan in seconds.
+	Time float64
+	// ComputeBusy, NetBusy are per-machine resource busy times.
+	ComputeBusy [2]float64
+	NetBusy     [2]float64
+	// ComputeUtil is ComputeBusy/Time per machine.
+	ComputeUtil [2]float64
+	// RemoteBytes is the total network traffic per machine.
+	RemoteBytes [2]float64
+	// FLOPs is the total arithmetic performed per machine.
+	FLOPs [2]float64
+	// PeakMemBytes approximates each machine's residency: kernels,
+	// activations kept for backward, and error tensors for its shards.
+	PeakMemBytes [2]int64
+	// MemOK reports whether PeakMemBytes fits each machine's HBM.
+	MemOK [2]bool
+	// Tasks is the number of scheduled tasks.
+	Tasks int
+	// Timeline holds per-task timings when Config.RecordTimeline is set,
+	// in schedule order.
+	Timeline []TaskTiming
+}
+
+// TaskTiming is one scheduled task's placement.
+type TaskTiming struct {
+	Name    string
+	Machine int
+	OnNet   bool
+	Start   float64
+	End     float64
+}
+
+// task is one schedulable item.
+type task struct {
+	name    string
+	machine int
+	// onNet selects the NIC resource instead of compute.
+	onNet bool
+	// flops and localBytes give a compute task's roofline duration:
+	// max(flops/Compute, localBytes/MemBW).
+	flops      float64
+	localBytes float64
+	// remoteBytes gives a transfer task's duration: remoteBytes/NetBW.
+	remoteBytes float64
+	deps        []*task
+	done        float64
+	scheduled   bool
+}
+
+// Simulate runs one training iteration of the split on the two machines.
+func Simulate(s Split, machines [2]Machine, cfg Config) (*Result, error) {
+	if err := s.Net.Validate(); err != nil {
+		return nil, err
+	}
+	for _, m := range machines {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	units := s.Net.Units()
+	if len(s.Types) != len(units) {
+		return nil, fmt.Errorf("sim: %d types for %d units", len(s.Types), len(units))
+	}
+	if s.Alpha <= 0 || s.Alpha >= 1 {
+		return nil, fmt.Errorf("sim: alpha %g out of (0,1)", s.Alpha)
+	}
+
+	b := newBuilder(s, machines)
+	b.optimizer = cfg.Optimizer
+	if err := b.build(); err != nil {
+		return nil, err
+	}
+	return b.schedule(cfg)
+}
+
+// builder assembles the task graph.
+type builder struct {
+	split     Split
+	machines  [2]Machine
+	optimizer optimizer.Kind
+	units     []dnn.WeightedLayer
+	traces    [2][]*trace.Trace // per machine, per unit
+	edges     [][2]int
+	incoming  map[int][]int // consumer unit -> producer units
+	outgoing  map[int][]int // producer unit -> consumer units
+
+	tasks []*task
+	// fwdDone[m][u], bwdDone[m][u], gradDone[m][u] are the last task of
+	// each phase for unit u on machine m.
+	fwdDone  [2][]*task
+	bwdDone  [2][]*task
+	gradDone [2][]*task
+}
+
+func newBuilder(s Split, machines [2]Machine) *builder {
+	return &builder{split: s, machines: machines, units: s.Net.Units()}
+}
+
+// newTask appends a task.
+func (b *builder) newTask(t *task) *task {
+	b.tasks = append(b.tasks, t)
+	return t
+}
+
+// phaseWork sums a trace phase's arithmetic and local traffic.
+func phaseWork(tr *trace.Trace, p cost.Phase) (flops, localBytes, remoteBytes float64) {
+	for _, r := range tr.PhaseRecords(p) {
+		switch r.Op {
+		case trace.OpMult, trace.OpAdd:
+			flops += float64(r.Elements())
+		case trace.OpLoad, trace.OpStore:
+			localBytes += float64(r.Elements()) * tensor.BytesPerElement
+		case trace.OpRemoteLoad:
+			remoteBytes += float64(r.Elements()) * tensor.BytesPerElement
+		}
+	}
+	return
+}
+
+// interBytes splits the Table 5 inter-layer conversion cost of an edge into
+// its forward (F tensor) and backward (E tensor) byte components, for the
+// machine with ratio alpha.
+func interBytes(prev, next cost.Type, boundary int64, alpha, beta float64) (fwd, bwd float64) {
+	f, e := cost.InterCommSplit(prev, next, boundary, alpha, beta)
+	return f * tensor.BytesPerElement, e * tensor.BytesPerElement
+}
+
+// boundary returns the converted tensor size on the edge p→u: the smaller
+// of the producer's output and the consumer's input (see the matching
+// helper in internal/core).
+func (b *builder) boundary(p, u int) int64 {
+	out := b.units[p].Dims.AFNext()
+	in := b.units[u].Dims.AF()
+	if out < in {
+		return out
+	}
+	return in
+}
+
+// build creates the full task graph of one iteration.
+func (b *builder) build() error {
+	n := len(b.units)
+	b.edges = b.split.Net.Edges()
+	b.incoming = map[int][]int{}
+	b.outgoing = map[int][]int{}
+	for _, e := range b.edges {
+		b.incoming[e[1]] = append(b.incoming[e[1]], e[0])
+		b.outgoing[e[0]] = append(b.outgoing[e[0]], e[1])
+	}
+
+	// Derive traces.
+	for m := 0; m < 2; m++ {
+		b.traces[m] = make([]*trace.Trace, n)
+	}
+	for u := 0; u < n; u++ {
+		if b.units[u].Virtual {
+			b.traces[0][u], b.traces[1][u] = &trace.Trace{}, &trace.Trace{}
+			continue
+		}
+		ti, tj, err := trace.GeneratePair(b.units[u].Dims, b.split.Types[u], b.split.Alpha)
+		if err != nil {
+			return err
+		}
+		b.traces[0][u], b.traces[1][u] = ti, tj
+	}
+
+	for m := 0; m < 2; m++ {
+		b.fwdDone[m] = make([]*task, n)
+		b.bwdDone[m] = make([]*task, n)
+		b.gradDone[m] = make([]*task, n)
+	}
+
+	alpha, beta := b.split.Alpha, 1-b.split.Alpha
+	ratio := [2][2]float64{{alpha, beta}, {beta, alpha}} // [machine][self,peer]
+
+	// Forward sweep in topological (Units) order.
+	for u := 0; u < n; u++ {
+		var mains [2]*task
+		var rbs [2]float64
+		for m := 0; m < 2; m++ {
+			var deps []*task
+			// Inter-layer conversion transfers on each incoming edge.
+			for _, p := range b.incoming[u] {
+				deps = append(deps, b.fwdDone[m][p], b.fwdDone[1-m][p])
+				fb, _ := interBytes(b.split.Types[p], b.split.Types[u], b.boundary(p, u), ratio[m][0], ratio[m][1])
+				if fb > 0 {
+					x := b.newTask(&task{
+						name: fmt.Sprintf("xferF/%s/m%d", b.units[u].Name, m), machine: m, onNet: true,
+						remoteBytes: fb, deps: []*task{b.fwdDone[m][p], b.fwdDone[1-m][p]},
+					})
+					deps = append(deps, x)
+				}
+			}
+			deps = compactDeps(deps)
+			fl, lb, rb := phaseWork(b.traces[m][u], cost.PhaseForward)
+			mains[m] = b.newTask(&task{
+				name: fmt.Sprintf("fwd/%s/m%d", b.units[u].Name, m), machine: m,
+				flops: fl, localBytes: lb, deps: deps,
+			})
+			b.fwdDone[m][u] = mains[m]
+			rbs[m] = rb
+		}
+		for m := 0; m < 2; m++ {
+			if rbs[m] > 0 {
+				// Type-II psum: remote access of the peer's partial sums —
+				// both partials must be computed first.
+				b.fwdDone[m][u] = b.newTask(&task{
+					name: fmt.Sprintf("psumF/%s/m%d", b.units[u].Name, m), machine: m, onNet: true,
+					remoteBytes: rbs[m], deps: []*task{mains[m], mains[1-m]},
+				})
+			}
+		}
+	}
+
+	// Backward sweep in reverse order.
+	for u := n - 1; u >= 0; u-- {
+		var mains [2]*task
+		var rbs [2]float64
+		for m := 0; m < 2; m++ {
+			var deps []*task
+			outs := b.outgoing[u]
+			if len(outs) == 0 {
+				// Loss boundary: backward starts after the forward sweep of
+				// this unit.
+				deps = append(deps, b.fwdDone[m][u])
+			}
+			for _, cns := range outs {
+				deps = append(deps, b.bwdDone[m][cns], b.bwdDone[1-m][cns])
+				_, eb := interBytes(b.split.Types[u], b.split.Types[cns], b.boundary(u, cns), ratio[m][0], ratio[m][1])
+				if eb > 0 {
+					x := b.newTask(&task{
+						name: fmt.Sprintf("xferE/%s-%s/m%d", b.units[u].Name, b.units[cns].Name, m), machine: m, onNet: true,
+						remoteBytes: eb, deps: []*task{b.bwdDone[m][cns], b.bwdDone[1-m][cns]},
+					})
+					deps = append(deps, x)
+				}
+			}
+			deps = compactDeps(deps)
+			fl, lb, rb := phaseWork(b.traces[m][u], cost.PhaseBackward)
+			mains[m] = b.newTask(&task{
+				name: fmt.Sprintf("bwd/%s/m%d", b.units[u].Name, m), machine: m,
+				flops: fl, localBytes: lb, deps: deps,
+			})
+			b.bwdDone[m][u] = mains[m]
+			rbs[m] = rb
+		}
+		for m := 0; m < 2; m++ {
+			if rbs[m] > 0 {
+				// Type-III psum exchange — both partials must exist.
+				b.bwdDone[m][u] = b.newTask(&task{
+					name: fmt.Sprintf("psumE/%s/m%d", b.units[u].Name, m), machine: m, onNet: true,
+					remoteBytes: rbs[m], deps: []*task{mains[m], mains[1-m]},
+				})
+			}
+		}
+	}
+
+	// Gradient computations: need the unit's input (forward of producers,
+	// conservatively the unit's own forward completion) and its output
+	// error (backward of this unit includes receipt of E_{l+1}).
+	for u := 0; u < n; u++ {
+		if b.units[u].Virtual {
+			for m := 0; m < 2; m++ {
+				b.gradDone[m][u] = b.bwdDone[m][u]
+			}
+			continue
+		}
+		var mains [2]*task
+		var rbs [2]float64
+		for m := 0; m < 2; m++ {
+			fl, lb, rb := phaseWork(b.traces[m][u], cost.PhaseGradient)
+			mains[m] = b.newTask(&task{
+				name: fmt.Sprintf("grad/%s/m%d", b.units[u].Name, m), machine: m,
+				flops: fl, localBytes: lb,
+				deps: []*task{b.fwdDone[m][u], b.bwdDone[m][u]},
+			})
+			b.gradDone[m][u] = mains[m]
+			rbs[m] = rb
+		}
+		for m := 0; m < 2; m++ {
+			if rbs[m] > 0 {
+				// Type-I psum exchange of ΔW partial sums — both partials
+				// must exist.
+				b.gradDone[m][u] = b.newTask(&task{
+					name: fmt.Sprintf("psumW/%s/m%d", b.units[u].Name, m), machine: m, onNet: true,
+					remoteBytes: rbs[m], deps: []*task{mains[m], mains[1-m]},
+				})
+			}
+		}
+		// Weight-update phase over each machine's kernel shard
+		// (Section 2.1): replicated kernels (Type-I) update in full on
+		// both machines; sharded kernels update their share only.
+		for m := 0; m < 2; m++ {
+			w := b.weightShard(u, m)
+			if w == 0 {
+				continue
+			}
+			b.gradDone[m][u] = b.newTask(&task{
+				name: fmt.Sprintf("update/%s/m%d", b.units[u].Name, m), machine: m,
+				flops:      float64(b.optimizer.UpdateFLOPs(w)),
+				localBytes: float64(b.optimizer.UpdateMemBytes(w)),
+				deps:       []*task{b.gradDone[m][u]},
+			})
+		}
+	}
+	return nil
+}
+
+// weightShard returns the number of kernel elements machine m holds for
+// unit u under its partition type and share.
+func (b *builder) weightShard(u, m int) int64 {
+	l := b.units[u]
+	if l.Virtual {
+		return 0
+	}
+	d := l.Dims
+	alpha := b.split.Alpha
+	if m == 1 {
+		alpha = 1 - alpha
+	}
+	g := int64(d.KH) * int64(d.KW)
+	switch b.split.Types[u] {
+	case cost.TypeI:
+		return d.AW() // replicated
+	case cost.TypeII:
+		return int64(trace.SplitShare(d.Di, alpha)) * int64(d.Do) * g
+	case cost.TypeIII:
+		return int64(d.Di) * int64(trace.SplitShare(d.Do, alpha)) * g
+	default:
+		return 0
+	}
+}
+
+// compactDeps removes duplicates and nils.
+func compactDeps(deps []*task) []*task {
+	seen := map[*task]bool{}
+	var out []*task
+	for _, d := range deps {
+		if d == nil || seen[d] {
+			continue
+		}
+		seen[d] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// schedule performs deterministic list scheduling: tasks are considered in
+// creation order (a topological order by construction) and each starts at
+// the max of its dependencies' finish times and its resource's free time.
+func (b *builder) schedule(cfg Config) (*Result, error) {
+	var computeFree, netFree [2]float64
+	res := &Result{Tasks: len(b.tasks)}
+
+	for _, t := range b.tasks {
+		start := 0.0
+		for _, d := range t.deps {
+			if !d.scheduled {
+				return nil, fmt.Errorf("sim: task %s depends on unscheduled %s", t.name, d.name)
+			}
+			if d.done > start {
+				start = d.done
+			}
+		}
+		m := b.machines[t.machine]
+		var dur float64
+		if t.onNet {
+			dur = t.remoteBytes / m.NetBW
+			resFree := &netFree[t.machine]
+			if !cfg.OverlapComm {
+				// Serialize with compute: the transfer occupies both.
+				if computeFree[t.machine] > start {
+					start = computeFree[t.machine]
+				}
+			}
+			if *resFree > start {
+				start = *resFree
+			}
+			t.done = start + dur
+			*resFree = t.done
+			if !cfg.OverlapComm {
+				computeFree[t.machine] = t.done
+			}
+			res.NetBusy[t.machine] += dur
+			res.RemoteBytes[t.machine] += t.remoteBytes
+		} else {
+			dur = math.Max(t.flops/m.Compute, t.localBytes/m.MemBW)
+			if computeFree[t.machine] > start {
+				start = computeFree[t.machine]
+			}
+			t.done = start + dur
+			computeFree[t.machine] = t.done
+			res.ComputeBusy[t.machine] += dur
+			res.FLOPs[t.machine] += t.flops
+		}
+		t.scheduled = true
+		if t.done > res.Time {
+			res.Time = t.done
+		}
+		if cfg.RecordTimeline {
+			res.Timeline = append(res.Timeline, TaskTiming{
+				Name: t.name, Machine: t.machine, OnNet: t.onNet,
+				Start: t.done - dur, End: t.done,
+			})
+		}
+	}
+
+	for m := 0; m < 2; m++ {
+		if res.Time > 0 {
+			res.ComputeUtil[m] = res.ComputeBusy[m] / res.Time
+		}
+		res.PeakMemBytes[m] = b.residency(m)
+		res.MemOK[m] = res.PeakMemBytes[m] <= b.machines[m].HBMBytes
+	}
+	return res, nil
+}
+
+// residency approximates peak memory: each unit's kernel shard plus the
+// activations retained for the backward pass and one error tensor, under
+// the unit's partition type and the machine's share.
+func (b *builder) residency(m int) int64 {
+	alpha := b.split.Alpha
+	if m == 1 {
+		alpha = 1 - alpha
+	}
+	var total int64
+	for u, l := range b.units {
+		if l.Virtual {
+			continue
+		}
+		d := l.Dims
+		var w, f int64
+		switch b.split.Types[u] {
+		case cost.TypeI:
+			w = d.AW() // replicated kernel
+			f = int64(alpha * float64(d.AF()+d.AFNext()))
+		case cost.TypeII:
+			w = int64(alpha * float64(d.AW()))
+			f = int64(alpha*float64(d.AF())) + d.AFNext()
+		case cost.TypeIII:
+			w = int64(alpha * float64(d.AW()))
+			f = d.AF() + int64(alpha*float64(d.AFNext()))
+		}
+		// Kernel + gradient + activation (retained) + error (transient),
+		// plus persistent optimizer state over the kernel shard.
+		total += (2*w+2*f)*tensor.BytesPerElement + b.optimizer.StateBytes(w)
+	}
+	return total
+}
+
+// TaskOrderCheck verifies (for tests) that builder task order is
+// topological: every dependency precedes its dependent.
+func TaskOrderCheck(s Split, machines [2]Machine) error {
+	b := newBuilder(s, machines)
+	if err := b.build(); err != nil {
+		return err
+	}
+	pos := map[*task]int{}
+	for i, t := range b.tasks {
+		pos[t] = i
+	}
+	for i, t := range b.tasks {
+		for _, d := range t.deps {
+			j, ok := pos[d]
+			if !ok {
+				return fmt.Errorf("task %s depends on unknown task", t.name)
+			}
+			if j >= i {
+				return fmt.Errorf("task %s (pos %d) depends on later task %s (pos %d)", t.name, i, d.name, j)
+			}
+		}
+	}
+	return nil
+}
+
+// MachineFromSpecs aggregates a homogeneous or mixed set of accelerator
+// resources into one Machine.
+func MachineFromSpecs(name string, compute, memBW, netBW float64, hbm int64) Machine {
+	return Machine{Name: name, Compute: compute, MemBW: memBW, NetBW: netBW, HBMBytes: hbm}
+}
+
+// SortedTaskNames returns the task names in schedule order (test helper).
+func SortedTaskNames(s Split, machines [2]Machine) ([]string, error) {
+	b := newBuilder(s, machines)
+	if err := b.build(); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(b.tasks))
+	for i, t := range b.tasks {
+		names[i] = t.name
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTimelineCSV streams the recorded timeline as CSV with columns
+// task, machine, resource, start_sec, end_sec, duration_sec.
+func (r *Result) WriteTimelineCSV(w io.Writer) error {
+	if len(r.Timeline) == 0 {
+		return fmt.Errorf("sim: no timeline recorded (set Config.RecordTimeline)")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"task", "machine", "resource", "start_sec", "end_sec", "duration_sec"}); err != nil {
+		return err
+	}
+	for _, t := range r.Timeline {
+		resource := "compute"
+		if t.OnNet {
+			resource = "network"
+		}
+		rec := []string{
+			t.Name,
+			strconv.Itoa(t.Machine),
+			resource,
+			strconv.FormatFloat(t.Start, 'g', -1, 64),
+			strconv.FormatFloat(t.End, 'g', -1, 64),
+			strconv.FormatFloat(t.End-t.Start, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Gantt renders a coarse text Gantt chart of the timeline: one row per
+// (machine, resource) lane, width columns across the makespan. Compute
+// lanes draw '#', network lanes '~'.
+func (r *Result) Gantt(width int) string {
+	if len(r.Timeline) == 0 || r.Time <= 0 || width < 8 {
+		return ""
+	}
+	lanes := map[string][]rune{}
+	order := []string{"m0/compute", "m0/network", "m1/compute", "m1/network"}
+	for _, k := range order {
+		lanes[k] = []rune(strings.Repeat(".", width))
+	}
+	for _, t := range r.Timeline {
+		key := fmt.Sprintf("m%d/compute", t.Machine)
+		mark := '#'
+		if t.OnNet {
+			key = fmt.Sprintf("m%d/network", t.Machine)
+			mark = '~'
+		}
+		lo := int(t.Start / r.Time * float64(width))
+		hi := int(t.End / r.Time * float64(width))
+		if hi == lo {
+			hi = lo + 1
+		}
+		for i := lo; i < hi && i < width; i++ {
+			lanes[key][i] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.4gs\n", r.Time)
+	for _, k := range order {
+		fmt.Fprintf(&b, "%-12s |%s|\n", k, string(lanes[k]))
+	}
+	return b.String()
+}

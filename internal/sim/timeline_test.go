@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"accpar/internal/cost"
+)
+
+func timelineResult(t *testing.T) *Result {
+	t.Helper()
+	net := netFor(t, "lenet", 16)
+	s := Split{Net: net, Types: allTypes(net, cost.TypeI), Alpha: 0.5}
+	res, err := Simulate(s, twoV3(), Config{RecordTimeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTimelineRecorded(t *testing.T) {
+	res := timelineResult(t)
+	if len(res.Timeline) != res.Tasks {
+		t.Fatalf("timeline %d entries, want %d tasks", len(res.Timeline), res.Tasks)
+	}
+	for _, e := range res.Timeline {
+		if e.End < e.Start {
+			t.Errorf("task %s ends before it starts", e.Name)
+		}
+		if e.End > res.Time+1e-12 {
+			t.Errorf("task %s ends after the makespan", e.Name)
+		}
+	}
+}
+
+func TestTimelineOffByDefault(t *testing.T) {
+	net := netFor(t, "lenet", 16)
+	s := Split{Net: net, Types: allTypes(net, cost.TypeI), Alpha: 0.5}
+	res, err := Simulate(s, twoV3(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) != 0 {
+		t.Error("timeline must be empty without RecordTimeline")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTimelineCSV(&buf); err == nil {
+		t.Error("CSV export without a timeline must error")
+	}
+	if res.Gantt(40) != "" {
+		t.Error("gantt without timeline must be empty")
+	}
+}
+
+func TestTimelineCSV(t *testing.T) {
+	res := timelineResult(t)
+	var buf bytes.Buffer
+	if err := res.WriteTimelineCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != res.Tasks+1 {
+		t.Fatalf("CSV rows = %d, want %d", len(records), res.Tasks+1)
+	}
+	if records[0][0] != "task" || records[0][5] != "duration_sec" {
+		t.Errorf("header = %v", records[0])
+	}
+	for _, rec := range records[1:] {
+		start, err1 := strconv.ParseFloat(rec[3], 64)
+		end, err2 := strconv.ParseFloat(rec[4], 64)
+		if err1 != nil || err2 != nil || end < start {
+			t.Errorf("bad row %v", rec)
+		}
+		if rec[2] != "compute" && rec[2] != "network" {
+			t.Errorf("bad resource %q", rec[2])
+		}
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	res := timelineResult(t)
+	g := res.Gantt(60)
+	if !strings.Contains(g, "m0/compute") || !strings.Contains(g, "m1/network") {
+		t.Fatalf("gantt lanes missing:\n%s", g)
+	}
+	if !strings.Contains(g, "#") {
+		t.Error("gantt has no compute marks")
+	}
+	if !strings.Contains(g, "~") {
+		t.Error("gantt has no network marks (Type-I psum exchanges expected)")
+	}
+	if res.Gantt(2) != "" {
+		t.Error("absurdly narrow gantt must render empty")
+	}
+}

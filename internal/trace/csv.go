@@ -1,0 +1,31 @@
+package trace
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteCSV streams the trace as CSV with columns phase, op, tensor, count,
+// granule, elements — the exchange format of cmd/accpar-trace.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"phase", "op", "tensor", "count", "granule", "elements"}); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		rec := []string{
+			r.Phase.String(),
+			r.Op.String(),
+			r.Tensor,
+			strconv.FormatInt(r.Count, 10),
+			strconv.FormatInt(r.Granule, 10),
+			strconv.FormatInt(r.Elements(), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

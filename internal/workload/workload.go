@@ -1,0 +1,145 @@
+// Package workload generates synthetic DNN workloads: random
+// series-parallel networks with configurable depth, width and multi-path
+// density. The partitioning problem depends only on tensor shapes
+// (Section 3 of the paper), so synthetic shape distributions exercise the
+// full pipeline — extraction, search, simulation — far beyond the nine
+// fixed evaluation models, and power the repository's randomized
+// integration tests.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"accpar/internal/dnn"
+	"accpar/internal/tensor"
+)
+
+// Config bounds the generated networks.
+type Config struct {
+	// Batch is the mini-batch size. Default 32.
+	Batch int
+	// MinLayers and MaxLayers bound the weighted-layer count.
+	// Defaults 3 and 12.
+	MinLayers, MaxLayers int
+	// MaxChannels bounds channel extents. Default 64.
+	MaxChannels int
+	// MaxSpatial bounds the input spatial extent. Default 32.
+	MaxSpatial int
+	// ResidualProb is the probability that a generated block is a
+	// two-path residual block rather than a single layer. Default 0.3.
+	ResidualProb float64
+	// FCTailProb is the probability of appending a fully-connected
+	// classifier tail. Default 0.7.
+	FCTailProb float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Batch == 0 {
+		c.Batch = 32
+	}
+	if c.MinLayers == 0 {
+		c.MinLayers = 3
+	}
+	if c.MaxLayers == 0 {
+		c.MaxLayers = 12
+	}
+	if c.MaxChannels == 0 {
+		c.MaxChannels = 64
+	}
+	if c.MaxSpatial == 0 {
+		c.MaxSpatial = 32
+	}
+	if c.ResidualProb == 0 {
+		c.ResidualProb = 0.3
+	}
+	if c.FCTailProb == 0 {
+		c.FCTailProb = 0.7
+	}
+	return c
+}
+
+// Generate builds a random shape-inferred graph from the seed. The same
+// (seed, config) pair always yields the same network.
+func Generate(seed int64, cfg Config) (*dnn.Graph, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MinLayers < 1 || cfg.MaxLayers < cfg.MinLayers {
+		return nil, fmt.Errorf("workload: invalid layer bounds [%d,%d]", cfg.MinLayers, cfg.MaxLayers)
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	g := dnn.NewGraph(fmt.Sprintf("synthetic-%d", seed))
+
+	channels := 1 + rnd.Intn(8)
+	spatial := 8 + rnd.Intn(cfg.MaxSpatial-7)
+	x := g.Input("data", tensor.NewShape(cfg.Batch, channels, spatial, spatial))
+
+	target := cfg.MinLayers + rnd.Intn(cfg.MaxLayers-cfg.MinLayers+1)
+	// Decide the classifier tail upfront so the FC layer counts toward the
+	// layer budget.
+	fcTail := rnd.Float64() < cfg.FCTailProb
+	if fcTail && target > 1 {
+		target--
+	} else if target == 1 {
+		fcTail = false
+	}
+	layers := 0
+	block := 0
+	curChannels := channels
+	curSpatial := spatial
+
+	conv := func(name string, in dnn.NodeID, out int) dnn.NodeID {
+		c := g.Add(dnn.Layer{Name: name, Op: dnn.ConvOp{OutChannels: out, KH: 3, KW: 3, PadH: 1, PadW: 1}}, in)
+		layers++
+		return g.Add(dnn.ReLU(name+"_relu"), c)
+	}
+
+	for layers < target {
+		block++
+		remaining := target - layers
+		// Residual blocks need a preceding weighted layer to anchor the
+		// shortcut's partition state, so the first block is always plain.
+		if layers > 0 && rnd.Float64() < cfg.ResidualProb && remaining >= 2 && curSpatial >= 2 {
+			// Residual block: identity shortcut around 1–2 convs keeping
+			// channels fixed.
+			name := fmt.Sprintf("blk%d", block)
+			depth := 1 + rnd.Intn(2)
+			if depth > remaining {
+				depth = remaining
+			}
+			branch := x
+			for d := 0; d < depth; d++ {
+				branch = conv(fmt.Sprintf("%s_c%d", name, d), branch, curChannels)
+			}
+			x = g.Add(dnn.Layer{Name: name + "_add", Op: dnn.AddOp{}}, x, branch)
+			continue
+		}
+		// Plain conv, possibly changing width, possibly followed by a pool.
+		curChannels = 1 + rnd.Intn(cfg.MaxChannels)
+		x = conv(fmt.Sprintf("cv%d", block), x, curChannels)
+		if rnd.Intn(3) == 0 && curSpatial >= 4 {
+			x = g.Add(dnn.Layer{Name: fmt.Sprintf("pool%d", block), Op: dnn.PoolOp{Max: true, KH: 2, KW: 2}}, x)
+			curSpatial /= 2
+		}
+	}
+
+	if fcTail {
+		x = g.Add(dnn.Layer{Name: "gap", Op: dnn.PoolOp{Global: true}}, x)
+		x = g.Add(dnn.Flatten("flat"), x)
+		x = g.Add(dnn.Layer{Name: "fc", Op: dnn.FCOp{OutFeatures: 1 + rnd.Intn(256)}}, x)
+	}
+	g.Add(dnn.Softmax("prob"), x)
+
+	if err := g.Infer(); err != nil {
+		return nil, fmt.Errorf("workload: seed %d produced an invalid graph: %w", seed, err)
+	}
+	return g, nil
+}
+
+// GenerateNetwork builds and extracts in one step.
+func GenerateNetwork(seed int64, cfg Config) (*dnn.Network, error) {
+	g, err := Generate(seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return dnn.ExtractNetwork(g)
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(7, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(7, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed, different node counts: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		na, nb := a.Nodes()[i], b.Nodes()[i]
+		if na.Layer.Name != nb.Layer.Name || !na.Out.Equal(nb.Out) {
+			t.Errorf("node %d differs: %s%v vs %s%v", i, na.Layer.Name, na.Out, nb.Layer.Name, nb.Out)
+		}
+	}
+}
+
+func TestGenerateVariety(t *testing.T) {
+	residual := 0
+	withFC := 0
+	for seed := int64(0); seed < 40; seed++ {
+		net, err := GenerateNetwork(seed, Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if net.HasParallel() {
+			residual++
+		}
+		for _, l := range net.Layers() {
+			if l.Kind.String() == "fc" {
+				withFC++
+				break
+			}
+		}
+		if n := len(net.Layers()); n < 3 || n > 12 {
+			t.Errorf("seed %d: %d layers outside [3,12]", seed, n)
+		}
+	}
+	if residual == 0 {
+		t.Error("no generated network had residual blocks")
+	}
+	if withFC == 0 {
+		t.Error("no generated network had an FC tail")
+	}
+}
+
+func TestGenerateRespectsBounds(t *testing.T) {
+	cfg := Config{Batch: 16, MinLayers: 5, MaxLayers: 5, MaxChannels: 8}
+	for seed := int64(0); seed < 10; seed++ {
+		net, err := GenerateNetwork(seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(net.Layers()); got != 5 {
+			t.Errorf("seed %d: layers = %d, want exactly 5", seed, got)
+		}
+		if net.Batch != 16 {
+			t.Errorf("batch = %d", net.Batch)
+		}
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	if _, err := Generate(1, Config{MinLayers: 10, MaxLayers: 5}); err == nil {
+		t.Error("inverted bounds must error")
+	}
+}
