@@ -6,10 +6,17 @@
 // residency. This cross-validates the analytic cost model at the
 // granularity the paper's tables are derived for.
 //
+// With -faults, a deterministic fault scenario is injected into the run;
+// with -replan the command additionally replans against the degraded
+// specs and prints the three-way fault-free / stale / replanned
+// resilience report.
+//
 // Usage:
 //
 //	accpar-sim -model vgg16 -batch 512 -v2 128 -v3 128 -strategy accpar
 //	accpar-sim -model resnet50 -overlap
+//	accpar-sim -faults slowdown:0=2.0 -replan
+//	accpar-sim -faults transient:1=0.02@0.001,netbw:0=4 -seed 7
 package main
 
 import (
@@ -23,17 +30,31 @@ import (
 	"accpar/internal/hardware"
 )
 
+// opts collects the command's knobs.
+type opts struct {
+	model    string
+	batch    int
+	v2, v3   int
+	strategy string
+	overlap  bool
+	array    bool
+	faults   string
+	seed     int64
+	ckpt     float64
+	replan   bool
+}
+
 // runArray executes the array-level simulation of the full plan.
-func runArray(plan *accpar.Plan, arr *accpar.Array, model string, batch int, st accpar.Strategy, overlap bool) error {
+func runArray(plan *accpar.Plan, arr *accpar.Array, o opts, st accpar.Strategy) error {
 	tree, err := hardware.BuildTree(arr, 64)
 	if err != nil {
 		return err
 	}
-	res, err := arraysim.Simulate(plan, tree, arraysim.Config{OverlapComm: overlap})
+	res, err := arraysim.Simulate(plan, tree, arraysim.Config{OverlapComm: o.overlap})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("model: %s  batch: %d  strategy: %v  overlap: %v\n\n", model, batch, st, overlap)
+	fmt.Printf("model: %s  batch: %d  strategy: %v  overlap: %v\n\n", o.model, o.batch, st, o.overlap)
 	fmt.Printf("array-level simulated time: %.6g s (%d leaves, %d links, %d tasks)\n",
 		res.Time, res.Leaves, res.Links, res.Tasks)
 	fmt.Printf("analytic model:             %.6g s (ratio %.2f)\n", res.AnalyticTime, res.Time/res.AnalyticTime)
@@ -42,29 +63,32 @@ func runArray(plan *accpar.Plan, arr *accpar.Array, model string, batch int, st 
 }
 
 func main() {
-	var (
-		model    = flag.String("model", "alexnet", "model name: "+strings.Join(accpar.Models(), ", "))
-		batch    = flag.Int("batch", 512, "mini-batch size")
-		v2       = flag.Int("v2", 128, "TPU-v2 count (group A)")
-		v3       = flag.Int("v3", 128, "TPU-v3 count (group B)")
-		strategy = flag.String("strategy", "accpar", "plan source: dp, owt, hypar, accpar")
-		overlap  = flag.Bool("overlap", false, "allow communication/computation overlap")
-		array    = flag.Bool("array", false, "run the array-level simulation over all leaves instead of the two-group DES")
-	)
+	var o opts
+	flag.StringVar(&o.model, "model", "alexnet", "model name: "+strings.Join(accpar.Models(), ", "))
+	flag.IntVar(&o.batch, "batch", 512, "mini-batch size")
+	flag.IntVar(&o.v2, "v2", 128, "TPU-v2 count (group A)")
+	flag.IntVar(&o.v3, "v3", 128, "TPU-v3 count (group B)")
+	flag.StringVar(&o.strategy, "strategy", "accpar", "plan source: dp, owt, hypar, accpar")
+	flag.BoolVar(&o.overlap, "overlap", false, "allow communication/computation overlap")
+	flag.BoolVar(&o.array, "array", false, "run the array-level simulation over all leaves instead of the two-group DES")
+	flag.StringVar(&o.faults, "faults", "", "fault scenario, e.g. slowdown:0=2.0,transient:1=0.05@0.001,loss:1=0.25")
+	flag.Int64Var(&o.seed, "seed", 1, "fault injection seed")
+	flag.Float64Var(&o.ckpt, "ckpt", 0, "checkpoint-restart overhead in seconds charged on group loss")
+	flag.BoolVar(&o.replan, "replan", false, "replan against the degraded specs and print the resilience report (needs -faults)")
 	flag.Parse()
-	if err := run(*model, *batch, *v2, *v3, *strategy, *overlap, *array); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "accpar-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model string, batch, v2, v3 int, strategy string, overlap, array bool) error {
-	net, err := accpar.BuildModel(model, batch)
+func run(o opts) error {
+	net, err := accpar.BuildModel(o.model, o.batch)
 	if err != nil {
 		return err
 	}
 	var st accpar.Strategy
-	switch strings.ToLower(strategy) {
+	switch strings.ToLower(o.strategy) {
 	case "dp":
 		st = accpar.StrategyDP
 	case "owt":
@@ -74,12 +98,41 @@ func run(model string, batch, v2, v3 int, strategy string, overlap, array bool) 
 	case "accpar":
 		st = accpar.StrategyAccPar
 	default:
-		return fmt.Errorf("unknown strategy %q", strategy)
+		return fmt.Errorf("unknown strategy %q", o.strategy)
+	}
+	if o.replan && o.faults == "" {
+		return fmt.Errorf("-replan needs a -faults scenario to replan against")
+	}
+	if o.faults != "" && o.array {
+		return fmt.Errorf("-faults applies to the two-group DES, not the -array simulation")
+	}
+	var scenario *accpar.FaultScenario
+	if o.faults != "" {
+		fl, err := accpar.ParseFaults(o.faults)
+		if err != nil {
+			return err
+		}
+		scenario = &accpar.FaultScenario{Seed: o.seed, Faults: fl, CheckpointOverhead: o.ckpt}
 	}
 
-	arr, err := accpar.HeterogeneousArray(
-		accpar.ArrayGroup{Spec: accpar.TPUv2(), Count: v2},
-		accpar.ArrayGroup{Spec: accpar.TPUv3(), Count: v3})
+	groups := []accpar.ArrayGroup{
+		{Spec: accpar.TPUv2(), Count: o.v2},
+		{Spec: accpar.TPUv3(), Count: o.v3},
+	}
+	cfg := accpar.SimConfig{OverlapComm: o.overlap}
+
+	if o.replan {
+		rep, err := accpar.Resilience(net, groups, st, *scenario, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model: %s  batch: %d  strategy: %v  array: %s + %s\n\n",
+			o.model, o.batch, st, rep.MachineNames[0], rep.MachineNames[1])
+		fmt.Print(rep.String())
+		return nil
+	}
+
+	arr, err := accpar.HeterogeneousArray(groups...)
 	if err != nil {
 		return err
 	}
@@ -87,26 +140,39 @@ func run(model string, batch, v2, v3 int, strategy string, overlap, array bool) 
 	if err != nil {
 		return err
 	}
-	if array {
-		return runArray(plan, arr, model, batch, st, overlap)
+	if o.array {
+		return runArray(plan, arr, o, st)
 	}
 	types := plan.Root.Types
 	alpha := plan.Root.Alpha
 
-	a := accpar.GroupMachine(accpar.TPUv2(), v2)
-	b := accpar.GroupMachine(accpar.TPUv3(), v3)
-	res, err := accpar.Simulate(net, types, alpha, a, b, accpar.SimConfig{OverlapComm: overlap})
+	a := accpar.GroupMachine(accpar.TPUv2(), o.v2)
+	b := accpar.GroupMachine(accpar.TPUv3(), o.v3)
+	cfg.Faults = scenario
+	res, err := accpar.Simulate(net, types, alpha, a, b, cfg)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("model: %s  batch: %d  strategy: %v  alpha: %.3f  overlap: %v\n\n", model, batch, st, alpha, overlap)
+	fmt.Printf("model: %s  batch: %d  strategy: %v  alpha: %.3f  overlap: %v\n\n", o.model, o.batch, st, alpha, o.overlap)
+	if scenario != nil {
+		fmt.Printf("faults: %s (seed %d)\n\n", scenario.String(), scenario.Seed)
+	}
 	fmt.Printf("simulated iteration time: %.6g s  (%d tasks)\n", res.Time, res.Tasks)
 	fmt.Printf("analytic root-split view: %.6g s\n\n", plan.Time())
 	for m, name := range []string{a.Name, b.Name} {
 		fmt.Printf("%-14s compute busy %.4gs (util %.1f%%)  net busy %.4gs  traffic %.4g B  peak mem %.4g GB (fits: %v)\n",
 			name, res.ComputeBusy[m], 100*res.ComputeUtil[m], res.NetBusy[m],
 			res.RemoteBytes[m], float64(res.PeakMemBytes[m])/(1<<30), res.MemOK[m])
+	}
+	if scenario != nil {
+		fmt.Println()
+		for m, name := range []string{a.Name, b.Name} {
+			fmt.Printf("%-14s retries %d  lost time %.4g s\n", name, res.Retries[m], res.LostTime[m])
+		}
+		if res.RestartOverhead > 0 {
+			fmt.Printf("checkpoint-restart overhead: %.4g s\n", res.RestartOverhead)
+		}
 	}
 	return nil
 }

@@ -2,34 +2,83 @@ package main
 
 import "testing"
 
+// base returns the small default options used across the tests.
+func base() opts {
+	return opts{model: "lenet", batch: 16, v2: 2, v3: 2, strategy: "accpar", seed: 1}
+}
+
 func TestRunStrategies(t *testing.T) {
 	for _, s := range []string{"dp", "owt", "hypar", "accpar"} {
-		if err := run("lenet", 16, 2, 2, s, false, false); err != nil {
+		o := base()
+		o.strategy = s
+		if err := run(o); err != nil {
 			t.Errorf("%s: %v", s, err)
 		}
 	}
 }
 
 func TestRunOverlap(t *testing.T) {
-	if err := run("alexnet", 8, 2, 2, "accpar", true, false); err != nil {
+	o := base()
+	o.model, o.batch, o.overlap = "alexnet", 8, true
+	if err := run(o); err != nil {
 		t.Errorf("overlap: %v", err)
 	}
 }
 
 func TestRunArrayMode(t *testing.T) {
-	if err := run("lenet", 16, 2, 2, "accpar", false, true); err != nil {
+	o := base()
+	o.array = true
+	if err := run(o); err != nil {
 		t.Errorf("array mode: %v", err)
 	}
-	if err := run("alexnet", 8, 2, 2, "dp", true, true); err != nil {
+	o = base()
+	o.model, o.batch, o.strategy, o.overlap, o.array = "alexnet", 8, "dp", true, true
+	if err := run(o); err != nil {
 		t.Errorf("array overlap mode: %v", err)
 	}
 }
 
+func TestRunFaults(t *testing.T) {
+	o := base()
+	o.faults = "slowdown:0=2.0,transient:1=0.1@0.0001"
+	if err := run(o); err != nil {
+		t.Errorf("faulted run: %v", err)
+	}
+	o.replan = true
+	if err := run(o); err != nil {
+		t.Errorf("replan run: %v", err)
+	}
+	o = base()
+	o.faults, o.ckpt = "loss:1=0.5", 0.25
+	if err := run(o); err != nil {
+		t.Errorf("loss run: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", 8, 2, 2, "accpar", false, false); err == nil {
+	o := base()
+	o.model = "nope"
+	if err := run(o); err == nil {
 		t.Error("unknown model must error")
 	}
-	if err := run("lenet", 8, 2, 2, "alpa", false, false); err == nil {
+	o = base()
+	o.strategy = "alpa"
+	if err := run(o); err == nil {
 		t.Error("unknown strategy must error")
+	}
+	o = base()
+	o.faults = "meltdown:0=2"
+	if err := run(o); err == nil {
+		t.Error("unknown fault kind must error")
+	}
+	o = base()
+	o.replan = true
+	if err := run(o); err == nil {
+		t.Error("-replan without -faults must error")
+	}
+	o = base()
+	o.faults, o.array = "slowdown:0=2", true
+	if err := run(o); err == nil {
+		t.Error("-faults with -array must error")
 	}
 }

@@ -427,12 +427,53 @@ func (c *levelCtx) evalLevel(types []cost.Type) LevelEval {
 	return ev
 }
 
+// DegenerateHardwareError reports accelerator resources that produce a
+// non-finite cost — zero, NaN or Inf compute density or bandwidth, as a
+// degenerately degraded spec can exhibit. Callers get a typed error to
+// branch on instead of a NaN makespan silently propagating through the
+// plan tree.
+type DegenerateHardwareError struct {
+	// Level is the hierarchy level at which the degenerate resource was
+	// detected (0 when unknown).
+	Level int
+	// Detail describes the offending quantity.
+	Detail string
+}
+
+func (e *DegenerateHardwareError) Error() string {
+	if e.Level > 0 {
+		return fmt.Sprintf("core: degenerate hardware at level %d: %s", e.Level, e.Detail)
+	}
+	return fmt.Sprintf("core: degenerate hardware: %s", e.Detail)
+}
+
+// checkSides validates the cost-model resources of a split: both groups'
+// compute density and bandwidth must be finite and positive, or every
+// cost below turns into NaN/Inf.
+func checkSides(level int, si, sj Side) error {
+	for _, s := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"side-I compute", si.Compute}, {"side-I bandwidth", si.Net},
+		{"side-J compute", sj.Compute}, {"side-J bandwidth", sj.Net},
+	} {
+		if !(s.v > 0) || math.IsInf(s.v, 0) {
+			return &DegenerateHardwareError{Level: level, Detail: fmt.Sprintf("%s = %g", s.name, s.v)}
+		}
+	}
+	return nil
+}
+
 // solveRatio finds the α balancing the two groups' level costs for fixed
 // types (the Eq. 10 balance condition), by bisection on
 // g(α) = TimeI(α) − TimeJ(α), which is increasing in α (the compute terms
 // dominate monotonicity; the αβ conversion terms are symmetric in the two
-// groups and cancel in g up to bandwidth asymmetry).
-func (c *levelCtx) solveRatio(types []cost.Type) float64 {
+// groups and cancel in g up to bandwidth asymmetry). The result is always
+// clamped into (0, 1) — [MinRatio, 1−MinRatio] — and a non-finite balance
+// function (zero or NaN resources from a degraded spec) yields a typed
+// *DegenerateHardwareError instead of a NaN ratio.
+func (c *levelCtx) solveRatio(types []cost.Type) (float64, error) {
 	saved := c.alpha
 	defer func() { c.alpha = saved }()
 	g := func(a float64) float64 {
@@ -442,21 +483,28 @@ func (c *levelCtx) solveRatio(types []cost.Type) float64 {
 	}
 	lo, hi := cost.MinRatio, 1-cost.MinRatio
 	glo, ghi := g(lo), g(hi)
+	if math.IsNaN(glo) || math.IsNaN(ghi) {
+		return 0, &DegenerateHardwareError{Detail: fmt.Sprintf("non-finite level cost balance (g(%g)=%g, g(%g)=%g)", lo, glo, hi, ghi)}
+	}
 	if glo > 0 || ghi < 0 {
 		// No interior balance point: the cheaper side should take the
 		// extreme share.
 		if glo > 0 {
-			return lo
+			return lo, nil
 		}
-		return hi
+		return hi, nil
 	}
 	for iter := 0; iter < 60; iter++ {
 		mid := (lo + hi) / 2
-		if g(mid) > 0 {
+		gm := g(mid)
+		if math.IsNaN(gm) {
+			return 0, &DegenerateHardwareError{Detail: fmt.Sprintf("non-finite level cost at alpha %g", mid)}
+		}
+		if gm > 0 {
 			hi = mid
 		} else {
 			lo = mid
 		}
 	}
-	return (lo + hi) / 2
+	return cost.ClampRatio((lo + hi) / 2), nil
 }

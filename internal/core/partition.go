@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"accpar/internal/cost"
 	"accpar/internal/dnn"
@@ -69,6 +70,9 @@ func partitionNode(net *dnn.Network, segs, planSegs []segRef, node *hardware.Tre
 		sideJ:    Side{Compute: node.Right.Group.ComputeDensity(), Net: opt.Topology.BisectionBandwidth(node.Right.Group)},
 		opt:      opt,
 	}
+	if err := checkSides(node.Level, ctx.sideI, ctx.sideJ); err != nil {
+		return nil, err
+	}
 	for i := range units {
 		ctx.units[i] = unitInfo{layer: units[i], dims: dims[i]}
 	}
@@ -98,7 +102,10 @@ func partitionNode(net *dnn.Network, segs, planSegs []segRef, node *hardware.Tre
 		if opt.Ratio == RatioEqual {
 			break
 		}
-		newAlpha := ctx.solveRatio(types)
+		newAlpha, ratioErr := ctx.solveRatio(types)
+		if ratioErr != nil {
+			return nil, ratioErr
+		}
 		if stable && abs(newAlpha-ctx.alpha) < 1e-6 {
 			ctx.alpha = newAlpha
 			break
@@ -108,28 +115,11 @@ func partitionNode(net *dnn.Network, segs, planSegs []segRef, node *hardware.Tre
 
 	ev := ctx.evalLevel(types)
 
-	// Scale each unit's dims by its partitioned dimension for the two
-	// children. Virtual junction units represent an identity over one
-	// tensor, so a channel partition (Type-II or Type-III) scales both Di
-	// and Do to keep the identity consistent.
-	scale := func(ratio float64) []tensor.LayerDims {
-		out := make([]tensor.LayerDims, len(dims))
-		for i, d := range dims {
-			t := types[i]
-			if units[i].Virtual && t != cost.TypeI {
-				out[i] = d.Scale(tensor.DimDi, ratio).Scale(tensor.DimDo, ratio)
-				continue
-			}
-			out[i] = d.Scale(t.Dim(), ratio)
-		}
-		return out
-	}
-
-	left, err := partitionNode(net, segs, planSegs, node.Left, scale(ctx.alpha), opt)
+	left, err := partitionNode(net, segs, planSegs, node.Left, scaleUnitDims(units, dims, types, ctx.alpha), opt)
 	if err != nil {
 		return nil, err
 	}
-	right, err := partitionNode(net, segs, planSegs, node.Right, scale(ctx.beta()), opt)
+	right, err := partitionNode(net, segs, planSegs, node.Right, scaleUnitDims(units, dims, types, ctx.beta()), opt)
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +138,23 @@ func partitionNode(net *dnn.Network, segs, planSegs []segRef, node *hardware.Tre
 	}, nil
 }
 
+// scaleUnitDims scales each unit's dims by its partitioned dimension for
+// one child of a split. Virtual junction units represent an identity over
+// one tensor, so a channel partition (Type-II or Type-III) scales both Di
+// and Do to keep the identity consistent.
+func scaleUnitDims(units []dnn.WeightedLayer, dims []tensor.LayerDims, types []cost.Type, ratio float64) []tensor.LayerDims {
+	out := make([]tensor.LayerDims, len(dims))
+	for i, d := range dims {
+		t := types[i]
+		if units[i].Virtual && t != cost.TypeI {
+			out[i] = d.Scale(tensor.DimDi, ratio).Scale(tensor.DimDo, ratio)
+			continue
+		}
+		out[i] = d.Scale(t.Dim(), ratio)
+	}
+	return out
+}
+
 // leafNode models an unsplit group executing its final shard: computation
 // time over the group's aggregate density, HBM traffic time (each training
 // phase streams its operand and result tensors once), and — when the group
@@ -158,6 +165,14 @@ func partitionNode(net *dnn.Network, segs, planSegs []segRef, node *hardware.Tre
 // would get intra-group aggregation for free and the hierarchy-level sweep
 // (Figure 8) would be meaningless.
 func leafNode(node *hardware.Tree, units []dnn.WeightedLayer, dims []tensor.LayerDims, opt Options) (*PlanNode, error) {
+	for _, r := range [...]struct {
+		name string
+		v    float64
+	}{{"compute density", node.Group.ComputeDensity()}, {"HBM bandwidth", node.Group.MemBandwidth()}} {
+		if !(r.v > 0) || math.IsInf(r.v, 0) {
+			return nil, &DegenerateHardwareError{Level: node.Level, Detail: fmt.Sprintf("leaf %s = %g", r.name, r.v)}
+		}
+	}
 	var flops float64
 	var memBytes float64
 	var weightBytes float64

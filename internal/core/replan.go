@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"accpar/internal/cost"
+	"accpar/internal/dnn"
+	"accpar/internal/hardware"
+	"accpar/internal/tensor"
+)
+
+// StalePlan re-costs an existing plan's decisions — the per-node type
+// assignments and ratios chosen for pristine hardware — against a
+// different (typically degraded) hardware tree. This is what actually
+// happens when accelerators degrade under a plan that is not re-derived:
+// the work distribution stays fixed while the resources it was balanced
+// for no longer exist. Where the degraded tree's structure diverges from
+// the plan's (a group loss pruned whole subtrees), no stale decision
+// applies and the subtree is partitioned fresh — the honest model of a
+// runtime that must improvise placement for orphaned shards.
+func StalePlan(net *dnn.Network, plan *Plan, tree *hardware.Tree, opt Options) (*Plan, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if plan == nil || plan.Root == nil {
+		return nil, fmt.Errorf("core: stale evaluation needs a plan")
+	}
+	units := net.Units()
+	dims := make([]tensor.LayerDims, len(units))
+	for i, u := range units {
+		dims[i] = u.Dims
+	}
+	segs := indexSegments(net)
+	planSegs := segs
+	if opt.Linearize {
+		planSegs = indexSegments(net.Linearize())
+	}
+	root, err := staleNode(net, segs, planSegs, tree, plan.Root, dims, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := &Plan{Network: net, Strategy: plan.Strategy + " (stale)", Root: root}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("core: internal stale-plan inconsistency: %w", err)
+	}
+	return out, nil
+}
+
+// staleNode applies one stale decision to one (possibly degraded)
+// hierarchy node.
+func staleNode(net *dnn.Network, segs, planSegs []segRef, node *hardware.Tree, old *PlanNode, dims []tensor.LayerDims, opt Options) (*PlanNode, error) {
+	if old == nil || node.IsLeaf() != old.IsLeaf() {
+		// Structure diverged: no stale decision for this subtree.
+		return partitionNode(net, segs, planSegs, node, dims, opt)
+	}
+	units := net.Units()
+	if node.IsLeaf() {
+		return leafNode(node, units, dims, opt)
+	}
+	ctx := &levelCtx{
+		units:    make([]unitInfo, len(units)),
+		segs:     segs,
+		planSegs: planSegs,
+		sideI:    Side{Compute: node.Left.Group.ComputeDensity(), Net: opt.Topology.BisectionBandwidth(node.Left.Group)},
+		sideJ:    Side{Compute: node.Right.Group.ComputeDensity(), Net: opt.Topology.BisectionBandwidth(node.Right.Group)},
+		opt:      opt,
+	}
+	if err := checkSides(node.Level, ctx.sideI, ctx.sideJ); err != nil {
+		return nil, err
+	}
+	for i := range units {
+		ctx.units[i] = unitInfo{layer: units[i], dims: dims[i]}
+	}
+	if len(old.Types) != len(units) {
+		return nil, fmt.Errorf("core: stale plan has %d types for %d units", len(old.Types), len(units))
+	}
+	ctx.alpha = cost.ClampRatio(old.Alpha)
+	types := old.Types
+	ev := ctx.evalLevel(types)
+
+	left, err := staleNode(net, segs, planSegs, node.Left, old.Left, scaleUnitDims(units, dims, types, ctx.alpha), opt)
+	if err != nil {
+		return nil, err
+	}
+	right, err := staleNode(net, segs, planSegs, node.Right, old.Right, scaleUnitDims(units, dims, types, ctx.beta()), opt)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanNode{
+		Level:     node.Level,
+		GroupDesc: node.Group.String(),
+		Alpha:     ctx.alpha,
+		Types:     types,
+		Eval:      ev,
+		SideI:     ctx.sideI,
+		SideJ:     ctx.sideJ,
+		Dims:      dims,
+		Left:      left,
+		Right:     right,
+	}, nil
+}
+
+// ReplanReport compares the three relevant operating points after a
+// degradation: the original plan on pristine hardware, the same
+// decisions stuck on the degraded hardware (stale), and a fresh
+// degradation-aware partition of the degraded hardware.
+type ReplanReport struct {
+	// FaultFree is the plan on the pristine hierarchy.
+	FaultFree *Plan
+	// Stale is FaultFree's decisions re-costed on the degraded hierarchy.
+	Stale *Plan
+	// Replanned is the adopted post-fault plan: the fresh degradation-aware
+	// partition when it improves on Stale, otherwise Stale itself (a
+	// replanner never switches to a worse plan).
+	Replanned *Plan
+	// Fresh is the fresh partition of the degraded hierarchy regardless of
+	// adoption, for inspection.
+	Fresh *Plan
+	// Adopted reports whether the fresh plan improved on the stale one.
+	Adopted bool
+}
+
+// Recovery returns the fraction of the degradation-induced slowdown the
+// replanned plan wins back: (stale − replanned) / (stale − fault-free).
+// Zero when the degradation cost nothing.
+func (r *ReplanReport) Recovery() float64 {
+	gap := r.Stale.Time() - r.FaultFree.Time()
+	if gap <= 0 {
+		return 0
+	}
+	return (r.Stale.Time() - r.Replanned.Time()) / gap
+}
+
+// Replan runs the degradation-aware replanning pipeline: partition the
+// pristine hierarchy, re-cost those decisions on the degraded hierarchy
+// (recomputing nothing — the stale view), partition the degraded
+// hierarchy from scratch (recomputing types and α against the post-fault
+// specs), and adopt whichever of the two post-fault plans is faster.
+func Replan(net *dnn.Network, pristine, degraded *hardware.Tree, opt Options) (*ReplanReport, error) {
+	faultFree, err := Partition(net, pristine, opt)
+	if err != nil {
+		return nil, err
+	}
+	stale, err := StalePlan(net, faultFree, degraded, opt)
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := Partition(net, degraded, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ReplanReport{
+		FaultFree: faultFree,
+		Stale:     stale,
+		Fresh:     fresh,
+		Replanned: fresh,
+		Adopted:   fresh.Time() < stale.Time(),
+	}
+	if !rep.Adopted {
+		rep.Replanned = stale
+	}
+	return rep, nil
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"accpar/internal/hardware"
+	"accpar/internal/models"
+)
+
+func treeFor(t *testing.T, groups ...hardware.GroupSpec) *hardware.Tree {
+	t.Helper()
+	arr, err := hardware.NewHeterogeneous(groups...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := hardware.BuildTree(arr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func v2v3Groups(n int) []hardware.GroupSpec {
+	return []hardware.GroupSpec{
+		{Spec: hardware.TPUv2(), Count: n},
+		{Spec: hardware.TPUv3(), Count: n},
+	}
+}
+
+// TestStalePlanIdentity: re-costing a plan on the tree it was derived for
+// reproduces its time exactly.
+func TestStalePlanIdentity(t *testing.T) {
+	net, err := models.BuildNetwork("alexnet", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := treeFor(t, v2v3Groups(4)...)
+	plan, err := Partition(net, tree, AccPar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := StalePlan(net, plan, tree, AccPar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(stale.Time() - plan.Time()); d > 1e-12*plan.Time() {
+		t.Errorf("identity re-cost drifted: %g vs %g", stale.Time(), plan.Time())
+	}
+	if stale.Root.Alpha != plan.Root.Alpha {
+		t.Errorf("identity re-cost changed alpha: %g vs %g", stale.Root.Alpha, plan.Root.Alpha)
+	}
+}
+
+// TestReplanBeatsStaleUnderSlowdown: with the work-carrying group slowed
+// down, the adopted replanned plan is never worse than the stale plan,
+// and for a substantial compute slowdown it is strictly better (α
+// rebalances toward the healthy group).
+func TestReplanBeatsStaleUnderSlowdown(t *testing.T) {
+	net, err := models.BuildNetwork("alexnet", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := v2v3Groups(4)
+	pristine := treeFor(t, groups...)
+	// Slow the TPU-v3 group: at this scale the balance assigns it nearly
+	// all the work, so degrading it is what actually hurts.
+	deg, err := hardware.DegradeGroups(groups, map[int]hardware.Degradation{
+		1: {Compute: 4, MemBW: 1, NetBW: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := treeFor(t, deg...)
+
+	rep, err := Replan(net, pristine, degraded, AccPar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stale.Time() < rep.FaultFree.Time() {
+		t.Errorf("degradation sped the stale plan up: %g < %g", rep.Stale.Time(), rep.FaultFree.Time())
+	}
+	if rep.Replanned.Time() > rep.Stale.Time() {
+		t.Errorf("replanned %g worse than stale %g", rep.Replanned.Time(), rep.Stale.Time())
+	}
+	if !rep.Adopted {
+		t.Fatal("4× compute slowdown on the work-carrying group must make a fresh plan worth adopting")
+	}
+	if !(rep.Replanned.Time() < rep.Stale.Time()) {
+		t.Errorf("replanned %g not strictly better than stale %g", rep.Replanned.Time(), rep.Stale.Time())
+	}
+	if rep.Replanned.Root.Alpha <= rep.Stale.Root.Alpha {
+		t.Errorf("root alpha did not shift toward the healthy group: %g -> %g",
+			rep.Stale.Root.Alpha, rep.Replanned.Root.Alpha)
+	}
+	if r := rep.Recovery(); r <= 0 || r > 1 {
+		t.Errorf("recovery %g outside (0,1]", r)
+	}
+}
+
+// TestReplanAfterGroupLoss: losing half of one group changes the tree
+// shape below the top split; stale evaluation must still succeed (fresh
+// partitioning of the orphaned subtrees) and replanning must not lose to
+// the stale plan.
+func TestReplanAfterGroupLoss(t *testing.T) {
+	net, err := models.BuildNetwork("lenet", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := v2v3Groups(4)
+	pristine := treeFor(t, groups...)
+	deg, err := hardware.DegradeGroups(groups, map[int]hardware.Degradation{
+		1: {Compute: 1, MemBW: 1, NetBW: 1, LostFraction: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := treeFor(t, deg...)
+
+	rep, err := Replan(net, pristine, degraded, AccPar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replanned.Time() > rep.Stale.Time() {
+		t.Errorf("replanned %g worse than stale %g", rep.Replanned.Time(), rep.Stale.Time())
+	}
+	if err := rep.Stale.Validate(); err != nil {
+		t.Errorf("stale plan invalid after shape change: %v", err)
+	}
+}
+
+// TestDegenerateHardwareTypedError: a NaN-density group must surface as
+// *DegenerateHardwareError, not as a NaN plan time.
+func TestDegenerateHardwareTypedError(t *testing.T) {
+	net, err := models.BuildNetwork("lenet", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison := hardware.TPUv2()
+	poison.FLOPS = math.NaN()
+	// Build the tree by hand: Spec.Validate would (rightly) refuse the
+	// NaN spec, but a planner must still fail typed, not propagate NaN.
+	mk := func(s hardware.Spec, n int) *hardware.Group {
+		g := &hardware.Group{}
+		for i := 0; i < n; i++ {
+			g.Accel = append(g.Accel, s)
+		}
+		return g
+	}
+	tree := &hardware.Tree{
+		Group: mk(poison, 2),
+		Level: 1,
+		Left:  &hardware.Tree{Group: mk(poison, 1), Level: 2},
+		Right: &hardware.Tree{Group: mk(hardware.TPUv3(), 1), Level: 2},
+	}
+	_, err = Partition(net, tree, AccPar())
+	if err == nil {
+		t.Fatal("NaN compute density must fail")
+	}
+	var dh *DegenerateHardwareError
+	if !errors.As(err, &dh) {
+		t.Fatalf("error %v is not a DegenerateHardwareError", err)
+	}
+}

@@ -1,0 +1,193 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "slowdown:0=2,netbw:1=4,membw:0=1.5,transient:0=0.05@0.001,loss:1=0.25"
+	fs, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 5 {
+		t.Fatalf("got %d faults, want 5", len(fs))
+	}
+	sc := Scenario{Faults: fs}
+	if got := sc.String(); got != spec {
+		t.Errorf("round trip: got %q, want %q", got, spec)
+	}
+	want := []Fault{
+		{Kind: KindSlowdown, Group: 0, Factor: 2},
+		{Kind: KindNetBW, Group: 1, Factor: 4},
+		{Kind: KindMemBW, Group: 0, Factor: 1.5},
+		{Kind: KindTransient, Group: 0, Rate: 0.05, Backoff: 0.001},
+		{Kind: KindGroupLoss, Group: 1, Fraction: 0.25},
+	}
+	if !reflect.DeepEqual(fs, want) {
+		t.Errorf("parsed %+v, want %+v", fs, want)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	fs, err := Parse("  ")
+	if err != nil || fs != nil {
+		t.Fatalf("empty spec: got %v, %v", fs, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"slowdown",             // no colon
+		"slowdown:0",           // no value
+		"slowdown:x=2",         // bad group
+		"slowdown:-1=2",        // negative group
+		"slowdown:0=abc",       // bad factor
+		"wat:0=2",              // unknown kind
+		"transient:0=0.1@x",    // bad backoff
+		"slowdown:0=2,loss:1=", // bad tail element
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): want error", spec)
+		} else {
+			var pe *ParseError
+			var be *BadFaultError
+			if !errors.As(err, &pe) && !errors.As(err, &be) {
+				t.Errorf("Parse(%q): error %v is neither ParseError nor BadFaultError", spec, err)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	bad := []Fault{
+		{Kind: KindSlowdown, Group: 0, Factor: 0.5},
+		{Kind: KindSlowdown, Group: 0, Factor: math.NaN()},
+		{Kind: KindSlowdown, Group: 0, Factor: math.Inf(1)},
+		{Kind: KindNetBW, Group: -1, Factor: 2},
+		{Kind: KindTransient, Group: 0, Rate: 1.0},
+		{Kind: KindTransient, Group: 0, Rate: -0.1},
+		{Kind: KindTransient, Group: 0, Rate: 0.1, Backoff: math.Inf(1)},
+		{Kind: KindGroupLoss, Group: 0, Fraction: 0},
+		{Kind: KindGroupLoss, Group: 0, Fraction: 1},
+		{Kind: Kind(99), Group: 0},
+	}
+	for _, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("%+v: want validation error", f)
+		}
+	}
+	sc := Scenario{Faults: []Fault{{Kind: KindSlowdown, Group: 0, Factor: 2}}, CheckpointOverhead: -1}
+	if err := sc.Validate(); err == nil {
+		t.Error("negative checkpoint overhead must be rejected")
+	}
+}
+
+func TestGroupDivisorsCompose(t *testing.T) {
+	sc := Scenario{Faults: []Fault{
+		{Kind: KindSlowdown, Group: 0, Factor: 2},
+		{Kind: KindSlowdown, Group: 0, Factor: 3},
+		{Kind: KindNetBW, Group: 1, Factor: 4},
+		{Kind: KindGroupLoss, Group: 1, Fraction: 0.5},
+		{Kind: KindTransient, Group: 0, Rate: 0.5}, // excluded from divisors
+	}}
+	d0 := sc.GroupDivisors(0)
+	if d0.Compute != 6 || d0.MemBW != 1 || d0.NetBW != 1 || d0.Capacity != 1 {
+		t.Errorf("group 0 divisors %+v", d0)
+	}
+	d1 := sc.GroupDivisors(1)
+	if d1.Compute != 2 || d1.NetBW != 8 || d1.Capacity != 2 {
+		t.Errorf("group 1 divisors %+v", d1)
+	}
+	if !sc.GroupDivisors(2).Pristine() {
+		t.Error("unafflicted group must be pristine")
+	}
+	if sc.MaxGroup() != 1 {
+		t.Errorf("MaxGroup = %d, want 1", sc.MaxGroup())
+	}
+}
+
+func TestDegradationsExpectTransientInflation(t *testing.T) {
+	sc := Scenario{Faults: []Fault{
+		{Kind: KindSlowdown, Group: 0, Factor: 2},
+		{Kind: KindTransient, Group: 0, Rate: 0.5},
+		{Kind: KindGroupLoss, Group: 1, Fraction: 0.25},
+	}}
+	degs := sc.Degradations()
+	d0 := degs[0]
+	if math.Abs(d0.Compute-4) > 1e-12 { // 2 × 1/(1−0.5)
+		t.Errorf("group 0 compute divisor %g, want 4", d0.Compute)
+	}
+	if d1 := degs[1]; d1.LostFraction != 0.25 || d1.Compute != 1 {
+		t.Errorf("group 1 degradation %+v", d1)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	sc := Scenario{Seed: 42, Faults: []Fault{
+		{Kind: KindTransient, Group: 0, Rate: 0.3, Backoff: 0.01},
+		{Kind: KindGroupLoss, Group: 1, Fraction: 0.5},
+	}, CheckpointOverhead: 0.5}
+
+	draw := func() ([]int, []float64, []LossEvent) {
+		in, err := NewInjector(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rs []int
+		var bs []float64
+		for i := 0; i < 1000; i++ {
+			r, b := in.TaskFault(0)
+			rs = append(rs, r)
+			bs = append(bs, b)
+		}
+		return rs, bs, in.LossPenalties(10)
+	}
+	r1, b1, l1 := draw()
+	r2, b2, l2 := draw()
+	if !reflect.DeepEqual(r1, r2) || !reflect.DeepEqual(b1, b2) || !reflect.DeepEqual(l1, l2) {
+		t.Fatal("same seed must replay identically")
+	}
+
+	total := 0
+	for _, r := range r1 {
+		total += r
+	}
+	// 1000 tasks at rate 0.3 ⇒ ≈ 429 expected retries; zero would mean the
+	// stream is broken.
+	if total == 0 {
+		t.Fatal("rate-0.3 transient fault never fired over 1000 tasks")
+	}
+	if len(l1) != 1 || l1[0].Group != 1 || l1[0].Penalty < 0.5 || l1[0].Penalty > 10.5 {
+		t.Errorf("loss events %+v", l1)
+	}
+}
+
+func TestInjectorUnafflictedGroupDrawsNothing(t *testing.T) {
+	sc := Scenario{Seed: 7, Faults: []Fault{{Kind: KindTransient, Group: 0, Rate: 0.9}}}
+	in, _ := NewInjector(sc)
+	for i := 0; i < 100; i++ {
+		if r, b := in.TaskFault(1); r != 0 || b != 0 {
+			t.Fatal("group 1 must not be afflicted")
+		}
+	}
+}
+
+func TestInjectorRetriesCapped(t *testing.T) {
+	sc := Scenario{Seed: 1, Faults: []Fault{{Kind: KindTransient, Group: 0, Rate: 0.999}}}
+	in, _ := NewInjector(sc)
+	for i := 0; i < 100; i++ {
+		if r, _ := in.TaskFault(0); r > maxRetries {
+			t.Fatalf("retries %d above cap %d", r, maxRetries)
+		}
+	}
+}
+
+func TestNewInjectorRejectsBadScenario(t *testing.T) {
+	if _, err := NewInjector(Scenario{Faults: []Fault{{Kind: KindSlowdown, Factor: 0}}}); err == nil {
+		t.Fatal("want validation error")
+	}
+}

@@ -1,0 +1,40 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the fault-spec parser never panics, that every
+// accepted scenario validates, and that accepted specs round-trip
+// through String.
+func FuzzParse(f *testing.F) {
+	f.Add("slowdown:0=2.0")
+	f.Add("membw:1=4,netbw:0=1.5")
+	f.Add("transient:1=0.05@0.001")
+	f.Add("loss:1=0.25,slowdown:0=2")
+	f.Add("")
+	f.Add("slowdown:0=NaN")
+	f.Add("loss:0=1")
+	f.Fuzz(func(t *testing.T, spec string) {
+		fl, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		sc := Scenario{Seed: 1, Faults: fl}
+		if verr := sc.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted a scenario Validate rejects: %v", spec, verr)
+		}
+		parts := make([]string, len(fl))
+		for i, ft := range fl {
+			parts[i] = ft.String()
+		}
+		again, err := Parse(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("round-trip of %q failed: %v", spec, err)
+		}
+		if len(again) != len(fl) {
+			t.Fatalf("round-trip of %q changed fault count: %d vs %d", spec, len(again), len(fl))
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a fault spec string that could not be parsed.
+type ParseError struct {
+	Spec   string
+	Reason string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("faults: cannot parse %q: %s", e.Spec, e.Reason)
+}
+
+// Parse decodes a comma-separated fault spec list:
+//
+//	slowdown:G=F     compute of group G divided by F (F ≥ 1)
+//	membw:G=F        HBM bandwidth of group G divided by F
+//	netbw:G=F        network bandwidth of group G divided by F
+//	transient:G=R    each task on group G fails with probability R
+//	transient:G=R@B  ... re-executing after a backoff of B seconds
+//	loss:G=P         fraction P of group G's accelerators permanently lost
+//
+// e.g. "slowdown:0=2.0,netbw:1=4,transient:0=0.05@0.001". An empty spec
+// parses to no faults.
+func Parse(spec string) ([]Fault, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []Fault
+	for _, part := range strings.Split(spec, ",") {
+		f, err := parseOne(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseOne(s string) (Fault, error) {
+	kindStr, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return Fault{}, &ParseError{Spec: s, Reason: "want kind:group=value"}
+	}
+	groupStr, valStr, ok := strings.Cut(rest, "=")
+	if !ok {
+		return Fault{}, &ParseError{Spec: s, Reason: "want kind:group=value"}
+	}
+	group, err := strconv.Atoi(groupStr)
+	if err != nil || group < 0 {
+		return Fault{}, &ParseError{Spec: s, Reason: fmt.Sprintf("bad group index %q", groupStr)}
+	}
+	f := Fault{Group: group}
+	switch kindStr {
+	case "slowdown", "membw", "netbw":
+		switch kindStr {
+		case "slowdown":
+			f.Kind = KindSlowdown
+		case "membw":
+			f.Kind = KindMemBW
+		case "netbw":
+			f.Kind = KindNetBW
+		}
+		f.Factor, err = strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return Fault{}, &ParseError{Spec: s, Reason: fmt.Sprintf("bad factor %q", valStr)}
+		}
+	case "transient":
+		f.Kind = KindTransient
+		rateStr, backoffStr, hasBackoff := strings.Cut(valStr, "@")
+		f.Rate, err = strconv.ParseFloat(rateStr, 64)
+		if err != nil {
+			return Fault{}, &ParseError{Spec: s, Reason: fmt.Sprintf("bad rate %q", rateStr)}
+		}
+		if hasBackoff {
+			f.Backoff, err = strconv.ParseFloat(backoffStr, 64)
+			if err != nil {
+				return Fault{}, &ParseError{Spec: s, Reason: fmt.Sprintf("bad backoff %q", backoffStr)}
+			}
+		}
+	case "loss":
+		f.Kind = KindGroupLoss
+		f.Fraction, err = strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return Fault{}, &ParseError{Spec: s, Reason: fmt.Sprintf("bad lost fraction %q", valStr)}
+		}
+	default:
+		return Fault{}, &ParseError{Spec: s, Reason: fmt.Sprintf("unknown kind %q (want slowdown, membw, netbw, transient or loss)", kindStr)}
+	}
+	if err := f.Validate(); err != nil {
+		return Fault{}, err
+	}
+	return f, nil
+}

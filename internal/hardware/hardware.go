@@ -7,6 +7,7 @@ package hardware
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -27,13 +28,21 @@ type Spec struct {
 	NetBandwidth float64
 }
 
-// Validate reports an error for non-positive spec fields.
+// Validate reports an error for non-positive or non-finite spec fields.
+// NaN and ±Inf are rejected explicitly: a NaN rate passes a plain
+// non-positive check (NaN comparisons are false) and then poisons every
+// downstream division with NaN costs.
 func (s Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("hardware: spec with empty name")
 	}
-	if s.FLOPS <= 0 || s.HBMBytes <= 0 || s.MemBandwidth <= 0 || s.NetBandwidth <= 0 {
+	if s.HBMBytes <= 0 {
 		return fmt.Errorf("hardware: spec %q has non-positive fields: %+v", s.Name, s)
+	}
+	for _, v := range [...]float64{s.FLOPS, s.MemBandwidth, s.NetBandwidth} {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return fmt.Errorf("hardware: spec %q has non-positive or non-finite fields: %+v", s.Name, s)
+		}
 	}
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"accpar/internal/cost"
 	"accpar/internal/dnn"
+	"accpar/internal/faults"
 	"accpar/internal/optimizer"
 	"accpar/internal/tensor"
 	"accpar/internal/trace"
@@ -40,10 +41,15 @@ type Machine struct {
 	HBMBytes int64
 }
 
-// Validate rejects non-positive resources.
+// Validate rejects non-positive and non-finite resources. NaN and ±Inf
+// are rejected explicitly (a NaN rate passes a plain `<= 0` check and
+// then every roofline division below propagates NaN into the makespan —
+// exactly what a degenerate degraded spec would inject).
 func (m Machine) Validate() error {
-	if m.Compute <= 0 || m.MemBW <= 0 || m.NetBW <= 0 {
-		return fmt.Errorf("sim: machine %q has non-positive resources", m.Name)
+	for _, v := range [...]float64{m.Compute, m.MemBW, m.NetBW} {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return fmt.Errorf("sim: machine %q has non-positive or non-finite resources", m.Name)
+		}
 	}
 	return nil
 }
@@ -62,6 +68,38 @@ type Config struct {
 	// Result.Timeline (off by default: large models schedule thousands of
 	// tasks).
 	RecordTimeline bool
+	// Faults injects a fault scenario into the run: deterministic rate
+	// faults degrade the machines' resources before scheduling, transient
+	// faults re-execute individual tasks with backoff, and group-loss
+	// faults charge a checkpoint-restart penalty. nil (or an empty
+	// scenario) simulates pristine hardware.
+	Faults *faults.Scenario
+}
+
+// Validate rejects configurations the simulator cannot honour: unknown
+// optimizer kinds (a stray int cast would silently panic deep inside the
+// weight-update sizing) and invalid or out-of-range fault scenarios (the
+// two-group simulator can only inject faults on groups 0 and 1).
+func (cfg Config) Validate() error {
+	known := false
+	for _, k := range optimizer.Kinds {
+		if cfg.Optimizer == k {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("sim: unknown optimizer kind %d", int(cfg.Optimizer))
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return err
+		}
+		if g := cfg.Faults.MaxGroup(); g > 1 {
+			return fmt.Errorf("sim: fault targets group %d, but the bi-partition simulator has groups 0 and 1", g)
+		}
+	}
+	return nil
 }
 
 // Split is the workload description: a network, the per-unit partition
@@ -92,6 +130,14 @@ type Result struct {
 	MemOK [2]bool
 	// Tasks is the number of scheduled tasks.
 	Tasks int
+	// Retries counts transient-fault re-executions per machine.
+	Retries [2]int
+	// LostTime is the per-machine time wasted on fault handling: failed
+	// attempts, backoff delays and checkpoint-restart penalties.
+	LostTime [2]float64
+	// RestartOverhead is the total group-loss checkpoint-restart penalty
+	// added to the makespan (zero without GroupLoss faults).
+	RestartOverhead float64
 	// Timeline holds per-task timings when Config.RecordTimeline is set,
 	// in schedule order.
 	Timeline []TaskTiming
@@ -124,21 +170,35 @@ type task struct {
 }
 
 // Simulate runs one training iteration of the split on the two machines.
+// When cfg.Faults is set, the scenario's deterministic rate faults are
+// applied to the machines before scheduling (the caller passes pristine
+// machines; passing pre-degraded machines would double-count), and
+// transient and group-loss faults are injected during scheduling.
 func Simulate(s Split, machines [2]Machine, cfg Config) (*Result, error) {
-	if err := s.Net.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	for _, m := range machines {
-		if err := m.Validate(); err != nil {
+	if err := validateSplit(s, machines); err != nil {
+		return nil, err
+	}
+
+	var inj *faults.Injector
+	if !cfg.Faults.Empty() {
+		var err error
+		inj, err = faults.NewInjector(*cfg.Faults)
+		if err != nil {
 			return nil, err
 		}
-	}
-	units := s.Net.Units()
-	if len(s.Types) != len(units) {
-		return nil, fmt.Errorf("sim: %d types for %d units", len(s.Types), len(units))
-	}
-	if s.Alpha <= 0 || s.Alpha >= 1 {
-		return nil, fmt.Errorf("sim: alpha %g out of (0,1)", s.Alpha)
+		for m := range machines {
+			d := cfg.Faults.GroupDivisors(m)
+			machines[m].Compute /= d.Compute
+			machines[m].MemBW /= d.MemBW
+			machines[m].NetBW /= d.NetBW
+			machines[m].HBMBytes = int64(float64(machines[m].HBMBytes) / d.Capacity)
+			if err := machines[m].Validate(); err != nil {
+				return nil, fmt.Errorf("sim: fault scenario degrades machine %d to an invalid state: %w", m, err)
+			}
+		}
 	}
 
 	b := newBuilder(s, machines)
@@ -146,7 +206,29 @@ func Simulate(s Split, machines [2]Machine, cfg Config) (*Result, error) {
 	if err := b.build(); err != nil {
 		return nil, err
 	}
-	return b.schedule(cfg)
+	return b.schedule(cfg, inj)
+}
+
+// validateSplit is the single validation gate shared by every entry path
+// that constructs a builder (Simulate, TaskOrderCheck, SortedTaskNames) —
+// newBuilder itself must never be reachable with unchecked inputs.
+func validateSplit(s Split, machines [2]Machine) error {
+	if err := s.Net.Validate(); err != nil {
+		return err
+	}
+	for _, m := range machines {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	units := s.Net.Units()
+	if len(s.Types) != len(units) {
+		return fmt.Errorf("sim: %d types for %d units", len(s.Types), len(units))
+	}
+	if math.IsNaN(s.Alpha) || s.Alpha <= 0 || s.Alpha >= 1 {
+		return fmt.Errorf("sim: alpha %g out of (0,1)", s.Alpha)
+	}
+	return nil
 }
 
 // builder assembles the task graph.
@@ -424,7 +506,11 @@ func compactDeps(deps []*task) []*task {
 // schedule performs deterministic list scheduling: tasks are considered in
 // creation order (a topological order by construction) and each starts at
 // the max of its dependencies' finish times and its resource's free time.
-func (b *builder) schedule(cfg Config) (*Result, error) {
+// With an injector, each task additionally draws its transient-fault
+// outcome — every failed attempt re-executes the task in full after its
+// backoff, occupying the resource throughout — and group-loss faults
+// append their checkpoint-restart penalty to the makespan.
+func (b *builder) schedule(cfg Config, inj *faults.Injector) (*Result, error) {
 	var computeFree, netFree [2]float64
 	res := &Result{Tasks: len(b.tasks)}
 
@@ -442,6 +528,18 @@ func (b *builder) schedule(cfg Config) (*Result, error) {
 		var dur float64
 		if t.onNet {
 			dur = t.remoteBytes / m.NetBW
+		} else {
+			dur = math.Max(t.flops/m.Compute, t.localBytes/m.MemBW)
+		}
+		if inj != nil {
+			if retries, backoff := inj.TaskFault(t.machine); retries > 0 {
+				lost := float64(retries)*dur + backoff
+				res.Retries[t.machine] += retries
+				res.LostTime[t.machine] += lost
+				dur += lost
+			}
+		}
+		if t.onNet {
 			resFree := &netFree[t.machine]
 			if !cfg.OverlapComm {
 				// Serialize with compute: the transfer occupies both.
@@ -460,7 +558,6 @@ func (b *builder) schedule(cfg Config) (*Result, error) {
 			res.NetBusy[t.machine] += dur
 			res.RemoteBytes[t.machine] += t.remoteBytes
 		} else {
-			dur = math.Max(t.flops/m.Compute, t.localBytes/m.MemBW)
 			if computeFree[t.machine] > start {
 				start = computeFree[t.machine]
 			}
@@ -479,6 +576,16 @@ func (b *builder) schedule(cfg Config) (*Result, error) {
 				Start: t.done - dur, End: t.done,
 			})
 		}
+	}
+
+	if inj != nil {
+		for _, ev := range inj.LossPenalties(res.Time) {
+			res.RestartOverhead += ev.Penalty
+			if ev.Group >= 0 && ev.Group < 2 {
+				res.LostTime[ev.Group] += ev.Penalty
+			}
+		}
+		res.Time += res.RestartOverhead
 	}
 
 	for m := 0; m < 2; m++ {
@@ -527,6 +634,9 @@ func (b *builder) residency(m int) int64 {
 // TaskOrderCheck verifies (for tests) that builder task order is
 // topological: every dependency precedes its dependent.
 func TaskOrderCheck(s Split, machines [2]Machine) error {
+	if err := validateSplit(s, machines); err != nil {
+		return err
+	}
 	b := newBuilder(s, machines)
 	if err := b.build(); err != nil {
 		return err
@@ -557,6 +667,9 @@ func MachineFromSpecs(name string, compute, memBW, netBW float64, hbm int64) Mac
 
 // SortedTaskNames returns the task names in schedule order (test helper).
 func SortedTaskNames(s Split, machines [2]Machine) ([]string, error) {
+	if err := validateSplit(s, machines); err != nil {
+		return nil, err
+	}
 	b := newBuilder(s, machines)
 	if err := b.build(); err != nil {
 		return nil, err

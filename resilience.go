@@ -1,0 +1,229 @@
+package accpar
+
+import (
+	"fmt"
+	"strings"
+
+	"accpar/internal/core"
+	"accpar/internal/faults"
+	"accpar/internal/hardware"
+)
+
+// Fault-injection building blocks, re-exported from internal/faults. A
+// degraded accelerator group is simply a more heterogeneous one: the same
+// flexible-ratio machinery (Eq. 10 of the paper) that balances TPU-v2
+// against TPU-v3 also rebalances a healthy group against a throttled,
+// flaky or partially lost one.
+type (
+	// Fault is one injected fault bound to an accelerator group.
+	Fault = faults.Fault
+	// FaultKind classifies a fault.
+	FaultKind = faults.Kind
+	// FaultScenario bundles faults with the seed making them
+	// deterministic.
+	FaultScenario = faults.Scenario
+	// Degradation is the post-fault hardware transform of one group.
+	Degradation = hardware.Degradation
+	// ReplanReport is the analytic three-way replanning comparison.
+	ReplanReport = core.ReplanReport
+)
+
+// The fault kinds.
+const (
+	// FaultSlowdown divides a group's compute throughput by Factor.
+	FaultSlowdown = faults.KindSlowdown
+	// FaultMemBW divides a group's HBM bandwidth by Factor.
+	FaultMemBW = faults.KindMemBW
+	// FaultNetBW divides a group's network bandwidth by Factor.
+	FaultNetBW = faults.KindNetBW
+	// FaultTransient fails each task on the group with probability Rate.
+	FaultTransient = faults.KindTransient
+	// FaultGroupLoss permanently removes Fraction of a group's
+	// accelerators.
+	FaultGroupLoss = faults.KindGroupLoss
+)
+
+// ParseFaults decodes a comma-separated fault spec list, e.g.
+// "slowdown:0=2.0,netbw:1=4,transient:0=0.05@0.001,loss:1=0.25".
+func ParseFaults(spec string) ([]Fault, error) { return faults.Parse(spec) }
+
+// DegradeArrayGroups applies a scenario's deterministic degradations to
+// an array's group list, producing the post-fault groups the planner
+// replans against.
+func DegradeArrayGroups(groups []ArrayGroup, sc *FaultScenario) ([]ArrayGroup, error) {
+	return hardware.DegradeGroups(groups, sc.Degradations())
+}
+
+// ReplanAnalytic runs the analytic (cost-model) replanning pipeline for a
+// fault scenario: partition the pristine array, re-cost the stale
+// decisions on the degraded array, partition the degraded array from
+// scratch, and adopt the better post-fault plan.
+func ReplanAnalytic(net *Network, groups []ArrayGroup, strategy Strategy, sc *FaultScenario) (*ReplanReport, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	arr, err := HeterogeneousArray(groups...)
+	if err != nil {
+		return nil, err
+	}
+	pristine, err := hardware.BuildTree(arr, 64)
+	if err != nil {
+		return nil, err
+	}
+	dgroups, err := DegradeArrayGroups(groups, sc)
+	if err != nil {
+		return nil, err
+	}
+	darr, err := HeterogeneousArray(dgroups...)
+	if err != nil {
+		return nil, err
+	}
+	degraded, err := hardware.BuildTree(darr, 64)
+	if err != nil {
+		return nil, err
+	}
+	return core.Replan(net, pristine, degraded, strategy.Options())
+}
+
+// ResilienceReport is the simulated three-way comparison of a fault
+// scenario: the fault-free run, the stale plan executed under the
+// faults, and the degradation-aware replanned run under the same faults.
+type ResilienceReport struct {
+	// Scenario is the injected fault scenario.
+	Scenario FaultScenario
+	// FaultFreePlan is the plan derived for the pristine array; its root
+	// decision drives both the fault-free and the stale runs.
+	FaultFreePlan *Plan
+	// ReplannedPlan is the adopted post-fault plan: the fresh
+	// degradation-aware plan when its simulated makespan improves on the
+	// stale run, otherwise FaultFreePlan (the replanner never switches to
+	// a plan the simulator predicts to be worse).
+	ReplannedPlan *Plan
+	// FaultFree, Stale and Replanned are the three simulated runs.
+	FaultFree, Stale, Replanned *SimResult
+	// Adopted reports whether the fresh plan was adopted.
+	Adopted bool
+	// MachineNames labels the two groups in reports.
+	MachineNames [2]string
+}
+
+// Impact returns the fractional makespan increase the faults inflict on
+// the stale plan: Stale/FaultFree − 1.
+func (r *ResilienceReport) Impact() float64 {
+	if r.FaultFree.Time == 0 {
+		return 0
+	}
+	return r.Stale.Time/r.FaultFree.Time - 1
+}
+
+// Recovery returns the fraction of the fault-induced slowdown the
+// replanned run wins back: (Stale − Replanned) / (Stale − FaultFree).
+// Zero when the faults cost nothing.
+func (r *ResilienceReport) Recovery() float64 {
+	gap := r.Stale.Time - r.FaultFree.Time
+	if gap <= 0 {
+		return 0
+	}
+	return (r.Stale.Time - r.Replanned.Time) / gap
+}
+
+// String renders the three-way resilience table.
+func (r *ResilienceReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults: %s (seed %d)\n\n", r.Scenario.String(), r.Scenario.Seed)
+	fmt.Fprintf(&b, "%-12s %14s %8s %9s %12s\n", "run", "makespan", "alpha", "retries", "lost time")
+	row := func(name string, res *SimResult, alpha float64, note string) {
+		fmt.Fprintf(&b, "%-12s %12.6g s %8.3f %9d %10.4g s%s\n",
+			name, res.Time, alpha, res.Retries[0]+res.Retries[1], res.LostTime[0]+res.LostTime[1], note)
+	}
+	row("fault-free", r.FaultFree, r.FaultFreePlan.Root.Alpha, "")
+	row("stale", r.Stale, r.FaultFreePlan.Root.Alpha, "")
+	note := "  (kept stale plan)"
+	if r.Adopted {
+		note = "  (adopted)"
+	}
+	row("replanned", r.Replanned, r.ReplannedPlan.Root.Alpha, note)
+	fmt.Fprintf(&b, "\nfault impact +%.1f%% · replanning recovers %.1f%% of the degradation\n",
+		100*r.Impact(), 100*r.Recovery())
+	return b.String()
+}
+
+// Resilience runs the full fault-injection experiment on a two-group
+// array: partition the pristine array with the strategy, simulate one
+// iteration fault-free, simulate the same (now stale) decision under the
+// fault scenario, replan against the degraded specs and simulate the
+// replanned decision under the same scenario with the same seed. The
+// replanned result is adopted only if its simulated makespan beats the
+// stale run, so Replanned.Time ≤ Stale.Time always holds.
+func Resilience(net *Network, groups []ArrayGroup, strategy Strategy, sc FaultScenario, cfg SimConfig) (*ResilienceReport, error) {
+	if len(groups) != 2 {
+		return nil, fmt.Errorf("accpar: resilience needs exactly 2 accelerator groups, got %d", len(groups))
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if g := sc.MaxGroup(); g > 1 {
+		return nil, fmt.Errorf("accpar: fault targets group %d of a 2-group array", g)
+	}
+	arr, err := HeterogeneousArray(groups...)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := Partition(net, arr, strategy)
+	if err != nil {
+		return nil, err
+	}
+	a := GroupMachine(groups[0].Spec, groups[0].Count)
+	b := GroupMachine(groups[1].Spec, groups[1].Count)
+
+	pristineCfg := cfg
+	pristineCfg.Faults = nil
+	free, err := Simulate(net, plan.Root.Types, plan.Root.Alpha, a, b, pristineCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	faultedCfg := cfg
+	faultedCfg.Faults = &sc
+	stale, err := Simulate(net, plan.Root.Types, plan.Root.Alpha, a, b, faultedCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Replan against the post-fault specs. The simulator applies the same
+	// scenario to the pristine machines itself, so both faulted runs see
+	// identical hardware and injection streams — only the decision
+	// differs.
+	dgroups, err := DegradeArrayGroups(groups, &sc)
+	if err != nil {
+		return nil, err
+	}
+	darr, err := HeterogeneousArray(dgroups...)
+	if err != nil {
+		return nil, err
+	}
+	dplan, err := Partition(net, darr, strategy)
+	if err != nil {
+		return nil, err
+	}
+	replanned, err := Simulate(net, dplan.Root.Types, dplan.Root.Alpha, a, b, faultedCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ResilienceReport{
+		Scenario:      sc,
+		FaultFreePlan: plan,
+		ReplannedPlan: dplan,
+		FaultFree:     free,
+		Stale:         stale,
+		Replanned:     replanned,
+		Adopted:       replanned.Time < stale.Time,
+		MachineNames:  [2]string{a.Name, b.Name},
+	}
+	if !rep.Adopted {
+		rep.Replanned = stale
+		rep.ReplannedPlan = plan
+	}
+	return rep, nil
+}

@@ -1,0 +1,172 @@
+package accpar
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func v2v3ResilienceGroups(n int) []ArrayGroup {
+	return []ArrayGroup{
+		{Spec: TPUv2(), Count: n},
+		{Spec: TPUv3(), Count: n},
+	}
+}
+
+// TestResilienceAcceptanceScenario is the PR's acceptance criterion: for
+// slowdown:0=2.0 on the default heterogeneous 128×v2 + 128×v3 array, the
+// replanned makespan must be strictly below the stale one.
+func TestResilienceAcceptanceScenario(t *testing.T) {
+	net, err := BuildModel("alexnet", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := ParseFaults("slowdown:0=2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Resilience(net, v2v3ResilienceGroups(128), StrategyAccPar,
+		FaultScenario{Seed: 1, Faults: fl}, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stale.Time <= rep.FaultFree.Time {
+		t.Errorf("slowdown did not hurt the stale plan: stale %g <= fault-free %g",
+			rep.Stale.Time, rep.FaultFree.Time)
+	}
+	if !(rep.Replanned.Time < rep.Stale.Time) {
+		t.Errorf("replanned %g not strictly below stale %g", rep.Replanned.Time, rep.Stale.Time)
+	}
+	if !rep.Adopted {
+		t.Error("fresh plan should be adopted for a 2x compute slowdown")
+	}
+	// Recovery can exceed 1: the analytic planner is not exactly
+	// sim-optimal, so a fresh plan may simulate faster under faults than
+	// the original plan did fault-free.
+	if r := rep.Recovery(); !(r > 0) {
+		t.Errorf("recovery %g not positive", r)
+	}
+	out := rep.String()
+	for _, want := range []string{"fault-free", "stale", "replanned", "slowdown:0=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestResilienceSlowdownChain checks the end-to-end property chain on the
+// simulated makespans: replanned ≤ stale ≤ f × fault-free, across random
+// slowdown factors, afflicted groups and models.
+func TestResilienceSlowdownChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nets := map[string]*Network{}
+	for _, m := range []string{"alexnet", "vgg16"} {
+		net, err := BuildModel(m, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[m] = net
+	}
+	const eps = 1e-9
+	for i := 0; i < 8; i++ {
+		model := []string{"alexnet", "vgg16"}[rng.Intn(2)]
+		group := rng.Intn(2)
+		f := 1 + 9*rng.Float64()
+		sc := FaultScenario{
+			Seed:   rng.Int63(),
+			Faults: []Fault{{Kind: FaultSlowdown, Group: group, Factor: f}},
+		}
+		rep, err := Resilience(nets[model], v2v3ResilienceGroups(16), StrategyAccPar, sc, SimConfig{})
+		if err != nil {
+			t.Fatalf("trial %d (%s, group %d, f=%g): %v", i, model, group, f, err)
+		}
+		if rep.Replanned.Time > rep.Stale.Time*(1+eps) {
+			t.Errorf("trial %d: replanned %g > stale %g", i, rep.Replanned.Time, rep.Stale.Time)
+		}
+		if rep.Stale.Time > f*rep.FaultFree.Time*(1+eps) {
+			t.Errorf("trial %d: stale %g > f*fault-free %g (f=%g)",
+				i, rep.Stale.Time, f*rep.FaultFree.Time, f)
+		}
+		if rep.Stale.Time < rep.FaultFree.Time*(1-eps) {
+			t.Errorf("trial %d: slowdown sped the run up: %g < %g",
+				i, rep.Stale.Time, rep.FaultFree.Time)
+		}
+	}
+}
+
+// TestResilienceDeterminism: the same scenario and seed must reproduce the
+// report exactly, including the injected retries.
+func TestResilienceDeterminism(t *testing.T) {
+	net, err := BuildModel("lenet", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := ParseFaults("transient:1=0.2@0.0001,slowdown:0=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := FaultScenario{Seed: 42, Faults: fl}
+	run := func() *ResilienceReport {
+		rep, err := Resilience(net, v2v3ResilienceGroups(4), StrategyAccPar, sc, SimConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Stale.Time != b.Stale.Time || a.Replanned.Time != b.Replanned.Time {
+		t.Errorf("non-deterministic makespans: %g/%g vs %g/%g",
+			a.Stale.Time, a.Replanned.Time, b.Stale.Time, b.Replanned.Time)
+	}
+	if a.Stale.Retries != b.Stale.Retries {
+		t.Errorf("non-deterministic retries: %v vs %v", a.Stale.Retries, b.Stale.Retries)
+	}
+	if a.Stale.Retries[1] == 0 {
+		t.Error("transient fault on group 1 injected no retries")
+	}
+}
+
+// TestResilienceValidation: malformed requests fail up front.
+func TestResilienceValidation(t *testing.T) {
+	net, err := BuildModel("lenet", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := v2v3ResilienceGroups(2)
+	if _, err := Resilience(net, groups[:1], StrategyAccPar, FaultScenario{Seed: 1}, SimConfig{}); err == nil {
+		t.Error("single group accepted")
+	}
+	sc := FaultScenario{Seed: 1, Faults: []Fault{{Kind: FaultSlowdown, Group: 2, Factor: 2}}}
+	if _, err := Resilience(net, groups, StrategyAccPar, sc, SimConfig{}); err == nil {
+		t.Error("fault on group 2 of a 2-group array accepted")
+	}
+	bad := FaultScenario{Seed: 1, Faults: []Fault{{Kind: FaultSlowdown, Group: 0, Factor: 0.5}}}
+	if _, err := Resilience(net, groups, StrategyAccPar, bad, SimConfig{}); err == nil {
+		t.Error("slowdown factor < 1 accepted")
+	}
+}
+
+// TestReplanAnalyticFacade exercises the analytic replanning path through
+// the facade, including group loss which changes the tree shape.
+func TestReplanAnalyticFacade(t *testing.T) {
+	net, err := BuildModel("vgg16", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := ParseFaults("loss:1=0.5,slowdown:1=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &FaultScenario{Seed: 1, Faults: fl}
+	rep, err := ReplanAnalytic(net, v2v3ResilienceGroups(8), StrategyAccPar, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replanned.Time() > rep.Stale.Time() {
+		t.Errorf("replanned %g worse than stale %g", rep.Replanned.Time(), rep.Stale.Time())
+	}
+	if rep.Stale.Time() < rep.FaultFree.Time() {
+		t.Errorf("losing half a group sped the stale plan up: %g < %g",
+			rep.Stale.Time(), rep.FaultFree.Time())
+	}
+}
