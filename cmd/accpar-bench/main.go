@@ -29,12 +29,24 @@ func main() {
 		bars       = flag.Bool("bars", false, "render bar charts next to the tables")
 		extensions = flag.Bool("extensions", false, "also run the extension studies (topology, batch, fleet-composition sweeps)")
 		csvDir     = flag.String("csv", "", "also export figures 5/6/8 as CSV files into this directory")
+		jsonOut    = flag.Bool("json", false, "measure planner/simulator benchmarks and write BENCH_PLANNER.json instead of the tables")
+		jsonPath   = flag.String("json-out", "BENCH_PLANNER.json", "output path of the -json report")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of hierarchical planning to this file (with -json)")
+		memProfile = flag.String("memprofile", "", "write a heap profile of hierarchical planning to this file (with -json)")
 	)
 	flag.Parse()
 
 	cfg := eval.Config{}
 	if *small {
 		cfg = eval.Config{Batch: 64, PerKind: 8, HomSize: 16}
+	}
+
+	if *jsonOut {
+		if err := runPerf(cfg, *jsonPath, *cpuProfile, *memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "accpar-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if err := run(cfg, *fig, *table, *ablations, *bars); err != nil {

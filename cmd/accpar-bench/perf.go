@@ -1,0 +1,284 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+
+	"accpar"
+	"accpar/internal/core"
+	"accpar/internal/eval"
+	"accpar/internal/models"
+)
+
+// BenchEntry is one measured benchmark in BENCH_PLANNER.json.
+type BenchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// BenchReport is the machine-readable planner/simulator performance
+// record the CI bench-smoke job archives.
+type BenchReport struct {
+	GoMaxProcs int `json:"gomaxprocs"`
+	// SpeedupParallelVsSerial is hierarchical-planner serial ns/op over
+	// parallel ns/op on this machine; ≈ 1.0 on a single-CPU host, where
+	// the memoization and closed-form bisection wins show up directly in
+	// the absolute ns/op instead.
+	SpeedupParallelVsSerial float64 `json:"speedup_parallel_vs_serial"`
+	// SpeedupSolveRatioClosedForm is the Eq. 10 bisection speedup of the
+	// precomputed-coefficient solver over the per-step full-sweep
+	// reference, measured on a homogeneous root split (where the balance
+	// point is interior and the bisection runs to convergence).
+	SpeedupSolveRatioClosedForm float64      `json:"speedup_solve_ratio_closed_form"`
+	Benchmarks                  []BenchEntry `json:"benchmarks"`
+}
+
+func entry(name string, r testing.BenchmarkResult) BenchEntry {
+	return BenchEntry{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// benchPartition measures core.Partition on one model over the
+// heterogeneous paper array at the given worker count.
+func benchPartition(model string, batch, perKind, parallelism int) (testing.BenchmarkResult, error) {
+	net, err := models.BuildNetwork(model, batch)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	tree, err := eval.HeterogeneousTree(perKind)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	opt := core.AccPar()
+	opt.Parallelism = parallelism
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Partition(net, tree, opt); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	return r, benchErr
+}
+
+// benchSimulate measures repeated sim.Simulate runs (through the public
+// facade) — the alloc-lean pooled builder path.
+func benchSimulate(model string, batch, perKind int) (testing.BenchmarkResult, error) {
+	net, err := accpar.BuildModel(model, batch)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	arr, err := accpar.HeterogeneousArray(
+		accpar.ArrayGroup{Spec: accpar.TPUv2(), Count: perKind},
+		accpar.ArrayGroup{Spec: accpar.TPUv3(), Count: perKind})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	plan, err := accpar.Partition(net, arr, accpar.StrategyAccPar)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	ma := accpar.GroupMachine(accpar.TPUv2(), perKind)
+	mb := accpar.GroupMachine(accpar.TPUv3(), perKind)
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := accpar.Simulate(net, plan.Root.Types, plan.Root.Alpha, ma, mb, accpar.SimConfig{}); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	return r, benchErr
+}
+
+// benchSolveRatio measures the Eq. 10 bisection both ways on the
+// homogeneous array's root split.
+func benchSolveRatio(model string, batch, homSize int) (closed, reference testing.BenchmarkResult, err error) {
+	net, err := models.BuildNetwork(model, batch)
+	if err != nil {
+		return closed, reference, err
+	}
+	tree, err := eval.HomogeneousTree(homSize)
+	if err != nil {
+		return closed, reference, err
+	}
+	bc, err := core.NewRatioBenchCase(net, tree, core.AccPar())
+	if err != nil {
+		return closed, reference, err
+	}
+	var benchErr error
+	closed = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bc.ClosedForm(); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return closed, reference, benchErr
+	}
+	reference = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bc.Reference(); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	return closed, reference, benchErr
+}
+
+// runPerf measures the planner and simulator benchmarks and writes the
+// JSON report. cpuProfile/memProfile optionally capture pprof profiles of
+// one extra hierarchical-planner run.
+func runPerf(cfg eval.Config, jsonPath, cpuProfile, memProfile string) error {
+	batch, perKind := cfg.Batch, cfg.PerKind
+	if batch == 0 {
+		batch = 512
+	}
+	if perKind == 0 {
+		perKind = 128
+	}
+
+	report := BenchReport{GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	serial, err := benchPartition("resnet50", batch, perKind, 1)
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks, entry("PartitionHierarchical/resnet50/serial", serial))
+	par, err := benchPartition("resnet50", batch, perKind, 0)
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks, entry("PartitionHierarchical/resnet50/parallel", par))
+	if parNs := float64(par.T.Nanoseconds()) / float64(par.N); parNs > 0 {
+		report.SpeedupParallelVsSerial = float64(serial.T.Nanoseconds()) / float64(serial.N) / parNs
+	}
+
+	vgg, err := benchPartition("vgg16", batch, perKind, 0)
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks, entry("PartitionHierarchical/vgg16/parallel", vgg))
+
+	simr, err := benchSimulate("vgg16", batch, perKind)
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks, entry("Simulate/vgg16", simr))
+
+	homSize := cfg.HomSize
+	if homSize == 0 {
+		homSize = 256
+	}
+	closed, reference, err := benchSolveRatio("vgg16", batch, homSize)
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks,
+		entry("SolveRatio/closed-form", closed),
+		entry("SolveRatio/reference", reference))
+	if closedNs := float64(closed.T.Nanoseconds()) / float64(closed.N); closedNs > 0 {
+		report.SpeedupSolveRatioClosedForm = float64(reference.T.Nanoseconds()) / float64(reference.N) / closedNs
+	}
+
+	if cpuProfile != "" || memProfile != "" {
+		if err := profilePartition("resnet50", batch, perKind, cpuProfile, memProfile); err != nil {
+			return err
+		}
+	}
+
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote:", jsonPath)
+	for _, e := range report.Benchmarks {
+		fmt.Printf("  %-42s %12.0f ns/op %10d B/op %8d allocs/op\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	return nil
+}
+
+// profilePartition captures CPU and/or heap profiles of hierarchical
+// planning runs.
+func profilePartition(model string, batch, perKind int, cpuProfile, memProfile string) error {
+	net, err := models.BuildNetwork(model, batch)
+	if err != nil {
+		return err
+	}
+	tree, err := eval.HeterogeneousTree(perKind)
+	if err != nil {
+		return err
+	}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := core.Partition(net, tree, core.AccPar()); err != nil {
+				pprof.StopCPUProfile()
+				f.Close()
+				return err
+			}
+		}
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote:", cpuProfile)
+	}
+	if memProfile != "" {
+		if _, err := core.Partition(net, tree, core.AccPar()); err != nil {
+			return err
+		}
+		f, err := os.Create(memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote:", memProfile)
+	}
+	return nil
+}

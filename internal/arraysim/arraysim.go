@@ -73,15 +73,38 @@ type task struct {
 	sched    bool
 }
 
+// taskArena hands out tasks from chunked slabs: task pointers stay stable
+// while the whole graph costs a few slab allocations instead of one per
+// task.
+type taskArena struct {
+	chunks [][]task
+	used   int
+}
+
+func (a *taskArena) alloc() *task {
+	if len(a.chunks) == 0 || a.used == len(a.chunks[len(a.chunks)-1]) {
+		size := 512
+		if k := len(a.chunks); k > 0 && len(a.chunks[k-1]) > size/2 {
+			size = 2 * len(a.chunks[k-1])
+		}
+		a.chunks = append(a.chunks, make([]task, size))
+		a.used = 0
+	}
+	t := &a.chunks[len(a.chunks)-1][a.used]
+	a.used++
+	return t
+}
+
 // builder assembles the array-level task graph from a plan and the
 // hardware tree it was computed for.
 type builder struct {
 	cfg   Config
 	units []dnn.WeightedLayer
 	edges [][2]int
-	in    map[int][]int
-	out   map[int][]int
+	in    [][]int
+	out   [][]int
 
+	arena taskArena
 	tasks []*task
 
 	// leaf resources.
@@ -118,7 +141,7 @@ type linkInfo struct {
 func Simulate(plan *core.Plan, tree *hardware.Tree, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	b := &builder{cfg: cfg, units: plan.Network.Units(), edges: plan.Network.Edges()}
-	b.in, b.out = map[int][]int{}, map[int][]int{}
+	b.in, b.out = make([][]int, len(b.units)), make([][]int, len(b.units))
 	for _, e := range b.edges {
 		b.in[e[1]] = append(b.in[e[1]], e[0])
 		b.out[e[0]] = append(b.out[e[0]], e[1])

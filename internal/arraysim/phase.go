@@ -50,15 +50,18 @@ func (b *builder) phaseDone(ph cost.Phase) [][]*task {
 	}
 }
 
-// newTask appends a task.
-func (b *builder) newTask(t *task) *task {
-	b.tasks = append(b.tasks, t)
-	return t
+// newTask allocates a task from the arena and appends it to the schedule
+// order.
+func (b *builder) newTask(t task) *task {
+	p := b.arena.alloc()
+	*p = t
+	b.tasks = append(b.tasks, p)
+	return p
 }
 
 // join creates a zero-duration synchronization task.
 func (b *builder) join(deps []*task) *task {
-	return b.newTask(&task{machine: -1, link: -1, deps: deps})
+	return b.newTask(task{machine: -1, link: -1, deps: deps})
 }
 
 // phase builds all tasks of one (phase, unit): per-leaf compute, per-link
@@ -107,7 +110,7 @@ func (b *builder) phase(ph cost.Phase, u int) {
 		for i := r[0]; i < r[1]; i++ {
 			deps = append(deps, depsFor(i)...)
 		}
-		x := b.newTask(&task{
+		x := b.newTask(task{
 			link: li, machine: -1, duration: bytes / b.linkBW[li],
 			deps: compact(deps),
 		})
@@ -144,7 +147,7 @@ func (b *builder) phase(ph cost.Phase, u int) {
 			d := b.leaves[leaf].node.Dims[u]
 			dur = math.Max(phaseFLOPs(ph, d)/b.leafCompute[leaf], phaseBytes(ph, d)/b.leafMem[leaf])
 		}
-		computeTasks[leaf] = b.newTask(&task{
+		computeTasks[leaf] = b.newTask(task{
 			machine: leaf, link: -1, duration: dur, deps: compact(deps),
 		})
 	}
@@ -152,7 +155,7 @@ func (b *builder) phase(ph cost.Phase, u int) {
 	// Partial-sum exchanges: at every link whose chosen type for this unit
 	// incurs its psum in this phase, an exchange over the link's effective
 	// dims gates completion for all leaves under the link.
-	psums := map[int][]*task{} // leaf -> exchange tasks gating it
+	psums := make([][]*task, nl) // leaf -> exchange tasks gating it
 	if !unit.Virtual {
 		for li, lk := range b.links {
 			t := lk.node.Types[u]
@@ -165,7 +168,7 @@ func (b *builder) phase(ph cost.Phase, u int) {
 			for i := r[0]; i < r[1]; i++ {
 				deps = append(deps, computeTasks[i])
 			}
-			x := b.newTask(&task{link: li, machine: -1, duration: bytes / b.linkBW[li], deps: deps})
+			x := b.newTask(task{link: li, machine: -1, duration: bytes / b.linkBW[li], deps: deps})
 			for i := r[0]; i < r[1]; i++ {
 				psums[i] = append(psums[i], x)
 			}
@@ -202,16 +205,24 @@ func interSplit(tt, t cost.Type, boundary int64, alpha float64) (fwd, bwd float6
 	return (fi + fj) * tensor.BytesPerElement, (ei + ej) * tensor.BytesPerElement
 }
 
-// compact removes nils and duplicates.
+// compact removes nils and duplicates in place. Dependency lists are a
+// handful of entries, so the quadratic scan beats a map allocation.
 func compact(ts []*task) []*task {
-	seen := map[*task]bool{}
-	var out []*task
+	out := ts[:0]
 	for _, t := range ts {
-		if t == nil || seen[t] {
+		if t == nil {
 			continue
 		}
-		seen[t] = true
-		out = append(out, t)
+		dup := false
+		for _, o := range out {
+			if o == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, t)
+		}
 	}
 	return out
 }

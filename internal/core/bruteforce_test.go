@@ -98,6 +98,7 @@ func ctxFor(net *dnn.Network, opt Options, alpha float64) *levelCtx {
 	for i := range units {
 		ctx.units[i] = unitInfo{layer: units[i], dims: units[i].Dims}
 	}
+	ctx.prepare()
 	return ctx
 }
 

@@ -41,6 +41,7 @@ func (p *Plan) ctxForNode(n *PlanNode) *levelCtx {
 	for i := range units {
 		ctx.units[i] = unitInfo{layer: units[i], dims: n.Dims[i]}
 	}
+	ctx.prepare()
 	return ctx
 }
 

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"accpar/internal/cost"
+	"accpar/internal/hardware"
+	"accpar/internal/tensor"
+)
+
+// planMemo caches solved hierarchical subproblems. A subproblem is fully
+// identified — within one planner, whose network, segment structure and
+// options are fixed — by the hardware subtree it partitions and the
+// effective per-unit dims it partitions at, so the key is a content hash
+// of exactly those two inputs. Content addressing (rather than node
+// pointers) is what lets degradation-aware replanning reuse every subtree
+// the fault did not touch: the pristine and degraded hierarchies are
+// distinct tree objects, but their unaffected subtrees hash identically.
+// Symmetric splits benefit the same way — a homogeneous level with
+// α = 0.5 hands both children identical (subtree, dims) subproblems, so a
+// depth-h homogeneous hierarchy costs O(h) DP runs instead of O(2^h).
+//
+// The memo is sharded to keep concurrent planner workers from serializing
+// on one lock.
+type planMemo struct {
+	shards [memoShards]memoShard
+}
+
+const memoShards = 16
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[string]*PlanNode
+}
+
+func newPlanMemo() *planMemo {
+	p := &planMemo{}
+	for i := range p.shards {
+		p.shards[i].m = make(map[string]*PlanNode)
+	}
+	return p
+}
+
+func (p *planMemo) shard(key string) *memoShard {
+	if len(key) == 0 {
+		return &p.shards[0]
+	}
+	return &p.shards[key[0]&(memoShards-1)]
+}
+
+// get returns the cached solution for key. The caller must clone the
+// returned node before linking it into a plan: plan consumers (the array
+// simulator's leaf-range index in particular) key maps by *PlanNode, so a
+// subtree shared between two parents would silently alias.
+func (p *planMemo) get(key string) (*PlanNode, bool) {
+	s := p.shard(key)
+	s.mu.RLock()
+	n, ok := s.m[key]
+	s.mu.RUnlock()
+	return n, ok
+}
+
+func (p *planMemo) put(key string, n *PlanNode) {
+	s := p.shard(key)
+	s.mu.Lock()
+	s.m[key] = n
+	s.mu.Unlock()
+}
+
+// subproblemKey hashes (hardware subtree, effective dims) into a memo key.
+func subproblemKey(node *hardware.Tree, dims []tensor.LayerDims) string {
+	h := fnv.New128a()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wFloat := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	var wTree func(t *hardware.Tree)
+	wTree = func(t *hardware.Tree) {
+		wInt(int64(t.Level))
+		wInt(int64(t.Group.Size()))
+		for _, s := range t.Group.Accel {
+			wInt(int64(len(s.Name)))
+			h.Write([]byte(s.Name))
+			wFloat(s.FLOPS)
+			wInt(s.HBMBytes)
+			wFloat(s.MemBandwidth)
+			wFloat(s.NetBandwidth)
+		}
+		if t.IsLeaf() {
+			wInt(-1)
+			return
+		}
+		wInt(-2)
+		wTree(t.Left)
+		wTree(t.Right)
+	}
+	wTree(node)
+	wInt(int64(len(dims)))
+	for _, d := range dims {
+		wInt(int64(d.B))
+		wInt(int64(d.Di))
+		wInt(int64(d.Do))
+		wInt(int64(d.HIn))
+		wInt(int64(d.WIn))
+		wInt(int64(d.HOut))
+		wInt(int64(d.WOut))
+		wInt(int64(d.KH))
+		wInt(int64(d.KW))
+	}
+	return string(h.Sum(nil))
+}
+
+// clonePlanNode deep-copies a memoized subtree so every parent links a
+// private node graph. Slices are copied because plan consumers index and
+// mutate-by-identity around them; the recursion mirrors the tree shape.
+func clonePlanNode(n *PlanNode) *PlanNode {
+	if n == nil {
+		return nil
+	}
+	c := *n
+	if n.Types != nil {
+		c.Types = append([]cost.Type(nil), n.Types...)
+	}
+	if n.Dims != nil {
+		c.Dims = append([]tensor.LayerDims(nil), n.Dims...)
+	}
+	c.Left = clonePlanNode(n.Left)
+	c.Right = clonePlanNode(n.Right)
+	return &c
+}

@@ -113,6 +113,13 @@ type Options struct {
 	// inference (forward only — Section 1: inference performs only data
 	// forward). Default ModeTraining.
 	Mode Mode
+	// Parallelism bounds the worker pool the hierarchical search fans its
+	// recursion over: 0 uses one worker per available CPU
+	// (runtime.GOMAXPROCS), 1 selects the serial reference path (no
+	// goroutines are spawned). The produced plan is byte-identical across
+	// all settings — every subproblem is pure, so scheduling cannot change
+	// results — which the equivalence tests enforce.
+	Parallelism int
 }
 
 // Mode selects which phases the workload executes.
@@ -154,6 +161,9 @@ func (o Options) withDefaults() Options {
 func (o Options) validate() error {
 	if len(o.Types) == 0 {
 		return fmt.Errorf("core: empty type set")
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("core: negative parallelism %d", o.Parallelism)
 	}
 	seen := map[cost.Type]bool{}
 	for _, t := range o.Types {

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"accpar/internal/cost"
+	"accpar/internal/hardware"
+	"accpar/internal/models"
+	"accpar/internal/tensor"
+)
+
+// benchCtx builds a level context over a paper-scale model and a
+// homogeneous 64+64 TPU-v3 split, with a mixed type assignment so every
+// Table 5 pattern class contributes to the balance function. A
+// heterogeneous v2/v3 root balances at the extreme share (the slower
+// side's constant communication exceeds any compute it could absorb) and
+// the bisection early-exits; the symmetric split makes g(α) cross zero in
+// the interior, so these benchmarks exercise the full 60-iteration
+// bisection the planner runs at every homogeneous level.
+func benchCtx(tb testing.TB) (*levelCtx, []cost.Type) {
+	tb.Helper()
+	net, err := models.BuildNetwork("vgg16", 512)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	arr, err := hardware.NewHomogeneous(hardware.TPUv3(), 128)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tree, err := hardware.BuildTree(arr, 64)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	opt := Options{}.withDefaults()
+	sideI := Side{Compute: tree.Left.Group.ComputeDensity(), Net: opt.Topology.BisectionBandwidth(tree.Left.Group)}
+	sideJ := Side{Compute: tree.Right.Group.ComputeDensity(), Net: opt.Topology.BisectionBandwidth(tree.Right.Group)}
+	units := net.Units()
+	dims := make([]tensor.LayerDims, len(units))
+	for i := range units {
+		dims[i] = units[i].Dims
+	}
+	segs := indexSegments(net)
+	ctx := newLevelCtx(units, dims, segs, segs, sideI, sideJ, opt)
+	ctx.alpha = 0.5
+	types := make([]cost.Type, len(ctx.units))
+	for i := range types {
+		types[i] = cost.Types[i%len(cost.Types)]
+	}
+	return ctx, types
+}
+
+// BenchmarkSolveRatio measures the Eq. 10 bisection with the precomputed
+// ratioCoeffs closed form: the level is aggregated once, then each of the
+// 60 bisection steps is a handful of multiplications.
+func BenchmarkSolveRatio(b *testing.B) {
+	ctx, types := benchCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.solveRatio(types); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveRatioReference measures the pre-optimization bisection
+// that re-runs the full O(units + edges) evalLevel sweep at every step —
+// the baseline BenchmarkSolveRatio's speedup is quoted against.
+func BenchmarkSolveRatioReference(b *testing.B) {
+	ctx, types := benchCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.solveRatioReference(types); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTree builds the heterogeneous paper array at the given per-kind
+// scale.
+func benchTree(b *testing.B, perKind int) *hardware.Tree {
+	b.Helper()
+	arr, err := hardware.NewHeterogeneous(
+		hardware.GroupSpec{Spec: hardware.TPUv2(), Count: perKind},
+		hardware.GroupSpec{Spec: hardware.TPUv3(), Count: perKind})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := hardware.BuildTree(arr, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree
+}
+
+// BenchmarkPartitionHierarchical measures the full hierarchical planner —
+// memoized subtree reuse plus bounded fork/join recursion — on ResNet-50
+// over the 128+128 paper array, against the serial reference path.
+func BenchmarkPartitionHierarchical(b *testing.B) {
+	net, err := models.BuildNetwork("resnet50", 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := benchTree(b, 128)
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{
+		{name: "serial", par: 1},
+		{name: "parallel", par: 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opt := AccPar()
+			opt.Parallelism = bc.par
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Partition(net, tree, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

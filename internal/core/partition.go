@@ -3,31 +3,39 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"accpar/internal/cost"
 	"accpar/internal/dnn"
 	"accpar/internal/hardware"
+	"accpar/internal/parallel"
 	"accpar/internal/tensor"
 )
 
-// Partition runs the hierarchical layer-wise partitioning of the network
-// over the accelerator hierarchy, returning the complete plan. At every
-// non-leaf hierarchy node it alternates the Eq. 9 dynamic programming with
-// the Eq. 10 ratio balance until the type assignment stabilizes, then
-// recurses into both children with the per-unit dims scaled by the chosen
-// ratio along each unit's partitioned dimension.
-func Partition(net *dnn.Network, tree *hardware.Tree, opt Options) (*Plan, error) {
+// planner carries the per-search state of one hierarchical partitioning:
+// the network view (units, segment structures), the fixed options, the
+// subproblem memo, and the worker-pool semaphore bounding the fan-out of
+// the recursion over hardware-tree children. A planner may be reused
+// across several trees of the same network and options — Replan does
+// exactly that, so subtrees untouched by a degradation are solved once.
+type planner struct {
+	net      *dnn.Network
+	units    []dnn.WeightedLayer
+	segs     []segRef
+	planSegs []segRef
+	opt      Options
+	memo     *planMemo
+	sem      *parallel.Sem
+}
+
+// newPlanner validates the inputs and builds the shared search state.
+func newPlanner(net *dnn.Network, opt Options) (*planner, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
 	if err := net.Validate(); err != nil {
 		return nil, err
-	}
-	units := net.Units()
-	dims := make([]tensor.LayerDims, len(units))
-	for i, u := range units {
-		dims[i] = u.Dims
 	}
 	segs := indexSegments(net)
 	planSegs := segs
@@ -38,15 +46,53 @@ func Partition(net *dnn.Network, tree *hardware.Tree, opt Options) (*Plan, error
 		// so type vectors index both structures identically.
 		planSegs = indexSegments(net.Linearize())
 	}
-	root, err := partitionNode(net, segs, planSegs, tree, dims, opt)
+	return &planner{
+		net:      net,
+		units:    net.Units(),
+		segs:     segs,
+		planSegs: planSegs,
+		opt:      opt,
+		memo:     newPlanMemo(),
+		sem:      parallel.NewSem(opt.Parallelism),
+	}, nil
+}
+
+// rootDims returns the network's unscaled per-unit dims.
+func (p *planner) rootDims() []tensor.LayerDims {
+	dims := make([]tensor.LayerDims, len(p.units))
+	for i, u := range p.units {
+		dims[i] = u.Dims
+	}
+	return dims
+}
+
+// plan runs the hierarchical partitioning over one hardware tree.
+func (p *planner) plan(tree *hardware.Tree) (*Plan, error) {
+	root, err := p.partitionNode(tree, p.rootDims())
 	if err != nil {
 		return nil, err
 	}
-	plan := &Plan{Network: net, Strategy: strategyName(opt), Root: root}
+	plan := &Plan{Network: p.net, Strategy: strategyName(p.opt), Root: root}
 	if err := plan.Validate(); err != nil {
 		return nil, fmt.Errorf("core: internal plan inconsistency: %w", err)
 	}
 	return plan, nil
+}
+
+// Partition runs the hierarchical layer-wise partitioning of the network
+// over the accelerator hierarchy, returning the complete plan. At every
+// non-leaf hierarchy node it alternates the Eq. 9 dynamic programming with
+// the Eq. 10 ratio balance until the type assignment stabilizes, then
+// recurses into both children with the per-unit dims scaled by the chosen
+// ratio along each unit's partitioned dimension. Options.Parallelism
+// bounds the worker pool the recursion fans out over; every subproblem is
+// pure, so the plan is byte-identical across all settings.
+func Partition(net *dnn.Network, tree *hardware.Tree, opt Options) (*Plan, error) {
+	p, err := newPlanner(net, opt)
+	if err != nil {
+		return nil, err
+	}
+	return p.plan(tree)
 }
 
 // strategyName summarizes options for reporting.
@@ -55,30 +101,40 @@ func strategyName(opt Options) string {
 		len(opt.Types), opt.Objective, opt.Ratio, opt.Linearize, opt.Fixed != nil)
 }
 
-// partitionNode handles one hierarchy node with the given effective dims.
-func partitionNode(net *dnn.Network, segs, planSegs []segRef, node *hardware.Tree, dims []tensor.LayerDims, opt Options) (*PlanNode, error) {
-	units := net.Units()
-	if node.IsLeaf() {
-		return leafNode(node, units, dims, opt)
+// partitionNode handles one hierarchy node with the given effective dims,
+// consulting the subproblem memo first. Memo hits are deep-cloned: plan
+// consumers key maps by *PlanNode identity, so parents must never share
+// subtree pointers.
+func (p *planner) partitionNode(node *hardware.Tree, dims []tensor.LayerDims) (*PlanNode, error) {
+	key := subproblemKey(node, dims)
+	if cached, ok := p.memo.get(key); ok {
+		return clonePlanNode(cached), nil
 	}
-
-	ctx := &levelCtx{
-		units:    make([]unitInfo, len(units)),
-		segs:     segs,
-		planSegs: planSegs,
-		sideI:    Side{Compute: node.Left.Group.ComputeDensity(), Net: opt.Topology.BisectionBandwidth(node.Left.Group)},
-		sideJ:    Side{Compute: node.Right.Group.ComputeDensity(), Net: opt.Topology.BisectionBandwidth(node.Right.Group)},
-		opt:      opt,
-	}
-	if err := checkSides(node.Level, ctx.sideI, ctx.sideJ); err != nil {
+	n, err := p.computeNode(node, dims)
+	if err != nil {
+		// Errors are not cached: they are rare, cheap to rediscover, and
+		// usually carry tree-specific context (degenerate specs).
 		return nil, err
 	}
-	for i := range units {
-		ctx.units[i] = unitInfo{layer: units[i], dims: dims[i]}
+	p.memo.put(key, n)
+	return n, nil
+}
+
+// computeNode solves one hierarchy node from scratch.
+func (p *planner) computeNode(node *hardware.Tree, dims []tensor.LayerDims) (*PlanNode, error) {
+	if node.IsLeaf() {
+		return leafNode(node, p.units, dims, p.opt)
 	}
 
+	sideI := Side{Compute: node.Left.Group.ComputeDensity(), Net: p.opt.Topology.BisectionBandwidth(node.Left.Group)}
+	sideJ := Side{Compute: node.Right.Group.ComputeDensity(), Net: p.opt.Topology.BisectionBandwidth(node.Right.Group)}
+	if err := checkSides(node.Level, sideI, sideJ); err != nil {
+		return nil, err
+	}
+	ctx := newLevelCtx(p.units, dims, p.segs, p.planSegs, sideI, sideJ, p.opt)
+
 	// Initial ratio: equal, or compute-proportional for the flexible mode.
-	switch opt.Ratio {
+	switch p.opt.Ratio {
 	case RatioEqual:
 		ctx.alpha = 0.5
 	case RatioFlexible:
@@ -87,26 +143,25 @@ func partitionNode(net *dnn.Network, segs, planSegs []segRef, node *hardware.Tre
 
 	// Alternate type search (Eq. 9) and ratio balance (Eq. 10).
 	var types []cost.Type
-	var err error
 	search := ctx.runDP
-	if opt.Exhaustive {
+	if p.opt.Exhaustive {
 		search = ctx.runExhaustive
 	}
-	for iter := 0; iter < opt.MaxRatioIters; iter++ {
+	for iter := 0; iter < p.opt.MaxRatioIters; iter++ {
 		newTypes, _, dpErr := search()
 		if dpErr != nil {
 			return nil, dpErr
 		}
 		stable := types != nil && equalTypes(types, newTypes)
 		types = newTypes
-		if opt.Ratio == RatioEqual {
+		if p.opt.Ratio == RatioEqual {
 			break
 		}
 		newAlpha, ratioErr := ctx.solveRatio(types)
 		if ratioErr != nil {
 			return nil, ratioErr
 		}
-		if stable && abs(newAlpha-ctx.alpha) < 1e-6 {
+		if stable && math.Abs(newAlpha-ctx.alpha) < 1e-6 {
 			ctx.alpha = newAlpha
 			break
 		}
@@ -115,11 +170,7 @@ func partitionNode(net *dnn.Network, segs, planSegs []segRef, node *hardware.Tre
 
 	ev := ctx.evalLevel(types)
 
-	left, err := partitionNode(net, segs, planSegs, node.Left, scaleUnitDims(units, dims, types, ctx.alpha), opt)
-	if err != nil {
-		return nil, err
-	}
-	right, err := partitionNode(net, segs, planSegs, node.Right, scaleUnitDims(units, dims, types, ctx.beta()), opt)
+	left, right, err := p.partitionChildren(node, dims, types, ctx.alpha)
 	if err != nil {
 		return nil, err
 	}
@@ -136,6 +187,46 @@ func partitionNode(net *dnn.Network, segs, planSegs []segRef, node *hardware.Tre
 		Left:      left,
 		Right:     right,
 	}, nil
+}
+
+// partitionChildren recurses into both children of a split, forking the
+// right child onto a pooled goroutine when a worker slot is free and
+// falling back to the plain serial recursion otherwise. Both child
+// subproblems are pure functions of (subtree, dims), so the fork changes
+// wall-clock only, never results; on a double failure the left child's
+// error wins so error reporting matches the serial order.
+func (p *planner) partitionChildren(node *hardware.Tree, dims []tensor.LayerDims, types []cost.Type, alpha float64) (left, right *PlanNode, err error) {
+	ldims := scaleUnitDims(p.units, dims, types, alpha)
+	rdims := scaleUnitDims(p.units, dims, types, 1-alpha)
+	if p.sem.TryAcquire() {
+		var wg sync.WaitGroup
+		var rerr error
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer p.sem.Release()
+			right, rerr = p.partitionNode(node.Right, rdims)
+		}()
+		var lerr error
+		left, lerr = p.partitionNode(node.Left, ldims)
+		wg.Wait()
+		if lerr != nil {
+			return nil, nil, lerr
+		}
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return left, right, nil
+	}
+	left, err = p.partitionNode(node.Left, ldims)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, err = p.partitionNode(node.Right, rdims)
+	if err != nil {
+		return nil, nil, err
+	}
+	return left, right, nil
 }
 
 // scaleUnitDims scales each unit's dims by its partitioned dimension for
@@ -272,11 +363,4 @@ func equalTypes(a, b []cost.Type) bool {
 		}
 	}
 	return true
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }

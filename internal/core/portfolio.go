@@ -6,6 +6,7 @@ import (
 	"accpar/internal/cost"
 	"accpar/internal/dnn"
 	"accpar/internal/hardware"
+	"accpar/internal/parallel"
 )
 
 // The hierarchical search is greedy across levels: each level's dynamic
@@ -47,17 +48,37 @@ func AccParVariants() []Options {
 }
 
 // PartitionBest partitions the network with every option set and returns
-// the plan with the lowest modelled iteration time.
+// the plan with the lowest modelled iteration time. The option sets are
+// independent searches, so they run across a worker pool; results land in
+// per-slot storage and the winner is chosen by a serial scan — lowest
+// time, earliest option set on ties — so the outcome matches the serial
+// loop exactly. The pool stays serial when every option set asks for the
+// serial reference path (Parallelism 1).
 func PartitionBest(net *dnn.Network, tree *hardware.Tree, opts ...Options) (*Plan, error) {
 	if len(opts) == 0 {
 		return nil, fmt.Errorf("core: PartitionBest needs at least one option set")
 	}
-	var best *Plan
+	workers := 1
 	for _, opt := range opts {
-		plan, err := Partition(net, tree, opt)
-		if err != nil {
-			return nil, err
+		if opt.Parallelism != 1 {
+			workers = 0 // at least one search wants concurrency: use the pool
+			break
 		}
+	}
+	plans := make([]*Plan, len(opts))
+	err := parallel.ForEach(len(opts), workers, func(i int) error {
+		plan, err := Partition(net, tree, opts[i])
+		if err != nil {
+			return err
+		}
+		plans[i] = plan
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var best *Plan
+	for _, plan := range plans {
 		if best == nil || plan.Time() < best.Time() {
 			best = plan
 		}

@@ -6,6 +6,7 @@ import (
 	"accpar/internal/cost"
 	"accpar/internal/dnn"
 	"accpar/internal/hardware"
+	"accpar/internal/parallel"
 	"accpar/internal/tensor"
 )
 
@@ -19,31 +20,24 @@ import (
 // applies and the subtree is partitioned fresh — the honest model of a
 // runtime that must improvise placement for orphaned shards.
 func StalePlan(net *dnn.Network, plan *Plan, tree *hardware.Tree, opt Options) (*Plan, error) {
-	opt = opt.withDefaults()
-	if err := opt.validate(); err != nil {
-		return nil, err
-	}
-	if err := net.Validate(); err != nil {
-		return nil, err
-	}
-	if plan == nil || plan.Root == nil {
-		return nil, fmt.Errorf("core: stale evaluation needs a plan")
-	}
-	units := net.Units()
-	dims := make([]tensor.LayerDims, len(units))
-	for i, u := range units {
-		dims[i] = u.Dims
-	}
-	segs := indexSegments(net)
-	planSegs := segs
-	if opt.Linearize {
-		planSegs = indexSegments(net.Linearize())
-	}
-	root, err := staleNode(net, segs, planSegs, tree, plan.Root, dims, opt)
+	p, err := newPlanner(net, opt)
 	if err != nil {
 		return nil, err
 	}
-	out := &Plan{Network: net, Strategy: plan.Strategy + " (stale)", Root: root}
+	return p.stalePlan(plan, tree)
+}
+
+// stalePlan re-costs plan's decisions on tree using the planner's memo
+// for any fresh subtrees the divergence fallback has to partition.
+func (p *planner) stalePlan(plan *Plan, tree *hardware.Tree) (*Plan, error) {
+	if plan == nil || plan.Root == nil {
+		return nil, fmt.Errorf("core: stale evaluation needs a plan")
+	}
+	root, err := p.staleNode(tree, plan.Root, p.rootDims())
+	if err != nil {
+		return nil, err
+	}
+	out := &Plan{Network: p.net, Strategy: plan.Strategy + " (stale)", Root: root}
 	if err := out.Validate(); err != nil {
 		return nil, fmt.Errorf("core: internal stale-plan inconsistency: %w", err)
 	}
@@ -52,41 +46,34 @@ func StalePlan(net *dnn.Network, plan *Plan, tree *hardware.Tree, opt Options) (
 
 // staleNode applies one stale decision to one (possibly degraded)
 // hierarchy node.
-func staleNode(net *dnn.Network, segs, planSegs []segRef, node *hardware.Tree, old *PlanNode, dims []tensor.LayerDims, opt Options) (*PlanNode, error) {
+func (p *planner) staleNode(node *hardware.Tree, old *PlanNode, dims []tensor.LayerDims) (*PlanNode, error) {
 	if old == nil || node.IsLeaf() != old.IsLeaf() {
-		// Structure diverged: no stale decision for this subtree.
-		return partitionNode(net, segs, planSegs, node, dims, opt)
+		// Structure diverged: no stale decision for this subtree. The fresh
+		// partition goes through the memo, so a subtree already solved for
+		// the fresh replanning pass (or a symmetric sibling) is reused.
+		return p.partitionNode(node, dims)
 	}
-	units := net.Units()
 	if node.IsLeaf() {
-		return leafNode(node, units, dims, opt)
+		return leafNode(node, p.units, dims, p.opt)
 	}
-	ctx := &levelCtx{
-		units:    make([]unitInfo, len(units)),
-		segs:     segs,
-		planSegs: planSegs,
-		sideI:    Side{Compute: node.Left.Group.ComputeDensity(), Net: opt.Topology.BisectionBandwidth(node.Left.Group)},
-		sideJ:    Side{Compute: node.Right.Group.ComputeDensity(), Net: opt.Topology.BisectionBandwidth(node.Right.Group)},
-		opt:      opt,
-	}
-	if err := checkSides(node.Level, ctx.sideI, ctx.sideJ); err != nil {
+	sideI := Side{Compute: node.Left.Group.ComputeDensity(), Net: p.opt.Topology.BisectionBandwidth(node.Left.Group)}
+	sideJ := Side{Compute: node.Right.Group.ComputeDensity(), Net: p.opt.Topology.BisectionBandwidth(node.Right.Group)}
+	if err := checkSides(node.Level, sideI, sideJ); err != nil {
 		return nil, err
 	}
-	for i := range units {
-		ctx.units[i] = unitInfo{layer: units[i], dims: dims[i]}
+	if len(old.Types) != len(p.units) {
+		return nil, fmt.Errorf("core: stale plan has %d types for %d units", len(old.Types), len(p.units))
 	}
-	if len(old.Types) != len(units) {
-		return nil, fmt.Errorf("core: stale plan has %d types for %d units", len(old.Types), len(units))
-	}
+	ctx := newLevelCtx(p.units, dims, p.segs, p.planSegs, sideI, sideJ, p.opt)
 	ctx.alpha = cost.ClampRatio(old.Alpha)
 	types := old.Types
 	ev := ctx.evalLevel(types)
 
-	left, err := staleNode(net, segs, planSegs, node.Left, old.Left, scaleUnitDims(units, dims, types, ctx.alpha), opt)
+	left, err := p.staleNode(node.Left, old.Left, scaleUnitDims(p.units, dims, types, ctx.alpha))
 	if err != nil {
 		return nil, err
 	}
-	right, err := staleNode(net, segs, planSegs, node.Right, old.Right, scaleUnitDims(units, dims, types, ctx.beta()), opt)
+	right, err := p.staleNode(node.Right, old.Right, scaleUnitDims(p.units, dims, types, ctx.beta()))
 	if err != nil {
 		return nil, err
 	}
@@ -140,17 +127,34 @@ func (r *ReplanReport) Recovery() float64 {
 // (recomputing nothing — the stale view), partition the degraded
 // hierarchy from scratch (recomputing types and α against the post-fault
 // specs), and adopt whichever of the two post-fault plans is faster.
+// One planner serves all three passes, so the memo carries every subtree
+// the degradation did not touch from the pristine partition straight into
+// the degraded one, and the stale and fresh passes run concurrently when
+// Options.Parallelism permits.
 func Replan(net *dnn.Network, pristine, degraded *hardware.Tree, opt Options) (*ReplanReport, error) {
-	faultFree, err := Partition(net, pristine, opt)
+	p, err := newPlanner(net, opt)
 	if err != nil {
 		return nil, err
 	}
-	stale, err := StalePlan(net, faultFree, degraded, opt)
+	faultFree, err := p.plan(pristine)
 	if err != nil {
 		return nil, err
 	}
-	fresh, err := Partition(net, degraded, opt)
-	if err != nil {
+	// The stale re-costing and the fresh degraded partition are independent
+	// given faultFree; both consult the shared memo.
+	var stale, fresh *Plan
+	g := parallel.NewGroup(min(2, parallel.Workers(p.opt.Parallelism)))
+	g.Go(func() error {
+		var serr error
+		stale, serr = p.stalePlan(faultFree, degraded)
+		return serr
+	})
+	g.Go(func() error {
+		var ferr error
+		fresh, ferr = p.plan(degraded)
+		return ferr
+	})
+	if err := g.Wait(); err != nil {
 		return nil, err
 	}
 	rep := &ReplanReport{

@@ -14,6 +14,7 @@ import (
 	"accpar/internal/dnn"
 	"accpar/internal/hardware"
 	"accpar/internal/models"
+	"accpar/internal/parallel"
 	"accpar/internal/report"
 )
 
@@ -134,26 +135,34 @@ type ModelResult struct {
 }
 
 // SpeedupSweep partitions every model with every scheme on the tree and
-// normalizes to data parallelism.
+// normalizes to data parallelism. The models are independent searches, so
+// they run across a worker pool; each model's result lands in its own
+// slot, so the returned order (and on error, the reported model) matches
+// the serial sweep exactly.
 func SpeedupSweep(tree *hardware.Tree, modelNames []string, batch int) ([]ModelResult, error) {
-	var out []ModelResult
-	for _, name := range modelNames {
+	out := make([]ModelResult, len(modelNames))
+	err := parallel.ForEach(len(modelNames), 0, func(i int) error {
+		name := modelNames[i]
 		net, err := models.BuildNetwork(name, batch)
 		if err != nil {
-			return nil, fmt.Errorf("eval: %s: %w", name, err)
+			return fmt.Errorf("eval: %s: %w", name, err)
 		}
 		r := ModelResult{Model: name, Time: map[Scheme]float64{}, Speedup: map[Scheme]float64{}}
 		for _, s := range Schemes {
 			plan, err := s.Partition(net, tree)
 			if err != nil {
-				return nil, fmt.Errorf("eval: %s/%v: %w", name, s, err)
+				return fmt.Errorf("eval: %s/%v: %w", name, s, err)
 			}
 			r.Time[s] = plan.Time()
 		}
 		for _, s := range Schemes {
 			r.Speedup[s] = r.Time[SchemeDP] / r.Time[s]
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -276,25 +285,38 @@ func Figure8(cfg Config) (*FigureResult, error) {
 	for _, s := range Schemes {
 		fr.Series[s] = &report.Series{Name: s.String(), XLabel: "hierarchy level", YLabel: "speedup vs DP"}
 	}
-	var speedups = map[Scheme][]float64{}
-	for h := 2; h <= 9; h++ {
+	// The h values are independent sweeps: run them across the worker
+	// pool, collect per-slot, and assemble rows serially in h order so the
+	// table is identical to the serial loop's.
+	const hLo, hHi = 2, 9
+	rows := make([][]float64, hHi-hLo+1)
+	err = parallel.ForEach(len(rows), 0, func(k int) error {
+		h := hLo + k
 		tree, err := hardware.BuildTree(arr, h-1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		times := map[Scheme]float64{}
 		for _, s := range Schemes {
 			plan, err := s.Partition(net, tree)
 			if err != nil {
-				return nil, fmt.Errorf("eval: figure8 h=%d %v: %w", h, s, err)
+				return fmt.Errorf("eval: figure8 h=%d %v: %w", h, s, err)
 			}
 			times[s] = plan.Time()
 		}
-		label := fmt.Sprintf("h=%d", h)
 		row := []float64{1.0}
 		for _, s := range Schemes[1:] {
 			row = append(row, times[SchemeDP]/times[s])
 		}
+		rows[k] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var speedups = map[Scheme][]float64{}
+	for k, row := range rows {
+		label := fmt.Sprintf("h=%d", hLo+k)
 		fr.Table.AddFloatRow(label, 2, row...)
 		for i, s := range Schemes {
 			sp := row[i]
@@ -330,18 +352,21 @@ func Table8(cfg Config) ([]FlexibilityRow, *report.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	var rows []FlexibilityRow
-	tbl := report.NewTable("Table 8: flexibility of DP, OWT, HyPar and AccPar", "scheme", "configuration", "distinct configs", "geomean speedup")
-	for _, s := range Schemes {
+	// Each scheme's config census is an independent sweep over the models:
+	// count per-slot across the worker pool, render rows serially in
+	// scheme order.
+	distinct := make([]int, len(Schemes))
+	err = parallel.ForEach(len(Schemes), 0, func(k int) error {
+		s := Schemes[k]
 		configs := map[string]bool{}
 		for _, name := range cfg.Models {
 			net, err := models.BuildNetwork(name, cfg.Batch)
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
 			plan, err := s.Partition(net, tree)
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
 			units := net.Units()
 			for _, lvl := range plan.Levels() {
@@ -353,6 +378,15 @@ func Table8(cfg Config) ([]FlexibilityRow, *report.Table, error) {
 				}
 			}
 		}
+		distinct[k] = len(configs)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []FlexibilityRow
+	tbl := report.NewTable("Table 8: flexibility of DP, OWT, HyPar and AccPar", "scheme", "configuration", "distinct configs", "geomean speedup")
+	for k, s := range Schemes {
 		var vals []float64
 		for _, r := range results {
 			vals = append(vals, r.Speedup[s])
@@ -360,7 +394,7 @@ func Table8(cfg Config) ([]FlexibilityRow, *report.Table, error) {
 		row := FlexibilityRow{
 			Scheme:          s,
 			Dynamic:         s == SchemeHyPar || s == SchemeAccPar,
-			DistinctConfigs: len(configs),
+			DistinctConfigs: distinct[k],
 			Geomean:         report.Geomean(vals),
 		}
 		rows = append(rows, row)

@@ -60,17 +60,15 @@ func (t *Tensor4) MaxAbsDiff(o *Tensor4) float64 {
 	if len(t.Data) != len(o.Data) {
 		return 1e308
 	}
-	var max float64
+	var worst float64
 	for i := range t.Data {
 		d := t.Data[i] - o.Data[i]
 		if d < 0 {
 			d = -d
 		}
-		if d > max {
-			max = d
-		}
+		worst = max(worst, d)
 	}
-	return max
+	return worst
 }
 
 // Slice0 copies the [lo,hi) range of the first dimension.
@@ -330,12 +328,8 @@ func ConvPartitioned(s *ConvState, t cost.Type, share int) (*ConvResult, error) 
 // MaxConvDeviation returns the largest element-wise deviation between two
 // conv results across all three output tensors.
 func MaxConvDeviation(a, b *ConvResult) float64 {
-	max := a.FNext.MaxAbsDiff(b.FNext)
-	if d := a.EPrev.MaxAbsDiff(b.EPrev); d > max {
-		max = d
-	}
-	if d := a.DW.MaxAbsDiff(b.DW); d > max {
-		max = d
-	}
-	return max
+	worst := a.FNext.MaxAbsDiff(b.FNext)
+	worst = max(worst, a.EPrev.MaxAbsDiff(b.EPrev))
+	worst = max(worst, a.DW.MaxAbsDiff(b.DW))
+	return worst
 }

@@ -97,17 +97,15 @@ func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
 	if m.Rows != o.Rows || m.Cols != o.Cols {
 		return 1e308
 	}
-	var max float64
+	var worst float64
 	for i := range m.Data {
 		d := m.Data[i] - o.Data[i]
 		if d < 0 {
 			d = -d
 		}
-		if d > max {
-			max = d
-		}
+		worst = max(worst, d)
 	}
-	return max
+	return worst
 }
 
 // MatMul computes a × b.
@@ -264,12 +262,8 @@ func FCPartitioned(s *FCState, t cost.Type, share int) (*FCResult, error) {
 // MaxDeviation returns the largest element-wise deviation between two
 // results across all three output tensors.
 func MaxDeviation(a, b *FCResult) float64 {
-	max := a.FNext.MaxAbsDiff(b.FNext)
-	if d := a.EPrev.MaxAbsDiff(b.EPrev); d > max {
-		max = d
-	}
-	if d := a.DW.MaxAbsDiff(b.DW); d > max {
-		max = d
-	}
-	return max
+	worst := a.FNext.MaxAbsDiff(b.FNext)
+	worst = max(worst, a.EPrev.MaxAbsDiff(b.EPrev))
+	worst = max(worst, a.DW.MaxAbsDiff(b.DW))
+	return worst
 }

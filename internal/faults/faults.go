@@ -175,13 +175,11 @@ func (s *Scenario) Validate() error {
 // MaxGroup returns the highest group index any fault targets, or -1 for
 // an empty scenario.
 func (s *Scenario) MaxGroup() int {
-	max := -1
+	top := -1
 	for _, f := range s.Faults {
-		if f.Group > max {
-			max = f.Group
-		}
+		top = max(top, f.Group)
 	}
-	return max
+	return top
 }
 
 // String renders the scenario in the Parse syntax.

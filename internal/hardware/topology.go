@@ -95,11 +95,9 @@ func (t Topology) BisectionBandwidth(g *Group) float64 {
 
 // minLinkRate returns the slowest member link rate.
 func minLinkRate(g *Group) float64 {
-	min := math.Inf(1)
+	slowest := math.Inf(1)
 	for _, s := range g.Accel {
-		if s.NetBandwidth < min {
-			min = s.NetBandwidth
-		}
+		slowest = min(slowest, s.NetBandwidth)
 	}
-	return min
+	return slowest
 }

@@ -1,0 +1,179 @@
+// Package parallel provides the bounded-concurrency primitives the
+// planning and evaluation engines share: an errgroup-style Group with a
+// worker cap, a deterministic slot-indexed ForEach, and a semaphore for
+// structured fork/join recursion. The module deliberately avoids external
+// dependencies (golang.org/x/sync is not vendored), so these are small
+// self-contained equivalents.
+//
+// Every helper honours the convention used across the repo's Options
+// types: a worker count of 0 means "one worker per available CPU"
+// (runtime.GOMAXPROCS), and 1 selects the serial reference path, which
+// runs entirely on the calling goroutine — no goroutines are spawned, so
+// results are trivially deterministic and stack traces stay linear.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a Parallelism-style knob: 0 → GOMAXPROCS, otherwise
+// the knob itself (minimum 1).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Group runs tasks with at most limit goroutines in flight, collecting
+// the first error. A limit of 1 degenerates to calling each function
+// inline, preserving submission order exactly.
+type Group struct {
+	limit int
+	sem   chan struct{}
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	err   error
+}
+
+// NewGroup returns a Group running at most Workers(limit) tasks
+// concurrently.
+func NewGroup(limit int) *Group {
+	w := Workers(limit)
+	g := &Group{limit: w}
+	if w > 1 {
+		g.sem = make(chan struct{}, w)
+	}
+	return g
+}
+
+// Go schedules fn. With limit 1 it runs fn on the calling goroutine
+// before returning; otherwise it blocks until a worker slot frees up and
+// runs fn on its own goroutine.
+func (g *Group) Go(fn func() error) {
+	if g.sem == nil {
+		g.record(fn())
+		return
+	}
+	g.sem <- struct{}{}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		g.record(fn())
+	}()
+}
+
+// Wait blocks until every scheduled task finished and returns the first
+// recorded error.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+func (g *Group) record(err error) {
+	if err == nil {
+		return
+	}
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.mu.Unlock()
+}
+
+// ForEach runs fn(i) for i in [0, n) using at most Workers(workers)
+// goroutines and returns the lowest-index error, regardless of which
+// task failed first in wall-clock time — so error reporting is as
+// deterministic as the serial loop it replaces. With workers 1 the loop
+// runs inline in index order and stops at the first error, exactly like
+// the serial code it replaces.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sem is a weighted token bucket for structured fork/join recursion: a
+// recursive splitter calls TryAcquire before forking a child onto a new
+// goroutine and falls back to inline execution when no token is
+// available, bounding total goroutines without ever blocking the
+// recursion itself.
+type Sem struct {
+	tokens chan struct{}
+}
+
+// NewSem returns a semaphore with Workers(n)−1 tokens: the calling
+// goroutine itself counts as one worker, so a Parallelism of 1 yields an
+// empty bucket and TryAcquire always fails — the serial reference path.
+func NewSem(n int) *Sem {
+	w := Workers(n) - 1
+	if w <= 0 {
+		return &Sem{}
+	}
+	s := &Sem{tokens: make(chan struct{}, w)}
+	for i := 0; i < w; i++ {
+		s.tokens <- struct{}{}
+	}
+	return s
+}
+
+// TryAcquire takes a token if one is free.
+func (s *Sem) TryAcquire() bool {
+	if s == nil || s.tokens == nil {
+		return false
+	}
+	select {
+	case <-s.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a token taken with TryAcquire.
+func (s *Sem) Release() {
+	if s != nil && s.tokens != nil {
+		s.tokens <- struct{}{}
+	}
+}

@@ -116,18 +116,16 @@ func (s *Series) String() string {
 // Bars renders a crude horizontal bar chart for quick terminal inspection:
 // one row per point, scaled to maxWidth characters.
 func (s *Series) Bars(maxWidth int) string {
-	var max float64
+	var peak float64
 	for _, y := range s.Y {
-		if y > max {
-			max = y
-		}
+		peak = max(peak, y)
 	}
-	if max <= 0 || maxWidth < 1 {
+	if peak <= 0 || maxWidth < 1 {
 		return ""
 	}
 	var b strings.Builder
 	for i := range s.X {
-		n := int(s.Y[i] / max * float64(maxWidth))
+		n := int(s.Y[i] / peak * float64(maxWidth))
 		fmt.Fprintf(&b, "%-10s %6.2f |%s\n", s.X[i], s.Y[i], strings.Repeat("#", n))
 	}
 	return b.String()

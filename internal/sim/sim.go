@@ -12,12 +12,19 @@
 // pipelining effects the analytic model ignores (e.g. gradient computation
 // overlapping the backward sweep, communication/computation overlap when
 // Config.OverlapComm is set).
+//
+// Back-to-back Simulate calls are allocation-lean by design: builders and
+// their task arenas are pooled and reused, task names are derived lazily
+// (only error paths and the optional timeline ever render them), and
+// dependency lists are carved from a per-builder arena instead of
+// individually heap-allocated.
 package sim
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"accpar/internal/cost"
 	"accpar/internal/dnn"
@@ -66,7 +73,8 @@ type Config struct {
 	Optimizer optimizer.Kind
 	// RecordTimeline captures per-task start/end times into
 	// Result.Timeline (off by default: large models schedule thousands of
-	// tasks).
+	// tasks, and rendering their names is the only reason the scheduler
+	// ever materializes a task-name string).
 	RecordTimeline bool
 	// Faults injects a fault scenario into the run: deterministic rate
 	// faults degrade the machines' resources before scheduling, transient
@@ -152,12 +160,41 @@ type TaskTiming struct {
 	End     float64
 }
 
+// taskKind identifies the phase/role of a task. Task names are rendered
+// on demand from (kind, unit, machine) — the scheduler itself never needs
+// them, so the hot path carries two ints instead of an fmt.Sprintf string
+// per task.
+type taskKind uint8
+
+const (
+	taskFwd taskKind = iota
+	taskPsumF
+	taskXferF
+	taskBwd
+	taskPsumE
+	taskXferE
+	taskGrad
+	taskPsumW
+	taskUpdate
+)
+
+var taskKindName = [...]string{
+	taskFwd: "fwd", taskPsumF: "psumF", taskXferF: "xferF",
+	taskBwd: "bwd", taskPsumE: "psumE", taskXferE: "xferE",
+	taskGrad: "grad", taskPsumW: "psumW", taskUpdate: "update",
+}
+
 // task is one schedulable item.
 type task struct {
-	name    string
+	kind    taskKind
 	machine int
 	// onNet selects the NIC resource instead of compute.
 	onNet bool
+	// scheduled marks completion of list scheduling.
+	scheduled bool
+	// unit is the network unit the task belongs to; unit2 is the consumer
+	// unit of an error-tensor transfer (taskXferE), -1 otherwise.
+	unit, unit2 int
 	// flops and localBytes give a compute task's roofline duration:
 	// max(flops/Compute, localBytes/MemBW).
 	flops      float64
@@ -166,7 +203,15 @@ type task struct {
 	remoteBytes float64
 	deps        []*task
 	done        float64
-	scheduled   bool
+}
+
+// taskName renders the task's human-readable name (reports, errors and
+// timelines only — never the scheduling hot path).
+func (b *builder) taskName(t *task) string {
+	if t.kind == taskXferE {
+		return fmt.Sprintf("xferE/%s-%s/m%d", b.units[t.unit].Name, b.units[t.unit2].Name, t.machine)
+	}
+	return fmt.Sprintf("%s/%s/m%d", taskKindName[t.kind], b.units[t.unit].Name, t.machine)
 }
 
 // Simulate runs one training iteration of the split on the two machines.
@@ -201,7 +246,8 @@ func Simulate(s Split, machines [2]Machine, cfg Config) (*Result, error) {
 		}
 	}
 
-	b := newBuilder(s, machines)
+	b := getBuilder(s, machines)
+	defer putBuilder(b)
 	b.optimizer = cfg.Optimizer
 	if err := b.build(); err != nil {
 		return nil, err
@@ -231,6 +277,97 @@ func validateSplit(s Split, machines [2]Machine) error {
 	return nil
 }
 
+// taskArena hands out tasks from chunked slabs so each Simulate run costs
+// a handful of slab allocations instead of one per task, and a pooled
+// builder's slabs are reused wholesale by the next run. Chunking (rather
+// than one growing slice) keeps task pointers stable across allocations.
+type taskArena struct {
+	chunks [][]task
+	used   int // tasks used in the last chunk
+	total  int // tasks handed out since reset
+}
+
+// grow ensures capacity for at least n more tasks without a new chunk.
+func (a *taskArena) grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if len(a.chunks) > 0 {
+		last := a.chunks[len(a.chunks)-1]
+		if len(last)-a.used >= n {
+			return
+		}
+	}
+	a.chunks = append(a.chunks, make([]task, n))
+	a.used = 0
+}
+
+func (a *taskArena) alloc() *task {
+	if len(a.chunks) == 0 || a.used == len(a.chunks[len(a.chunks)-1]) {
+		size := 256
+		if k := len(a.chunks); k > 0 && len(a.chunks[k-1]) > size/2 {
+			size = 2 * len(a.chunks[k-1])
+		}
+		a.chunks = append(a.chunks, make([]task, size))
+		a.used = 0
+	}
+	t := &a.chunks[len(a.chunks)-1][a.used]
+	a.used++
+	a.total++
+	*t = task{}
+	return t
+}
+
+// reset consolidates the arena into one slab big enough for everything
+// the previous run allocated, so steady-state reuse never chunks at all.
+func (a *taskArena) reset() {
+	if len(a.chunks) > 1 {
+		a.chunks = [][]task{make([]task, a.total)}
+	}
+	a.used = 0
+	a.total = 0
+}
+
+// depsArena carves dependency lists out of chunked pointer slabs. Callers
+// take a fixed-capacity slice (the worst-case dependency count is always
+// known up front), append into it, and may hand back compacted leftovers.
+type depsArena struct {
+	chunks [][]*task
+	used   int
+	total  int
+}
+
+// take returns a zero-length slice with capacity n, capped so appends
+// beyond n can never bleed into a neighbouring list.
+func (a *depsArena) take(n int) []*task {
+	if n == 0 {
+		return nil
+	}
+	if len(a.chunks) == 0 || len(a.chunks[len(a.chunks)-1])-a.used < n {
+		size := 1024
+		if n > size {
+			size = n
+		}
+		a.chunks = append(a.chunks, make([]*task, size))
+		a.used = 0
+	}
+	c := a.chunks[len(a.chunks)-1]
+	s := c[a.used : a.used : a.used+n]
+	a.used += n
+	a.total += n
+	return s
+}
+
+func (a *depsArena) reset() {
+	if len(a.chunks) > 1 {
+		a.chunks = [][]*task{make([]*task, a.total)}
+	} else if len(a.chunks) == 1 {
+		clear(a.chunks[0])
+	}
+	a.used = 0
+	a.total = 0
+}
+
 // builder assembles the task graph.
 type builder struct {
 	split     Split
@@ -239,9 +376,11 @@ type builder struct {
 	units     []dnn.WeightedLayer
 	traces    [2][]*trace.Trace // per machine, per unit
 	edges     [][2]int
-	incoming  map[int][]int // consumer unit -> producer units
-	outgoing  map[int][]int // producer unit -> consumer units
+	incoming  [][]int // consumer unit -> producer units
+	outgoing  [][]int // producer unit -> consumer units
 
+	arena taskArena
+	deps  depsArena
 	tasks []*task
 	// fwdDone[m][u], bwdDone[m][u], gradDone[m][u] are the last task of
 	// each phase for unit u on machine m.
@@ -250,14 +389,44 @@ type builder struct {
 	gradDone [2][]*task
 }
 
+// builderPool recycles builders — and with them the task and dependency
+// arenas, trace tables and adjacency indexes — across Simulate calls, so
+// sweeps that simulate hundreds of configurations stop churning the GC.
+var builderPool = sync.Pool{New: func() any { return new(builder) }}
+
+func getBuilder(s Split, machines [2]Machine) *builder {
+	b := builderPool.Get().(*builder)
+	b.split = s
+	b.machines = machines
+	b.optimizer = 0
+	b.units = s.Net.Units()
+	b.tasks = b.tasks[:0]
+	b.arena.reset()
+	b.deps.reset()
+	return b
+}
+
+func putBuilder(b *builder) {
+	// Drop references into the caller's network so the pool retains only
+	// the reusable scratch capacity.
+	b.split = Split{}
+	b.units = nil
+	b.edges = nil
+	builderPool.Put(b)
+}
+
+// newBuilder returns an unpooled builder (test helpers).
 func newBuilder(s Split, machines [2]Machine) *builder {
 	return &builder{split: s, machines: machines, units: s.Net.Units()}
 }
 
-// newTask appends a task.
-func (b *builder) newTask(t *task) *task {
-	b.tasks = append(b.tasks, t)
-	return t
+// newTask allocates a task from the arena and appends it to the schedule
+// order.
+func (b *builder) newTask(t task) *task {
+	p := b.arena.alloc()
+	*p = t
+	b.tasks = append(b.tasks, p)
+	return p
 }
 
 // phaseWork sums a trace phase's arithmetic and local traffic.
@@ -295,20 +464,52 @@ func (b *builder) boundary(p, u int) int64 {
 	return in
 }
 
-// build creates the full task graph of one iteration.
-func (b *builder) build() error {
+// indexEdges (re)builds the adjacency indexes over reusable slices.
+func (b *builder) indexEdges() {
 	n := len(b.units)
-	b.edges = b.split.Net.Edges()
-	b.incoming = map[int][]int{}
-	b.outgoing = map[int][]int{}
+	b.incoming = growAdjacency(b.incoming, n)
+	b.outgoing = growAdjacency(b.outgoing, n)
 	for _, e := range b.edges {
 		b.incoming[e[1]] = append(b.incoming[e[1]], e[0])
 		b.outgoing[e[0]] = append(b.outgoing[e[0]], e[1])
 	}
+}
+
+// growAdjacency resizes an adjacency index to n empty rows, keeping row
+// capacity.
+func growAdjacency(adj [][]int, n int) [][]int {
+	if cap(adj) < n {
+		adj = make([][]int, n)
+	}
+	adj = adj[:n]
+	for i := range adj {
+		adj[i] = adj[i][:0]
+	}
+	return adj
+}
+
+// growDone resizes a phase-completion table to n cleared slots.
+func growDone(done []*task, n int) []*task {
+	if cap(done) < n {
+		return make([]*task, n)
+	}
+	done = done[:n]
+	clear(done)
+	return done
+}
+
+// build creates the full task graph of one iteration.
+func (b *builder) build() error {
+	n := len(b.units)
+	b.edges = b.split.Net.Edges()
+	b.indexEdges()
 
 	// Derive traces.
 	for m := 0; m < 2; m++ {
-		b.traces[m] = make([]*trace.Trace, n)
+		if cap(b.traces[m]) < n {
+			b.traces[m] = make([]*trace.Trace, n)
+		}
+		b.traces[m] = b.traces[m][:n]
 	}
 	for u := 0; u < n; u++ {
 		if b.units[u].Virtual {
@@ -323,10 +524,16 @@ func (b *builder) build() error {
 	}
 
 	for m := 0; m < 2; m++ {
-		b.fwdDone[m] = make([]*task, n)
-		b.bwdDone[m] = make([]*task, n)
-		b.gradDone[m] = make([]*task, n)
+		b.fwdDone[m] = growDone(b.fwdDone[m], n)
+		b.bwdDone[m] = growDone(b.bwdDone[m], n)
+		b.gradDone[m] = growDone(b.gradDone[m], n)
 	}
+
+	// Upper bound on task count: per unit and machine one main task per
+	// phase plus psum/update follow-ups, plus one transfer per edge
+	// direction and machine. Pre-sizing the arena keeps the whole graph in
+	// one slab.
+	b.arena.grow(10*n + 4*len(b.edges))
 
 	alpha, beta := b.split.Alpha, 1-b.split.Alpha
 	ratio := [2][2]float64{{alpha, beta}, {beta, alpha}} // [machine][self,peer]
@@ -336,23 +543,26 @@ func (b *builder) build() error {
 		var mains [2]*task
 		var rbs [2]float64
 		for m := 0; m < 2; m++ {
-			var deps []*task
+			inc := b.incoming[u]
+			deps := b.deps.take(3 * len(inc))
 			// Inter-layer conversion transfers on each incoming edge.
-			for _, p := range b.incoming[u] {
+			for _, p := range inc {
 				deps = append(deps, b.fwdDone[m][p], b.fwdDone[1-m][p])
 				fb, _ := interBytes(b.split.Types[p], b.split.Types[u], b.boundary(p, u), ratio[m][0], ratio[m][1])
 				if fb > 0 {
-					x := b.newTask(&task{
-						name: fmt.Sprintf("xferF/%s/m%d", b.units[u].Name, m), machine: m, onNet: true,
-						remoteBytes: fb, deps: []*task{b.fwdDone[m][p], b.fwdDone[1-m][p]},
+					xdeps := b.deps.take(2)
+					xdeps = append(xdeps, b.fwdDone[m][p], b.fwdDone[1-m][p])
+					x := b.newTask(task{
+						kind: taskXferF, unit: u, unit2: -1, machine: m, onNet: true,
+						remoteBytes: fb, deps: xdeps,
 					})
 					deps = append(deps, x)
 				}
 			}
 			deps = compactDeps(deps)
 			fl, lb, rb := phaseWork(b.traces[m][u], cost.PhaseForward)
-			mains[m] = b.newTask(&task{
-				name: fmt.Sprintf("fwd/%s/m%d", b.units[u].Name, m), machine: m,
+			mains[m] = b.newTask(task{
+				kind: taskFwd, unit: u, unit2: -1, machine: m,
 				flops: fl, localBytes: lb, deps: deps,
 			})
 			b.fwdDone[m][u] = mains[m]
@@ -362,9 +572,11 @@ func (b *builder) build() error {
 			if rbs[m] > 0 {
 				// Type-II psum: remote access of the peer's partial sums —
 				// both partials must be computed first.
-				b.fwdDone[m][u] = b.newTask(&task{
-					name: fmt.Sprintf("psumF/%s/m%d", b.units[u].Name, m), machine: m, onNet: true,
-					remoteBytes: rbs[m], deps: []*task{mains[m], mains[1-m]},
+				pdeps := b.deps.take(2)
+				pdeps = append(pdeps, mains[m], mains[1-m])
+				b.fwdDone[m][u] = b.newTask(task{
+					kind: taskPsumF, unit: u, unit2: -1, machine: m, onNet: true,
+					remoteBytes: rbs[m], deps: pdeps,
 				})
 			}
 		}
@@ -375,28 +587,33 @@ func (b *builder) build() error {
 		var mains [2]*task
 		var rbs [2]float64
 		for m := 0; m < 2; m++ {
-			var deps []*task
 			outs := b.outgoing[u]
+			var deps []*task
 			if len(outs) == 0 {
 				// Loss boundary: backward starts after the forward sweep of
 				// this unit.
+				deps = b.deps.take(1)
 				deps = append(deps, b.fwdDone[m][u])
+			} else {
+				deps = b.deps.take(3 * len(outs))
 			}
 			for _, cns := range outs {
 				deps = append(deps, b.bwdDone[m][cns], b.bwdDone[1-m][cns])
 				_, eb := interBytes(b.split.Types[u], b.split.Types[cns], b.boundary(u, cns), ratio[m][0], ratio[m][1])
 				if eb > 0 {
-					x := b.newTask(&task{
-						name: fmt.Sprintf("xferE/%s-%s/m%d", b.units[u].Name, b.units[cns].Name, m), machine: m, onNet: true,
-						remoteBytes: eb, deps: []*task{b.bwdDone[m][cns], b.bwdDone[1-m][cns]},
+					xdeps := b.deps.take(2)
+					xdeps = append(xdeps, b.bwdDone[m][cns], b.bwdDone[1-m][cns])
+					x := b.newTask(task{
+						kind: taskXferE, unit: u, unit2: cns, machine: m, onNet: true,
+						remoteBytes: eb, deps: xdeps,
 					})
 					deps = append(deps, x)
 				}
 			}
 			deps = compactDeps(deps)
 			fl, lb, rb := phaseWork(b.traces[m][u], cost.PhaseBackward)
-			mains[m] = b.newTask(&task{
-				name: fmt.Sprintf("bwd/%s/m%d", b.units[u].Name, m), machine: m,
+			mains[m] = b.newTask(task{
+				kind: taskBwd, unit: u, unit2: -1, machine: m,
 				flops: fl, localBytes: lb, deps: deps,
 			})
 			b.bwdDone[m][u] = mains[m]
@@ -405,9 +622,11 @@ func (b *builder) build() error {
 		for m := 0; m < 2; m++ {
 			if rbs[m] > 0 {
 				// Type-III psum exchange — both partials must exist.
-				b.bwdDone[m][u] = b.newTask(&task{
-					name: fmt.Sprintf("psumE/%s/m%d", b.units[u].Name, m), machine: m, onNet: true,
-					remoteBytes: rbs[m], deps: []*task{mains[m], mains[1-m]},
+				pdeps := b.deps.take(2)
+				pdeps = append(pdeps, mains[m], mains[1-m])
+				b.bwdDone[m][u] = b.newTask(task{
+					kind: taskPsumE, unit: u, unit2: -1, machine: m, onNet: true,
+					remoteBytes: rbs[m], deps: pdeps,
 				})
 			}
 		}
@@ -427,10 +646,11 @@ func (b *builder) build() error {
 		var rbs [2]float64
 		for m := 0; m < 2; m++ {
 			fl, lb, rb := phaseWork(b.traces[m][u], cost.PhaseGradient)
-			mains[m] = b.newTask(&task{
-				name: fmt.Sprintf("grad/%s/m%d", b.units[u].Name, m), machine: m,
-				flops: fl, localBytes: lb,
-				deps: []*task{b.fwdDone[m][u], b.bwdDone[m][u]},
+			gdeps := b.deps.take(2)
+			gdeps = append(gdeps, b.fwdDone[m][u], b.bwdDone[m][u])
+			mains[m] = b.newTask(task{
+				kind: taskGrad, unit: u, unit2: -1, machine: m,
+				flops: fl, localBytes: lb, deps: gdeps,
 			})
 			b.gradDone[m][u] = mains[m]
 			rbs[m] = rb
@@ -439,9 +659,11 @@ func (b *builder) build() error {
 			if rbs[m] > 0 {
 				// Type-I psum exchange of ΔW partial sums — both partials
 				// must exist.
-				b.gradDone[m][u] = b.newTask(&task{
-					name: fmt.Sprintf("psumW/%s/m%d", b.units[u].Name, m), machine: m, onNet: true,
-					remoteBytes: rbs[m], deps: []*task{mains[m], mains[1-m]},
+				pdeps := b.deps.take(2)
+				pdeps = append(pdeps, mains[m], mains[1-m])
+				b.gradDone[m][u] = b.newTask(task{
+					kind: taskPsumW, unit: u, unit2: -1, machine: m, onNet: true,
+					remoteBytes: rbs[m], deps: pdeps,
 				})
 			}
 		}
@@ -453,11 +675,13 @@ func (b *builder) build() error {
 			if w == 0 {
 				continue
 			}
-			b.gradDone[m][u] = b.newTask(&task{
-				name: fmt.Sprintf("update/%s/m%d", b.units[u].Name, m), machine: m,
+			udeps := b.deps.take(1)
+			udeps = append(udeps, b.gradDone[m][u])
+			b.gradDone[m][u] = b.newTask(task{
+				kind: taskUpdate, unit: u, unit2: -1, machine: m,
 				flops:      float64(b.optimizer.UpdateFLOPs(w)),
 				localBytes: float64(b.optimizer.UpdateMemBytes(w)),
-				deps:       []*task{b.gradDone[m][u]},
+				deps:       udeps,
 			})
 		}
 	}
@@ -489,16 +713,24 @@ func (b *builder) weightShard(u, m int) int64 {
 	}
 }
 
-// compactDeps removes duplicates and nils.
+// compactDeps removes duplicates and nils in place. Dependency lists are
+// a handful of entries, so the quadratic scan beats a map allocation.
 func compactDeps(deps []*task) []*task {
-	seen := map[*task]bool{}
-	var out []*task
+	out := deps[:0]
 	for _, d := range deps {
-		if d == nil || seen[d] {
+		if d == nil {
 			continue
 		}
-		seen[d] = true
-		out = append(out, d)
+		dup := false
+		for _, o := range out {
+			if o == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, d)
+		}
 	}
 	return out
 }
@@ -513,12 +745,15 @@ func compactDeps(deps []*task) []*task {
 func (b *builder) schedule(cfg Config, inj *faults.Injector) (*Result, error) {
 	var computeFree, netFree [2]float64
 	res := &Result{Tasks: len(b.tasks)}
+	if cfg.RecordTimeline {
+		res.Timeline = make([]TaskTiming, 0, len(b.tasks))
+	}
 
 	for _, t := range b.tasks {
 		start := 0.0
 		for _, d := range t.deps {
 			if !d.scheduled {
-				return nil, fmt.Errorf("sim: task %s depends on unscheduled %s", t.name, d.name)
+				return nil, fmt.Errorf("sim: task %s depends on unscheduled %s", b.taskName(t), b.taskName(d))
 			}
 			if d.done > start {
 				start = d.done
@@ -572,7 +807,7 @@ func (b *builder) schedule(cfg Config, inj *faults.Injector) (*Result, error) {
 		}
 		if cfg.RecordTimeline {
 			res.Timeline = append(res.Timeline, TaskTiming{
-				Name: t.name, Machine: t.machine, OnNet: t.onNet,
+				Name: b.taskName(t), Machine: t.machine, OnNet: t.onNet,
 				Start: t.done - dur, End: t.done,
 			})
 		}
@@ -649,10 +884,10 @@ func TaskOrderCheck(s Split, machines [2]Machine) error {
 		for _, d := range t.deps {
 			j, ok := pos[d]
 			if !ok {
-				return fmt.Errorf("task %s depends on unknown task", t.name)
+				return fmt.Errorf("task %s depends on unknown task", b.taskName(t))
 			}
 			if j >= i {
-				return fmt.Errorf("task %s (pos %d) depends on later task %s (pos %d)", t.name, i, d.name, j)
+				return fmt.Errorf("task %s (pos %d) depends on later task %s (pos %d)", b.taskName(t), i, b.taskName(d), j)
 			}
 		}
 	}
@@ -676,7 +911,7 @@ func SortedTaskNames(s Split, machines [2]Machine) ([]string, error) {
 	}
 	names := make([]string, len(b.tasks))
 	for i, t := range b.tasks {
-		names[i] = t.name
+		names[i] = b.taskName(t)
 	}
 	sort.Strings(names)
 	return names, nil
