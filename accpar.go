@@ -241,14 +241,22 @@ func (s Strategy) Options() Options {
 // loses to any baseline (the hierarchical search is greedy per level, so a
 // single pass lacks that guarantee).
 func Partition(net *Network, arr *Array, strategy Strategy) (*Plan, error) {
+	return partitionCached(net, arr, strategy, nil)
+}
+
+// partitionCached is Partition through an optional shared plan cache; it
+// backs both the package-level entry point (nil cache) and Session.
+func partitionCached(net *Network, arr *Array, strategy Strategy, cache *PlanCache) (*Plan, error) {
 	if strategy == StrategyAccPar {
 		tree, err := hardware.BuildTree(arr, 64)
 		if err != nil {
 			return nil, err
 		}
-		return core.PartitionAccPar(net, tree)
+		return core.PartitionAccParCached(net, tree, cache)
 	}
-	return PartitionWithOptions(net, arr, strategy.Options(), 64)
+	opt := strategy.Options()
+	opt.Cache = cache
+	return PartitionWithOptions(net, arr, opt, 64)
 }
 
 // PartitionWithOptions is the advanced entry point: explicit partitioner
@@ -268,17 +276,12 @@ type Comparison struct {
 	Plans map[Strategy]*Plan
 }
 
-// Compare partitions the network with all four strategies.
+// Compare partitions the network with all four strategies, running the
+// strategies concurrently over a shared plan cache (the AccPar portfolio
+// and the baselines it subsumes reuse each other's subproblems). The
+// resulting plans are identical to four serial Partition calls.
 func Compare(net *Network, arr *Array) (*Comparison, error) {
-	c := &Comparison{Plans: map[Strategy]*Plan{}}
-	for _, s := range Strategies {
-		plan, err := Partition(net, arr, s)
-		if err != nil {
-			return nil, fmt.Errorf("accpar: %v: %w", s, err)
-		}
-		c.Plans[s] = plan
-	}
-	return c, nil
+	return NewSession(0).Compare(net, arr)
 }
 
 // Speedup returns the strategy's throughput normalized to data parallelism,

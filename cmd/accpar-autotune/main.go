@@ -18,20 +18,21 @@ import (
 
 func main() {
 	var (
-		model    = flag.String("model", "resnet50", "model name: "+strings.Join(accpar.Models(), ", "))
-		v2       = flag.Int("v2", 16, "TPU-v2 count")
-		v3       = flag.Int("v3", 16, "TPU-v3 count")
-		minBatch = flag.Int("min", 64, "smallest batch to try")
-		maxBatch = flag.Int("max", 2048, "largest batch to try")
+		model     = flag.String("model", "resnet50", "model name: "+strings.Join(accpar.Models(), ", "))
+		v2        = flag.Int("v2", 16, "TPU-v2 count")
+		v3        = flag.Int("v3", 16, "TPU-v3 count")
+		minBatch  = flag.Int("min", 64, "smallest batch to try")
+		maxBatch  = flag.Int("max", 2048, "largest batch to try")
+		cacheFile = flag.String("cache-file", "", "warm-start the plan cache from this snapshot and save it back on exit")
 	)
 	flag.Parse()
-	if err := run(*model, *v2, *v3, *minBatch, *maxBatch); err != nil {
+	if err := run(*model, *v2, *v3, *minBatch, *maxBatch, *cacheFile); err != nil {
 		fmt.Fprintln(os.Stderr, "accpar-autotune:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model string, v2, v3, minBatch, maxBatch int) error {
+func run(model string, v2, v3, minBatch, maxBatch int, cacheFile string) error {
 	arr, err := accpar.HeterogeneousArray(
 		accpar.ArrayGroup{Spec: accpar.TPUv2(), Count: v2},
 		accpar.ArrayGroup{Spec: accpar.TPUv3(), Count: v3})
@@ -40,7 +41,20 @@ func run(model string, v2, v3, minBatch, maxBatch int) error {
 	}
 	fmt.Printf("fleet: %s  model: %s\n\n", arr.Name, model)
 
-	batch, err := accpar.TuneBatch(model, arr, minBatch, maxBatch)
+	// Both tuning sweeps share one session cache; re-running the command
+	// with -cache-file turns them into snapshot lookups.
+	sess := accpar.NewSession(0)
+	if cacheFile != "" {
+		n, err := sess.LoadCacheFile(cacheFile)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			fmt.Printf("plan cache: warm-started %d subproblems from %s\n\n", n, cacheFile)
+		}
+	}
+
+	batch, err := sess.TuneBatch(model, arr, minBatch, maxBatch)
 	if err != nil {
 		return err
 	}
@@ -57,7 +71,7 @@ func run(model string, v2, v3, minBatch, maxBatch int) error {
 	if err != nil {
 		return err
 	}
-	depth, err := accpar.TuneDepth(net, arr)
+	depth, err := sess.TuneDepth(net, arr)
 	if err != nil {
 		return err
 	}
@@ -68,6 +82,15 @@ func run(model string, v2, v3, minBatch, maxBatch int) error {
 			marker = "  <- best"
 		}
 		fmt.Printf("  %d levels: %.6g samples/s%s\n", c.Levels, c.Throughput, marker)
+	}
+
+	st := sess.CacheStats()
+	fmt.Printf("\nplan cache: %d hits / %d misses (%.1f%% hit rate)\n", st.Hits, st.Misses, 100*st.HitRate())
+	if cacheFile != "" {
+		if err := sess.SaveCacheFile(cacheFile); err != nil {
+			return err
+		}
+		fmt.Println("plan cache: saved snapshot to", cacheFile)
 	}
 	return nil
 }

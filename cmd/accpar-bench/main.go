@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"accpar/internal/core"
 	"accpar/internal/eval"
 	"accpar/internal/tensor"
 )
@@ -33,6 +34,8 @@ func main() {
 		jsonPath   = flag.String("json-out", "BENCH_PLANNER.json", "output path of the -json report")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of hierarchical planning to this file (with -json)")
 		memProfile = flag.String("memprofile", "", "write a heap profile of hierarchical planning to this file (with -json)")
+		cache      = flag.Bool("cache", false, "share one plan cache across every figure and table run")
+		cacheFile  = flag.String("cache-file", "", "warm-start the plan cache from this snapshot and save it back on exit (implies -cache); with -json, adds the snapshot-backed sweep entry")
 	)
 	flag.Parse()
 
@@ -42,11 +45,23 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := runPerf(cfg, *jsonPath, *cpuProfile, *memProfile); err != nil {
+		if err := runPerf(cfg, *jsonPath, *cacheFile, *cpuProfile, *memProfile); err != nil {
 			fmt.Fprintln(os.Stderr, "accpar-bench:", err)
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *cache || *cacheFile != "" {
+		cfg.Cache = core.NewSharedCache(0)
+		if *cacheFile != "" {
+			if n, err := cfg.Cache.LoadFile(*cacheFile); err != nil {
+				fmt.Fprintln(os.Stderr, "accpar-bench:", err)
+				os.Exit(1)
+			} else if n > 0 {
+				fmt.Printf("plan cache: warm-started %d subproblems from %s\n\n", n, *cacheFile)
+			}
+		}
 	}
 
 	if err := run(cfg, *fig, *table, *ablations, *bars); err != nil {
@@ -66,6 +81,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote:", paths)
+	}
+	if cfg.Cache != nil {
+		st := cfg.Cache.Stats()
+		fmt.Printf("plan cache: %d hits / %d misses (%.1f%% hit rate), %d resident\n",
+			st.Hits, st.Misses, 100*st.HitRate(), cfg.Cache.Len())
+		if *cacheFile != "" {
+			if err := cfg.Cache.SaveFile(*cacheFile); err != nil {
+				fmt.Fprintln(os.Stderr, "accpar-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Println("plan cache: saved snapshot to", *cacheFile)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"accpar"
 	"accpar/internal/eval"
 )
 
@@ -61,10 +62,11 @@ func TestRunPerfJSON(t *testing.T) {
 	}
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "BENCH_PLANNER.json")
+	snap := filepath.Join(dir, "plans.cache")
 	cpu := filepath.Join(dir, "cpu.prof")
 	mem := filepath.Join(dir, "mem.prof")
 	cfg := eval.Config{Batch: 32, PerKind: 2, HomSize: 8}
-	if err := runPerf(cfg, jsonPath, cpu, mem); err != nil {
+	if err := runPerf(cfg, jsonPath, snap, cpu, mem); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(jsonPath)
@@ -78,8 +80,8 @@ func TestRunPerfJSON(t *testing.T) {
 	if report.GoMaxProcs < 1 {
 		t.Errorf("gomaxprocs = %d", report.GoMaxProcs)
 	}
-	if len(report.Benchmarks) != 6 {
-		t.Fatalf("benchmarks = %d, want 6", len(report.Benchmarks))
+	if len(report.Benchmarks) != 11 {
+		t.Fatalf("benchmarks = %d, want 11", len(report.Benchmarks))
 	}
 	for _, e := range report.Benchmarks {
 		if e.NsPerOp <= 0 || e.Iterations <= 0 {
@@ -91,6 +93,20 @@ func TestRunPerfJSON(t *testing.T) {
 	}
 	if report.SpeedupSolveRatioClosedForm <= 0 {
 		t.Errorf("solve-ratio speedup = %g", report.SpeedupSolveRatioClosedForm)
+	}
+	if report.SpeedupWarmSweep <= 1 {
+		t.Errorf("warm sweep speedup = %g, want > 1", report.SpeedupWarmSweep)
+	}
+	if report.SpeedupWarmTuneBatch <= 1 {
+		t.Errorf("warm tune-batch speedup = %g, want > 1", report.SpeedupWarmTuneBatch)
+	}
+	if report.WarmStartEntries != 0 {
+		t.Errorf("cold start restored %d entries", report.WarmStartEntries)
+	}
+	// The run leaves a populated snapshot behind for the next process.
+	sess := accpar.NewSession(0)
+	if n, err := sess.LoadCacheFile(snap); err != nil || n == 0 {
+		t.Errorf("snapshot restore: %d entries, err=%v", n, err)
 	}
 	for _, p := range []string{cpu, mem} {
 		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {

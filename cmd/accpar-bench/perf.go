@@ -7,8 +7,10 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"testing"
+	"time"
 
 	"accpar"
+	"accpar/internal/autotune"
 	"accpar/internal/core"
 	"accpar/internal/eval"
 	"accpar/internal/models"
@@ -21,6 +23,11 @@ type BenchEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// CacheHits/CacheMisses/HitRate describe the shared plan cache's
+	// behaviour over the measured iterations (cache-backed entries only).
+	CacheHits   int64   `json:"cache_hits,omitempty"`
+	CacheMisses int64   `json:"cache_misses,omitempty"`
+	HitRate     float64 `json:"hit_rate,omitempty"`
 }
 
 // BenchReport is the machine-readable planner/simulator performance
@@ -36,8 +43,17 @@ type BenchReport struct {
 	// precomputed-coefficient solver over the per-step full-sweep
 	// reference, measured on a homogeneous root split (where the balance
 	// point is interior and the bisection runs to convergence).
-	SpeedupSolveRatioClosedForm float64      `json:"speedup_solve_ratio_closed_form"`
-	Benchmarks                  []BenchEntry `json:"benchmarks"`
+	SpeedupSolveRatioClosedForm float64 `json:"speedup_solve_ratio_closed_form"`
+	// SpeedupWarmSweep is cold SpeedupSweep ns/op over warm: the same
+	// sweep repeated against an already-populated shared plan cache.
+	SpeedupWarmSweep float64 `json:"speedup_warm_sweep"`
+	// SpeedupWarmTuneBatch is the same ratio for the ResNet-50 batch-size
+	// autotuning sweep.
+	SpeedupWarmTuneBatch float64 `json:"speedup_warm_tune_batch"`
+	// WarmStartEntries is the number of subproblems restored from the
+	// -cache-file snapshot (0 on a cold start or without the flag).
+	WarmStartEntries int          `json:"warm_start_entries,omitempty"`
+	Benchmarks       []BenchEntry `json:"benchmarks"`
 }
 
 func entry(name string, r testing.BenchmarkResult) BenchEntry {
@@ -148,10 +164,71 @@ func benchSolveRatio(model string, batch, homSize int) (closed, reference testin
 	return closed, reference, benchErr
 }
 
+// cacheEntry builds a cache-backed BenchEntry from a benchmark result and
+// the hit/miss counters accumulated over its measured iterations.
+func cacheEntry(name string, r testing.BenchmarkResult, hits, misses int64) BenchEntry {
+	e := entry(name, r)
+	e.CacheHits, e.CacheMisses = hits, misses
+	if total := hits + misses; total > 0 {
+		e.HitRate = float64(hits) / float64(total)
+	}
+	return e
+}
+
+// benchColdWarm measures op twice against a shared plan cache: cold (a
+// fresh cache per iteration — every subproblem solved, intra-run reuse
+// only) and warm (one cache populated by a priming run — the repeated
+// sweeps, parameter studies and warm CI runs the cache exists for).
+func benchColdWarm(op func(cache *core.SharedCache) error) (cold, warm BenchEntry, err error) {
+	var benchErr error
+	var coldHits, coldMisses int64
+	coldR := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cache := core.NewSharedCache(0)
+			if err := op(cache); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+			st := cache.Stats()
+			coldHits += st.Hits
+			coldMisses += st.Misses
+		}
+	})
+	if benchErr != nil {
+		return cold, warm, benchErr
+	}
+	cold = cacheEntry("", coldR, coldHits, coldMisses)
+
+	cache := core.NewSharedCache(0)
+	if err := op(cache); err != nil {
+		return cold, warm, err
+	}
+	primed := cache.Stats()
+	warmR := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := op(cache); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return cold, warm, benchErr
+	}
+	st := cache.Stats()
+	warm = cacheEntry("", warmR, st.Hits-primed.Hits, st.Misses-primed.Misses)
+	return cold, warm, nil
+}
+
 // runPerf measures the planner and simulator benchmarks and writes the
-// JSON report. cpuProfile/memProfile optionally capture pprof profiles of
-// one extra hierarchical-planner run.
-func runPerf(cfg eval.Config, jsonPath, cpuProfile, memProfile string) error {
+// JSON report. cacheFile, when non-empty, additionally measures a
+// snapshot-backed sweep: the cache is warm-started from the file before
+// the run and saved back after, so a second invocation resolves from the
+// first one's snapshot. cpuProfile/memProfile optionally capture pprof
+// profiles of one extra hierarchical-planner run.
+func runPerf(cfg eval.Config, jsonPath, cacheFile, cpuProfile, memProfile string) error {
 	batch, perKind := cfg.Batch, cfg.PerKind
 	if batch == 0 {
 		batch = 512
@@ -203,6 +280,68 @@ func runPerf(cfg eval.Config, jsonPath, cpuProfile, memProfile string) error {
 		report.SpeedupSolveRatioClosedForm = float64(reference.T.Nanoseconds()) / float64(reference.N) / closedNs
 	}
 
+	// Cross-run plan cache: the same workload cold (fresh cache) and warm
+	// (cache populated by a prior identical run).
+	tree, err := eval.HeterogeneousTree(perKind)
+	if err != nil {
+		return err
+	}
+	sweepCold, sweepWarm, err := benchColdWarm(func(cache *core.SharedCache) error {
+		_, err := eval.SpeedupSweepCached(tree, []string{"resnet50"}, batch, cache)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	sweepCold.Name, sweepWarm.Name = "SpeedupSweep/resnet50/cold", "SpeedupSweep/resnet50/warm"
+	report.Benchmarks = append(report.Benchmarks, sweepCold, sweepWarm)
+	if sweepWarm.NsPerOp > 0 {
+		report.SpeedupWarmSweep = sweepCold.NsPerOp / sweepWarm.NsPerOp
+	}
+
+	minBatch := batch / 8
+	if minBatch < 16 {
+		minBatch = 16
+	}
+	tuneCold, tuneWarm, err := benchColdWarm(func(cache *core.SharedCache) error {
+		_, err := autotune.TuneBatchCached("resnet50", tree, minBatch, batch, cache)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	tuneCold.Name, tuneWarm.Name = "TuneBatch/resnet50/cold", "TuneBatch/resnet50/warm"
+	report.Benchmarks = append(report.Benchmarks, tuneCold, tuneWarm)
+	if tuneWarm.NsPerOp > 0 {
+		report.SpeedupWarmTuneBatch = tuneCold.NsPerOp / tuneWarm.NsPerOp
+	}
+
+	// Snapshot-backed warm start: one timed TuneBatch sweep against a
+	// cache restored from -cache-file. The first invocation is a cold
+	// start (missing file) that leaves a snapshot behind; a repeat
+	// invocation resolves from it — the cross-process case CI asserts on.
+	if cacheFile != "" {
+		persist := core.NewSharedCache(0)
+		n, err := persist.LoadFile(cacheFile)
+		if err != nil {
+			return err
+		}
+		report.WarmStartEntries = n
+		start := time.Now()
+		if _, err := autotune.TuneBatchCached("resnet50", tree, minBatch, batch, persist); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		st := persist.Stats()
+		report.Benchmarks = append(report.Benchmarks, cacheEntry(
+			"TuneBatch/resnet50/snapshot",
+			testing.BenchmarkResult{N: 1, T: elapsed},
+			st.Hits, st.Misses))
+		if err := persist.SaveFile(cacheFile); err != nil {
+			return err
+		}
+	}
+
 	if cpuProfile != "" || memProfile != "" {
 		if err := profilePartition("resnet50", batch, perKind, cpuProfile, memProfile); err != nil {
 			return err
@@ -224,8 +363,13 @@ func runPerf(cfg eval.Config, jsonPath, cpuProfile, memProfile string) error {
 	}
 	fmt.Println("wrote:", jsonPath)
 	for _, e := range report.Benchmarks {
-		fmt.Printf("  %-42s %12.0f ns/op %10d B/op %8d allocs/op\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+		fmt.Printf("  %-42s %12.0f ns/op %10d B/op %8d allocs/op", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+		if e.CacheHits+e.CacheMisses > 0 {
+			fmt.Printf("  %5.1f%% hit", 100*e.HitRate)
+		}
+		fmt.Println()
 	}
+	fmt.Printf("warm speedups: sweep %.1fx  tune-batch %.1fx\n", report.SpeedupWarmSweep, report.SpeedupWarmTuneBatch)
 	return nil
 }
 

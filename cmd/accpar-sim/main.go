@@ -32,16 +32,17 @@ import (
 
 // opts collects the command's knobs.
 type opts struct {
-	model    string
-	batch    int
-	v2, v3   int
-	strategy string
-	overlap  bool
-	array    bool
-	faults   string
-	seed     int64
-	ckpt     float64
-	replan   bool
+	model     string
+	batch     int
+	v2, v3    int
+	strategy  string
+	overlap   bool
+	array     bool
+	faults    string
+	seed      int64
+	ckpt      float64
+	replan    bool
+	cacheFile string
 }
 
 // runArray executes the array-level simulation of the full plan.
@@ -75,6 +76,7 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "fault injection seed")
 	flag.Float64Var(&o.ckpt, "ckpt", 0, "checkpoint-restart overhead in seconds charged on group loss")
 	flag.BoolVar(&o.replan, "replan", false, "replan against the degraded specs and print the resilience report (needs -faults)")
+	flag.StringVar(&o.cacheFile, "cache-file", "", "warm-start the plan cache from this snapshot and save it back on exit")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "accpar-sim:", err)
@@ -121,27 +123,55 @@ func run(o opts) error {
 	}
 	cfg := accpar.SimConfig{OverlapComm: o.overlap}
 
+	// Planning runs through a session so -cache-file can warm-start the
+	// partition searches (the simulation itself is never cached).
+	sess := accpar.NewSession(0)
+	if o.cacheFile != "" {
+		n, err := sess.LoadCacheFile(o.cacheFile)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			fmt.Printf("plan cache: warm-started %d subproblems from %s\n\n", n, o.cacheFile)
+		}
+	}
+	saveCache := func() error {
+		if o.cacheFile == "" {
+			return nil
+		}
+		if err := sess.SaveCacheFile(o.cacheFile); err != nil {
+			return err
+		}
+		st := sess.CacheStats()
+		fmt.Printf("\nplan cache: %d hits / %d misses (%.1f%% hit rate), snapshot saved to %s\n",
+			st.Hits, st.Misses, 100*st.HitRate(), o.cacheFile)
+		return nil
+	}
+
 	if o.replan {
-		rep, err := accpar.Resilience(net, groups, st, *scenario, cfg)
+		rep, err := sess.Resilience(net, groups, st, *scenario, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("model: %s  batch: %d  strategy: %v  array: %s + %s\n\n",
 			o.model, o.batch, st, rep.MachineNames[0], rep.MachineNames[1])
 		fmt.Print(rep.String())
-		return nil
+		return saveCache()
 	}
 
 	arr, err := accpar.HeterogeneousArray(groups...)
 	if err != nil {
 		return err
 	}
-	plan, err := accpar.Partition(net, arr, st)
+	plan, err := sess.Partition(net, arr, st)
 	if err != nil {
 		return err
 	}
 	if o.array {
-		return runArray(plan, arr, o, st)
+		if err := runArray(plan, arr, o, st); err != nil {
+			return err
+		}
+		return saveCache()
 	}
 	types := plan.Root.Types
 	alpha := plan.Root.Alpha
@@ -174,5 +204,5 @@ func run(o opts) error {
 			fmt.Printf("checkpoint-restart overhead: %.4g s\n", res.RestartOverhead)
 		}
 	}
-	return nil
+	return saveCache()
 }

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // base returns the small default options used across the tests.
 func base() opts {
@@ -52,6 +56,26 @@ func TestRunFaults(t *testing.T) {
 	o.faults, o.ckpt = "loss:1=0.5", 0.25
 	if err := run(o); err != nil {
 		t.Errorf("loss run: %v", err)
+	}
+}
+
+func TestRunCacheFile(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "plans.cache")
+	o := base()
+	o.cacheFile = snap
+	if err := run(o); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if fi, err := os.Stat(snap); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot missing or empty (err=%v)", err)
+	}
+	if err := run(o); err != nil {
+		t.Errorf("warm run: %v", err)
+	}
+	// Replanning reuses the same snapshot.
+	o.faults, o.replan = "slowdown:0=2.0", true
+	if err := run(o); err != nil {
+		t.Errorf("warm replan run: %v", err)
 	}
 }
 

@@ -35,6 +35,15 @@ type BatchResult struct {
 // the model on the array, partitions each with AccPar, and returns the
 // highest-throughput batch whose plan fits every leaf's HBM.
 func TuneBatch(model string, tree *hardware.Tree, minBatch, maxBatch int) (*BatchResult, error) {
+	return TuneBatchCached(model, tree, minBatch, maxBatch, nil)
+}
+
+// TuneBatchCached is TuneBatch over a shared cross-run plan cache (nil for
+// the uncached sweep). Batch sizes change every subproblem's dims, so one
+// cold sweep shares little with itself — but a repeated or replayed sweep
+// (the deployment loop re-tuning after every fleet change) resolves
+// entirely from a warm cache.
+func TuneBatchCached(model string, tree *hardware.Tree, minBatch, maxBatch int, cache *core.SharedCache) (*BatchResult, error) {
 	if minBatch < 1 || maxBatch < minBatch {
 		return nil, fmt.Errorf("autotune: invalid batch range [%d,%d]", minBatch, maxBatch)
 	}
@@ -45,7 +54,7 @@ func TuneBatch(model string, tree *hardware.Tree, minBatch, maxBatch int) (*Batc
 		if err != nil {
 			return nil, err
 		}
-		plan, err := core.PartitionAccPar(net, tree)
+		plan, err := core.PartitionAccParCached(net, tree, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -87,6 +96,14 @@ type DepthResult struct {
 // hierarchies trade more explicit partitioning decisions (Figure 8's
 // x-axis) against more communication levels.
 func TuneDepth(net *dnn.Network, arr *hardware.Array) (*DepthResult, error) {
+	return TuneDepthCached(net, arr, nil)
+}
+
+// TuneDepthCached is TuneDepth over a shared cross-run plan cache (nil for
+// the uncached sweep). Depth budgets share their upper tree levels'
+// subtrees across iterations, so even a cold depth sweep reuses work; a
+// warm one resolves entirely from the cache.
+func TuneDepthCached(net *dnn.Network, arr *hardware.Array, cache *core.SharedCache) (*DepthResult, error) {
 	full, err := hardware.BuildTree(arr, 64)
 	if err != nil {
 		return nil, err
@@ -101,7 +118,7 @@ func TuneDepth(net *dnn.Network, arr *hardware.Array) (*DepthResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		plan, err := core.PartitionAccPar(net, tree)
+		plan, err := core.PartitionAccParCached(net, tree, cache)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"accpar/internal/dnn"
+	"accpar/internal/hardware"
+	"accpar/internal/plancache"
+)
+
+// This file connects the planner to the cross-run plan cache. The
+// per-search planMemo (memo.go) dies with each Partition call; SharedCache
+// outlives searches, processes and — through snapshots — machines. Every
+// entry is a solved hierarchical subproblem, content-addressed by the
+// concatenation of two fingerprints:
+//
+//   - the search fingerprint: everything fixed for one planner — the
+//     network's unit/segment structure and every Options field that can
+//     change a decision (the Fixed assignment function is fingerprinted by
+//     its observable behaviour: its result on each unit);
+//   - the subproblem key (memo.go): the hardware subtree and the
+//     effective per-unit dims at the node.
+//
+// Parallelism is deliberately absent from the fingerprint: plans are
+// byte-identical across worker counts (TestParallelismEquivalence), so a
+// plan solved serially may warm a parallel search and vice versa.
+
+// cacheSchema tags the snapshot value encoding AND the cost-model
+// generation. Bump it whenever PlanNode's serialized form or any cost
+// the planner bakes into cached nodes changes, so stale snapshots are
+// rejected instead of silently replaying outdated solutions.
+const cacheSchema = "accpar-plan-node-v1"
+
+// SharedCache is a concurrency-safe, bounded, persistent cache of solved
+// hierarchical subproblems, shared across Partition, Replan, Compare,
+// evaluation sweeps and autotuning — any number of concurrent searches
+// over any mix of networks, hardware trees and options. The zero capacity
+// selects plancache.DefaultCapacity.
+type SharedCache struct {
+	c *plancache.Cache[*PlanNode]
+}
+
+// NewSharedCache returns a cache bounded to capacity resident subproblem
+// solutions (≤ 0 selects the default).
+func NewSharedCache(capacity int) *SharedCache {
+	return &SharedCache{c: plancache.New[*PlanNode](capacity)}
+}
+
+// Stats returns the cache's hit/miss/eviction/coalesce counters.
+func (s *SharedCache) Stats() plancache.Stats {
+	if s == nil {
+		return plancache.Stats{}
+	}
+	return s.c.Stats()
+}
+
+// Len returns the resident entry count.
+func (s *SharedCache) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.c.Len()
+}
+
+// encodePlanNode serializes a cached subtree with full fidelity. Every
+// PlanNode field is exported, so the plain JSON form round-trips exactly:
+// Go encodes float64 values with the shortest representation that parses
+// back to the identical bits, keeping snapshot-restored plans
+// byte-identical to freshly computed ones.
+func encodePlanNode(n *PlanNode) ([]byte, error) {
+	return json.Marshal(n)
+}
+
+// decodePlanNode reverses encodePlanNode.
+func decodePlanNode(b []byte) (*PlanNode, error) {
+	var n PlanNode
+	if err := json.Unmarshal(b, &n); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}
+
+// Save writes a versioned snapshot of the cache for cross-process
+// warm-start.
+func (s *SharedCache) Save(w io.Writer) error {
+	return s.c.Save(w, cacheSchema, encodePlanNode)
+}
+
+// Load replays a snapshot previously written with Save, returning the
+// number of restored subproblems. Snapshots from an incompatible plan
+// encoding are rejected.
+func (s *SharedCache) Load(r io.Reader) (int, error) {
+	return s.c.Load(r, cacheSchema, decodePlanNode)
+}
+
+// SaveFile writes a snapshot to path.
+func (s *SharedCache) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile replays the snapshot at path. A missing file is not an error —
+// it is the cold-start case every warm-start protocol begins with — and
+// restores zero entries.
+func (s *SharedCache) LoadFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	return s.Load(f)
+}
+
+// searchFingerprint hashes everything that is fixed across one planner's
+// subproblems but varies between planners sharing a cache: the network
+// structure and the decision-relevant options. Subproblem keys (subtree,
+// dims) are only unique within one fingerprint.
+func searchFingerprint(units []dnn.WeightedLayer, segs, planSegs []segRef, opt Options) string {
+	h := fnv.New128a()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wStr := func(s string) {
+		wInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	wStr(cacheSchema)
+
+	// Network structure: per-unit identity (dims travel in the subproblem
+	// key) and the series-parallel segment shape, both as searched and as
+	// planned (they differ under Linearize).
+	wInt(int64(len(units)))
+	for _, u := range units {
+		wStr(u.Name)
+		wInt(int64(u.Kind))
+		if u.Virtual {
+			wInt(1)
+		} else {
+			wInt(0)
+		}
+	}
+	wSegs := func(refs []segRef) {
+		wInt(int64(len(refs)))
+		for _, r := range refs {
+			wInt(int64(r.unit))
+			wInt(int64(len(r.paths)))
+			for _, p := range r.paths {
+				wInt(int64(len(p)))
+				for _, u := range p {
+					wInt(int64(u))
+				}
+			}
+		}
+	}
+	wSegs(segs)
+	wSegs(planSegs)
+
+	// Options, field by field. Types order matters to DP tie-breaking, so
+	// the set is hashed in its configured order.
+	wInt(int64(len(opt.Types)))
+	for _, t := range opt.Types {
+		wInt(int64(t))
+	}
+	wInt(int64(opt.Objective))
+	wInt(int64(opt.Ratio))
+	wInt(int64(opt.MaxRatioIters))
+	if opt.Linearize {
+		wInt(1)
+	} else {
+		wInt(0)
+	}
+	wInt(int64(opt.Optimizer))
+	wInt(int64(opt.Topology))
+	if opt.Exhaustive {
+		wInt(1)
+	} else {
+		wInt(0)
+	}
+	wInt(int64(opt.Mode))
+
+	// The Fixed assignment is a function — unhashable by value — but its
+	// only observable effect is its result on each of this network's
+	// units, so that result vector IS its fingerprint here.
+	if opt.Fixed == nil {
+		wInt(-1)
+	} else {
+		for _, u := range units {
+			if t, ok := opt.Fixed(u); ok {
+				wInt(int64(t) + 1)
+			} else {
+				wInt(0)
+			}
+		}
+	}
+	return string(h.Sum(nil))
+}
+
+// PartitionAccParCached is PartitionAccPar with a shared cross-run cache:
+// the production portfolio search with every variant seeding from and
+// feeding the same cache. A nil cache degrades to the uncached search.
+func PartitionAccParCached(net *dnn.Network, tree *hardware.Tree, cache *SharedCache) (*Plan, error) {
+	variants := AccParVariants()
+	for i := range variants {
+		variants[i].Cache = cache
+	}
+	return PartitionBest(net, tree, variants...)
+}

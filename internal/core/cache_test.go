@@ -1,0 +1,336 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"accpar/internal/dnn"
+	"accpar/internal/hardware"
+)
+
+// TestCacheEquivalence is the cache's core contract: plans must be
+// byte-identical (canonical JSON) with the cache disabled, cold, warm,
+// and restored from a disk snapshot — caching may change wall-clock,
+// never decisions.
+func TestCacheEquivalence(t *testing.T) {
+	tree := paperTree(t, 4)
+	for _, model := range []string{"resnet50", "vgg16"} {
+		t.Run(model, func(t *testing.T) {
+			net := buildNet(t, model, 64)
+
+			base := AccPar()
+			reference, err := Partition(net, tree, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := planJSON(t, reference)
+
+			cache := NewSharedCache(0)
+			cached := base
+			cached.Cache = cache
+			cold, err := Partition(net, tree, cached)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := planJSON(t, cold); !bytes.Equal(got, want) {
+				t.Errorf("cold cached plan differs from uncached reference (%d vs %d bytes)", len(got), len(want))
+			}
+			if st := cache.Stats(); st.Entries == 0 {
+				t.Error("cold run populated no cache entries")
+			}
+
+			warm, err := Partition(net, tree, cached)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := planJSON(t, warm); !bytes.Equal(got, want) {
+				t.Errorf("warm cached plan differs from uncached reference")
+			}
+			if st := cache.Stats(); st.Hits == 0 {
+				t.Errorf("warm run recorded no hits: %+v", st)
+			}
+
+			var snap bytes.Buffer
+			if err := cache.Save(&snap); err != nil {
+				t.Fatal(err)
+			}
+			restored := NewSharedCache(0)
+			n, err := restored.Load(bytes.NewReader(snap.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != cache.Len() {
+				t.Errorf("restored %d of %d entries", n, cache.Len())
+			}
+			fromSnap := base
+			fromSnap.Cache = restored
+			snapPlan, err := Partition(net, tree, fromSnap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := planJSON(t, snapPlan); !bytes.Equal(got, want) {
+				t.Errorf("snapshot-restored plan differs from uncached reference")
+			}
+			if st := restored.Stats(); st.Hits == 0 {
+				t.Errorf("snapshot-restored run recorded no hits: %+v", st)
+			}
+		})
+	}
+}
+
+// TestCacheWarmRunIsAllHits: the second identical search must resolve
+// entirely from the cache — its root subproblem is resident, so not a
+// single node is recomputed.
+func TestCacheWarmRunIsAllHits(t *testing.T) {
+	net := buildNet(t, "alexnet", 64)
+	tree := paperTree(t, 4)
+	cache := NewSharedCache(0)
+	opt := AccPar()
+	opt.Cache = cache
+	if _, err := Partition(net, tree, opt); err != nil {
+		t.Fatal(err)
+	}
+	before := cache.Stats()
+	if _, err := Partition(net, tree, opt); err != nil {
+		t.Fatal(err)
+	}
+	after := cache.Stats()
+	if after.Misses != before.Misses {
+		t.Errorf("warm run missed %d times; want 0", after.Misses-before.Misses)
+	}
+	// The warm search asks the cache exactly once: the root hit makes the
+	// whole plan a clone.
+	if after.Hits != before.Hits+1 {
+		t.Errorf("warm run recorded %d hits; want exactly 1 (the root)", after.Hits-before.Hits)
+	}
+}
+
+// TestCacheOptionIsolation: different option sets sharing one cache must
+// never cross-contaminate — each cached search must still match its own
+// uncached reference bit for bit.
+func TestCacheOptionIsolation(t *testing.T) {
+	net := buildNet(t, "alexnet", 64)
+	tree := paperTree(t, 4)
+	cache := NewSharedCache(0)
+	variants := []struct {
+		name string
+		opt  Options
+	}{
+		{"accpar", AccPar()},
+		{"dp", DataParallel()},
+		{"owt", OWT()},
+		{"hypar", HyPar()},
+		{"inference", func() Options { o := AccPar(); o.Mode = ModeInference; return o }()},
+	}
+	// Interleave: cold pass of everything, then a warm pass, comparing
+	// each against its private uncached reference.
+	refs := make([][]byte, len(variants))
+	for i, v := range variants {
+		plan, err := Partition(net, tree, v.opt)
+		if err != nil {
+			t.Fatalf("%s reference: %v", v.name, err)
+		}
+		refs[i] = planJSON(t, plan)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i, v := range variants {
+			opt := v.opt
+			opt.Cache = cache
+			plan, err := Partition(net, tree, opt)
+			if err != nil {
+				t.Fatalf("%s pass %d: %v", v.name, pass, err)
+			}
+			if got := planJSON(t, plan); !bytes.Equal(got, refs[i]) {
+				t.Errorf("%s pass %d: shared-cache plan differs from its uncached reference", v.name, pass)
+			}
+		}
+	}
+}
+
+// TestCacheReplanShares: Replan with a shared cache produces the same
+// report as without, and a second Replan over a warm cache still adopts
+// identically.
+func TestCacheReplanShares(t *testing.T) {
+	net := buildNet(t, "alexnet", 64)
+	groups := v2v3Groups(4)
+	pristine := treeFor(t, groups...)
+	deg, err := hardware.DegradeGroups(groups, map[int]hardware.Degradation{
+		0: {Compute: 2, MemBW: 1, NetBW: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := treeFor(t, deg...)
+
+	ref, err := Replan(net, pristine, degraded, AccPar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewSharedCache(0)
+	opt := AccPar()
+	opt.Cache = cache
+	for pass := 0; pass < 2; pass++ {
+		rep, err := Replan(net, pristine, degraded, opt)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if rep.Adopted != ref.Adopted {
+			t.Errorf("pass %d: adoption %v, reference %v", pass, rep.Adopted, ref.Adopted)
+		}
+		for _, pair := range []struct {
+			name     string
+			got, ref *Plan
+		}{
+			{"fault-free", rep.FaultFree, ref.FaultFree},
+			{"stale", rep.Stale, ref.Stale},
+			{"fresh", rep.Fresh, ref.Fresh},
+		} {
+			if !bytes.Equal(planJSON(t, pair.got), planJSON(t, pair.ref)) {
+				t.Errorf("pass %d: %s plan differs from uncached reference", pass, pair.name)
+			}
+		}
+	}
+}
+
+// TestCacheBoundedEviction: a tiny cache must stay within its bound under
+// a workload far larger than it, and still produce correct plans.
+func TestCacheBoundedEviction(t *testing.T) {
+	net := buildNet(t, "vgg16", 64)
+	tree := paperTree(t, 4)
+	ref, err := Partition(net, tree, AccPar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := planJSON(t, ref)
+
+	cache := NewSharedCache(64)
+	opt := AccPar()
+	opt.Cache = cache
+	for pass := 0; pass < 2; pass++ {
+		plan, err := Partition(net, tree, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := planJSON(t, plan); !bytes.Equal(got, want) {
+			t.Errorf("pass %d: plan from evicting cache differs from reference", pass)
+		}
+	}
+	// The bound is per shard; allow the rounding headroom New documents.
+	if n := cache.Len(); n > 64+96 {
+		t.Errorf("cache holds %d entries, far over its 64-entry bound", n)
+	}
+}
+
+// TestCacheConcurrentSearches hammers one shared cache from concurrent
+// Partition and Replan calls across distinct option sets (run under
+// -race). Every resulting plan must match its serial uncached reference.
+func TestCacheConcurrentSearches(t *testing.T) {
+	net := buildNet(t, "alexnet", 64)
+	groups := v2v3Groups(4)
+	pristine := treeFor(t, groups...)
+	deg, err := hardware.DegradeGroups(groups, map[int]hardware.Degradation{
+		1: {Compute: 2, MemBW: 1, NetBW: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := treeFor(t, deg...)
+
+	wantAccPar := planJSON(t, mustPartition(t, net, pristine, AccPar()))
+	wantDP := planJSON(t, mustPartition(t, net, pristine, DataParallel()))
+
+	cache := NewSharedCache(0)
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers < 8 {
+		workers = 8
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			switch w % 3 {
+			case 0:
+				opt := AccPar()
+				opt.Cache = cache
+				opt.Parallelism = w%2 + 1
+				plan, err := Partition(net, pristine, opt)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d Partition: %w", w, err)
+					return
+				}
+				if !bytes.Equal(planJSON(t, plan), wantAccPar) {
+					errs <- fmt.Errorf("worker %d: AccPar plan differs from reference", w)
+				}
+			case 1:
+				opt := DataParallel()
+				opt.Cache = cache
+				plan, err := Partition(net, pristine, opt)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d Partition(DP): %w", w, err)
+					return
+				}
+				if !bytes.Equal(planJSON(t, plan), wantDP) {
+					errs <- fmt.Errorf("worker %d: DP plan differs from reference", w)
+				}
+			default:
+				opt := AccPar()
+				opt.Cache = cache
+				if _, err := Replan(net, pristine, degraded, opt); err != nil {
+					errs <- fmt.Errorf("worker %d Replan: %w", w, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Errorf("concurrent searches shared nothing: %+v", st)
+	}
+}
+
+func mustPartition(t *testing.T, net *dnn.Network, tree *hardware.Tree, opt Options) *Plan {
+	t.Helper()
+	plan, err := Partition(net, tree, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestPartitionAccParCached: the cached portfolio entry point matches the
+// uncached one and reuses the cache across calls.
+func TestPartitionAccParCached(t *testing.T) {
+	net := buildNet(t, "alexnet", 64)
+	tree := paperTree(t, 4)
+	ref, err := PartitionAccPar(net, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := planJSON(t, ref)
+	cache := NewSharedCache(0)
+	for pass := 0; pass < 2; pass++ {
+		plan, err := PartitionAccParCached(net, tree, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := planJSON(t, plan); !bytes.Equal(got, want) {
+			t.Errorf("pass %d: cached portfolio plan differs from reference", pass)
+		}
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Errorf("portfolio reuse recorded no hits: %+v", st)
+	}
+	if _, err := PartitionAccParCached(net, tree, nil); err != nil {
+		t.Errorf("nil cache must degrade to the uncached search: %v", err)
+	}
+}

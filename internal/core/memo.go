@@ -6,7 +6,6 @@ import (
 	"math"
 	"sync"
 
-	"accpar/internal/cost"
 	"accpar/internal/hardware"
 	"accpar/internal/tensor"
 )
@@ -118,20 +117,19 @@ func subproblemKey(node *hardware.Tree, dims []tensor.LayerDims) string {
 	return string(h.Sum(nil))
 }
 
-// clonePlanNode deep-copies a memoized subtree so every parent links a
-// private node graph. Slices are copied because plan consumers index and
-// mutate-by-identity around them; the recursion mirrors the tree shape.
+// clonePlanNode copies a memoized subtree so every parent links a
+// private node graph; the recursion mirrors the tree shape.
 func clonePlanNode(n *PlanNode) *PlanNode {
 	if n == nil {
 		return nil
 	}
 	c := *n
-	if n.Types != nil {
-		c.Types = append([]cost.Type(nil), n.Types...)
-	}
-	if n.Dims != nil {
-		c.Dims = append([]tensor.LayerDims(nil), n.Dims...)
-	}
+	// Types and Dims are aliased, not copied: both are freshly allocated
+	// at node construction and never written afterwards (by the planner or
+	// any consumer), so sharing them is safe and keeps a memo or cache hit
+	// at one small struct per node instead of re-copying every per-unit
+	// slice. Node identity is what must stay distinct — plan consumers key
+	// maps by *PlanNode — and it does.
 	c.Left = clonePlanNode(n.Left)
 	c.Right = clonePlanNode(n.Right)
 	return &c

@@ -120,6 +120,14 @@ type Options struct {
 	// all settings — every subproblem is pure, so scheduling cannot change
 	// results — which the equivalence tests enforce.
 	Parallelism int
+	// Cache, when non-nil, is the cross-run subproblem cache the search
+	// seeds its per-search memo from and feeds its solutions into. Plans
+	// are byte-identical with the cache disabled, cold or warm — caching
+	// changes wall-clock only, never decisions — which the cache
+	// equivalence tests enforce. Cache is identity, not configuration: it
+	// never influences results, so it takes no part in the search
+	// fingerprint.
+	Cache *SharedCache
 }
 
 // Mode selects which phases the workload executes.

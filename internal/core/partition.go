@@ -26,6 +26,10 @@ type planner struct {
 	opt      Options
 	memo     *planMemo
 	sem      *parallel.Sem
+	// shared is the optional cross-run cache (Options.Cache); searchFP
+	// namespaces this planner's subproblem keys inside it.
+	shared   *SharedCache
+	searchFP string
 }
 
 // newPlanner validates the inputs and builds the shared search state.
@@ -46,7 +50,7 @@ func newPlanner(net *dnn.Network, opt Options) (*planner, error) {
 		// so type vectors index both structures identically.
 		planSegs = indexSegments(net.Linearize())
 	}
-	return &planner{
+	p := &planner{
 		net:      net,
 		units:    net.Units(),
 		segs:     segs,
@@ -54,7 +58,12 @@ func newPlanner(net *dnn.Network, opt Options) (*planner, error) {
 		opt:      opt,
 		memo:     newPlanMemo(),
 		sem:      parallel.NewSem(opt.Parallelism),
-	}, nil
+		shared:   opt.Cache,
+	}
+	if p.shared != nil {
+		p.searchFP = searchFingerprint(p.units, p.segs, p.planSegs, p.opt)
+	}
+	return p, nil
 }
 
 // rootDims returns the network's unscaled per-unit dims.
@@ -109,6 +118,22 @@ func (p *planner) partitionNode(node *hardware.Tree, dims []tensor.LayerDims) (*
 	key := subproblemKey(node, dims)
 	if cached, ok := p.memo.get(key); ok {
 		return clonePlanNode(cached), nil
+	}
+	if p.shared != nil {
+		// Cross-run path: the shared cache answers or computes under
+		// singleflight, so N concurrent identical searches — across
+		// planners and goroutines alike — run the subproblem once. The
+		// result lands in the per-search memo too, keeping the rest of
+		// this search off the shared shards, and is cloned on every use
+		// because plan consumers key maps by *PlanNode identity.
+		n, _, err := p.shared.c.Do(p.searchFP+key, func() (*PlanNode, error) {
+			return p.computeNode(node, dims)
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.memo.put(key, n)
+		return clonePlanNode(n), nil
 	}
 	n, err := p.computeNode(node, dims)
 	if err != nil {

@@ -2,7 +2,7 @@ package dnn
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"accpar/internal/tensor"
 )
@@ -97,7 +97,7 @@ func (g *Graph) Consumers() map[NodeID][]NodeID {
 		}
 	}
 	for _, c := range out {
-		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		slices.Sort(c)
 	}
 	return out
 }

@@ -2,7 +2,7 @@ package dnn
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"accpar/internal/tensor"
 )
@@ -298,7 +298,7 @@ func ExtractNetwork(g *Graph) (*Network, error) {
 		for s := range reduced[id].succs {
 			out = append(out, s)
 		}
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		slices.Sort(out)
 		return out
 	}
 

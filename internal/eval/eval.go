@@ -72,10 +72,19 @@ func (s Scheme) Options() core.Options {
 // that its complete space never loses to the restricted baselines; the
 // baselines use their single configuration.
 func (s Scheme) Partition(net *dnn.Network, tree *hardware.Tree) (*core.Plan, error) {
+	return s.PartitionCached(net, tree, nil)
+}
+
+// PartitionCached is Partition seeding from and feeding a shared
+// cross-run plan cache; nil degrades to the uncached search. Plans are
+// byte-identical either way.
+func (s Scheme) PartitionCached(net *dnn.Network, tree *hardware.Tree, cache *core.SharedCache) (*core.Plan, error) {
 	if s == SchemeAccPar {
-		return core.PartitionAccPar(net, tree)
+		return core.PartitionAccParCached(net, tree, cache)
 	}
-	return core.Partition(net, tree, s.Options())
+	opt := s.Options()
+	opt.Cache = cache
+	return core.Partition(net, tree, opt)
 }
 
 // Config sizes the experiments. The zero value is upgraded to the paper's
@@ -86,6 +95,10 @@ type Config struct {
 	PerKind int
 	HomSize int
 	Models  []string
+	// Cache, when non-nil, is the shared cross-run plan cache every
+	// partition of the experiment suite seeds from and feeds — repeated
+	// sweeps (parameter studies, warm CI runs) then re-solve nothing.
+	Cache *core.SharedCache
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +153,12 @@ type ModelResult struct {
 // slot, so the returned order (and on error, the reported model) matches
 // the serial sweep exactly.
 func SpeedupSweep(tree *hardware.Tree, modelNames []string, batch int) ([]ModelResult, error) {
+	return SpeedupSweepCached(tree, modelNames, batch, nil)
+}
+
+// SpeedupSweepCached is SpeedupSweep over a shared plan cache (nil for the
+// uncached sweep). A warm cache turns the whole sweep into lookups.
+func SpeedupSweepCached(tree *hardware.Tree, modelNames []string, batch int, cache *core.SharedCache) ([]ModelResult, error) {
 	out := make([]ModelResult, len(modelNames))
 	err := parallel.ForEach(len(modelNames), 0, func(i int) error {
 		name := modelNames[i]
@@ -149,7 +168,7 @@ func SpeedupSweep(tree *hardware.Tree, modelNames []string, batch int) ([]ModelR
 		}
 		r := ModelResult{Model: name, Time: map[Scheme]float64{}, Speedup: map[Scheme]float64{}}
 		for _, s := range Schemes {
-			plan, err := s.Partition(net, tree)
+			plan, err := s.PartitionCached(net, tree, cache)
 			if err != nil {
 				return fmt.Errorf("eval: %s/%v: %w", name, s, err)
 			}
@@ -214,7 +233,7 @@ func Figure5(cfg Config) (*FigureResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := SpeedupSweep(tree, cfg.Models, cfg.Batch)
+	results, err := SpeedupSweepCached(tree, cfg.Models, cfg.Batch, cfg.Cache)
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +248,7 @@ func Figure6(cfg Config) (*FigureResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := SpeedupSweep(tree, cfg.Models, cfg.Batch)
+	results, err := SpeedupSweepCached(tree, cfg.Models, cfg.Batch, cfg.Cache)
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +317,7 @@ func Figure8(cfg Config) (*FigureResult, error) {
 		}
 		times := map[Scheme]float64{}
 		for _, s := range Schemes {
-			plan, err := s.Partition(net, tree)
+			plan, err := s.PartitionCached(net, tree, cfg.Cache)
 			if err != nil {
 				return fmt.Errorf("eval: figure8 h=%d %v: %w", h, s, err)
 			}
@@ -348,7 +367,7 @@ func Table8(cfg Config) ([]FlexibilityRow, *report.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	results, err := SpeedupSweep(tree, cfg.Models, cfg.Batch)
+	results, err := SpeedupSweepCached(tree, cfg.Models, cfg.Batch, cfg.Cache)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -364,7 +383,7 @@ func Table8(cfg Config) ([]FlexibilityRow, *report.Table, error) {
 			if err != nil {
 				return err
 			}
-			plan, err := s.Partition(net, tree)
+			plan, err := s.PartitionCached(net, tree, cfg.Cache)
 			if err != nil {
 				return err
 			}

@@ -36,8 +36,8 @@ func TestSpecDegradePristineIdentity(t *testing.T) {
 
 func TestDegradationValidate(t *testing.T) {
 	bad := []Degradation{
-		{},                                        // zero divisors
-		{Compute: 0.5, MemBW: 1, NetBW: 1},        // divisor < 1
+		{},                                 // zero divisors
+		{Compute: 0.5, MemBW: 1, NetBW: 1}, // divisor < 1
 		{Compute: math.NaN(), MemBW: 1, NetBW: 1}, // NaN
 		{Compute: 1, MemBW: 1, NetBW: math.Inf(1)},
 		{Compute: 1, MemBW: 1, NetBW: 1, LostFraction: 1},

@@ -8,7 +8,7 @@ package hardware
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -167,6 +167,6 @@ func (a *Array) SpecNames() []string {
 	for n := range set {
 		out = append(out, n)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }

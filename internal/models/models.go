@@ -6,7 +6,7 @@ package models
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"accpar/internal/dnn"
 	"accpar/internal/tensor"
@@ -34,7 +34,7 @@ func Names() []string {
 	for name := range registry {
 		out = append(out, name)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -23,7 +23,7 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"accpar/internal/cost"
@@ -913,6 +913,6 @@ func SortedTaskNames(s Split, machines [2]Machine) ([]string, error) {
 	for i, t := range b.tasks {
 		names[i] = b.taskName(t)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names, nil
 }

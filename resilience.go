@@ -59,6 +59,12 @@ func DegradeArrayGroups(groups []ArrayGroup, sc *FaultScenario) ([]ArrayGroup, e
 // decisions on the degraded array, partition the degraded array from
 // scratch, and adopt the better post-fault plan.
 func ReplanAnalytic(net *Network, groups []ArrayGroup, strategy Strategy, sc *FaultScenario) (*ReplanReport, error) {
+	return replanAnalytic(net, groups, strategy.Options(), sc)
+}
+
+// replanAnalytic is the options-level replanning pipeline shared by
+// ReplanAnalytic and Session.Replan.
+func replanAnalytic(net *Network, groups []ArrayGroup, opt Options, sc *FaultScenario) (*ReplanReport, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -82,7 +88,7 @@ func ReplanAnalytic(net *Network, groups []ArrayGroup, strategy Strategy, sc *Fa
 	if err != nil {
 		return nil, err
 	}
-	return core.Replan(net, pristine, degraded, strategy.Options())
+	return core.Replan(net, pristine, degraded, opt)
 }
 
 // ResilienceReport is the simulated three-way comparison of a fault
@@ -156,6 +162,12 @@ func (r *ResilienceReport) String() string {
 // replanned result is adopted only if its simulated makespan beats the
 // stale run, so Replanned.Time ≤ Stale.Time always holds.
 func Resilience(net *Network, groups []ArrayGroup, strategy Strategy, sc FaultScenario, cfg SimConfig) (*ResilienceReport, error) {
+	return resilienceCached(net, groups, strategy, sc, cfg, nil)
+}
+
+// resilienceCached is Resilience through an optional shared plan cache;
+// it backs both the package-level entry point (nil cache) and Session.
+func resilienceCached(net *Network, groups []ArrayGroup, strategy Strategy, sc FaultScenario, cfg SimConfig, cache *PlanCache) (*ResilienceReport, error) {
 	if len(groups) != 2 {
 		return nil, fmt.Errorf("accpar: resilience needs exactly 2 accelerator groups, got %d", len(groups))
 	}
@@ -169,7 +181,7 @@ func Resilience(net *Network, groups []ArrayGroup, strategy Strategy, sc FaultSc
 	if err != nil {
 		return nil, err
 	}
-	plan, err := Partition(net, arr, strategy)
+	plan, err := partitionCached(net, arr, strategy, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +214,7 @@ func Resilience(net *Network, groups []ArrayGroup, strategy Strategy, sc FaultSc
 	if err != nil {
 		return nil, err
 	}
-	dplan, err := Partition(net, darr, strategy)
+	dplan, err := partitionCached(net, darr, strategy, cache)
 	if err != nil {
 		return nil, err
 	}

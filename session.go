@@ -1,0 +1,135 @@
+package accpar
+
+import (
+	"fmt"
+	"io"
+
+	"accpar/internal/autotune"
+	"accpar/internal/core"
+	"accpar/internal/hardware"
+	"accpar/internal/parallel"
+	"accpar/internal/plancache"
+)
+
+// PlanCache is the shared cross-run plan cache: a concurrency-safe,
+// bounded LRU of solved hierarchical subproblems, content-addressed so
+// that any number of searches — over any mix of networks, arrays and
+// options — can share one instance without cross-contamination. Caching
+// never changes decisions: plans are byte-identical with the cache
+// disabled, cold, warm, or restored from a snapshot.
+type PlanCache = core.SharedCache
+
+// CacheStats is the cache's hit/miss/eviction/coalesce counters.
+type CacheStats = plancache.Stats
+
+// NewPlanCache returns a cache bounded to capacity resident subproblem
+// solutions (≤ 0 selects the default).
+func NewPlanCache(capacity int) *PlanCache { return core.NewSharedCache(capacity) }
+
+// Session binds the package's entry points to one shared PlanCache, so
+// repeated and related searches — batch sweeps, strategy comparisons,
+// fault replanning, autotuning — reuse each other's solved subproblems
+// instead of recomputing them. A Session is safe for concurrent use;
+// methods mirror the package-level functions of the same name.
+//
+// Sessions persist across processes: SaveCache writes a versioned
+// snapshot, and a new Session warm-started with LoadCache resolves
+// previously seen subproblems without recomputation.
+type Session struct {
+	cache *PlanCache
+}
+
+// NewSession returns a Session with a fresh cache bounded to capacity
+// entries (≤ 0 selects the default).
+func NewSession(capacity int) *Session {
+	return &Session{cache: NewPlanCache(capacity)}
+}
+
+// Cache returns the session's shared plan cache, for callers who want to
+// pass it to the advanced entry points directly (Options.Cache).
+func (s *Session) Cache() *PlanCache { return s.cache }
+
+// CacheStats returns the session cache's counters.
+func (s *Session) CacheStats() CacheStats { return s.cache.Stats() }
+
+// SaveCache writes a versioned snapshot of the session cache for
+// cross-process warm-start.
+func (s *Session) SaveCache(w io.Writer) error { return s.cache.Save(w) }
+
+// LoadCache replays a snapshot previously written with SaveCache,
+// returning the number of restored subproblems. Snapshots from an
+// incompatible plan encoding are rejected.
+func (s *Session) LoadCache(r io.Reader) (int, error) { return s.cache.Load(r) }
+
+// SaveCacheFile writes a snapshot of the session cache to path.
+func (s *Session) SaveCacheFile(path string) error { return s.cache.SaveFile(path) }
+
+// LoadCacheFile replays the snapshot at path. A missing file is the
+// ordinary cold-start case, not an error, and restores zero entries.
+func (s *Session) LoadCacheFile(path string) (int, error) { return s.cache.LoadFile(path) }
+
+// Partition is the package-level Partition through the session cache.
+func (s *Session) Partition(net *Network, arr *Array, strategy Strategy) (*Plan, error) {
+	return partitionCached(net, arr, strategy, s.cache)
+}
+
+// Resilience is the package-level fault-injection experiment through the
+// session cache: the pristine and degraded partition searches share
+// subproblems with each other and with prior session work.
+func (s *Session) Resilience(net *Network, groups []ArrayGroup, strategy Strategy, sc FaultScenario, cfg SimConfig) (*ResilienceReport, error) {
+	return resilienceCached(net, groups, strategy, sc, cfg, s.cache)
+}
+
+// PartitionWithOptions is the package-level PartitionWithOptions through
+// the session cache (overriding any Options.Cache the caller set).
+func (s *Session) PartitionWithOptions(net *Network, arr *Array, opt Options, maxLevels int) (*Plan, error) {
+	opt.Cache = s.cache
+	return PartitionWithOptions(net, arr, opt, maxLevels)
+}
+
+// Compare partitions the network with all four strategies concurrently,
+// every strategy seeding from and feeding the session cache. Plans are
+// identical to four serial Partition calls.
+func (s *Session) Compare(net *Network, arr *Array) (*Comparison, error) {
+	plans := make([]*Plan, len(Strategies))
+	err := parallel.ForEach(len(Strategies), 0, func(i int) error {
+		plan, err := s.Partition(net, arr, Strategies[i])
+		if err != nil {
+			return fmt.Errorf("accpar: %v: %w", Strategies[i], err)
+		}
+		plans[i] = plan
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Comparison{Plans: map[Strategy]*Plan{}}
+	for i, st := range Strategies {
+		c.Plans[st] = plans[i]
+	}
+	return c, nil
+}
+
+// Replan is ReplanAnalytic through the session cache: the pristine-array
+// search, the degraded-array search, and any earlier session work share
+// subproblems (a fault touching one group leaves the other group's
+// subtrees cache-resident).
+func (s *Session) Replan(net *Network, groups []ArrayGroup, strategy Strategy, sc *FaultScenario) (*ReplanReport, error) {
+	opt := strategy.Options()
+	opt.Cache = s.cache
+	return replanAnalytic(net, groups, opt, sc)
+}
+
+// TuneBatch is the package-level TuneBatch through the session cache.
+func (s *Session) TuneBatch(model string, arr *Array, minBatch, maxBatch int) (*autotune.BatchResult, error) {
+	tree, err := hardware.BuildTree(arr, 64)
+	if err != nil {
+		return nil, err
+	}
+	return autotune.TuneBatchCached(model, tree, minBatch, maxBatch, s.cache)
+}
+
+// TuneDepth is the package-level TuneDepth through the session cache.
+func (s *Session) TuneDepth(net *Network, arr *Array) (*autotune.DepthResult, error) {
+	return autotune.TuneDepthCached(net, arr, s.cache)
+}

@@ -1,0 +1,211 @@
+package accpar
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func planBytes(t *testing.T, p *Plan) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := p.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestSessionCompareMatchesSerial: the parallel, cache-sharing Compare
+// must produce plans byte-identical to four independent Partition calls.
+func TestSessionCompareMatchesSerial(t *testing.T) {
+	net, err := BuildModel("alexnet", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := paperArray(t, 4)
+
+	want := map[Strategy][]byte{}
+	for _, s := range Strategies {
+		plan, err := Partition(net, arr, s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		want[s] = planBytes(t, plan)
+	}
+
+	sess := NewSession(0)
+	for pass := 0; pass < 2; pass++ {
+		cmp, err := sess.Compare(net, arr)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		for _, s := range Strategies {
+			if got := planBytes(t, cmp.Plans[s]); !bytes.Equal(got, want[s]) {
+				t.Errorf("pass %d: %v plan differs from serial Partition", pass, s)
+			}
+		}
+		if sp := cmp.Speedup(StrategyAccPar); sp < 1 {
+			t.Errorf("pass %d: AccPar speedup %.3f < 1", pass, sp)
+		}
+	}
+	if st := sess.CacheStats(); st.Hits == 0 {
+		t.Errorf("two Compare passes shared nothing: %+v", st)
+	}
+}
+
+// TestSessionWarmStartRoundTrip: a session's snapshot must warm a fresh
+// session in another "process" — same plans, resolved from cache.
+func TestSessionWarmStartRoundTrip(t *testing.T) {
+	net, err := BuildModel("vgg16", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := paperArray(t, 4)
+
+	first := NewSession(0)
+	plan, err := first.Partition(net, arr, StrategyAccPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := planBytes(t, plan)
+
+	var snap bytes.Buffer
+	if err := first.SaveCache(&snap); err != nil {
+		t.Fatal(err)
+	}
+	second := NewSession(0)
+	n, err := second.LoadCache(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("snapshot restored zero entries")
+	}
+	warm, err := second.Partition(net, arr, StrategyAccPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := planBytes(t, warm); !bytes.Equal(got, want) {
+		t.Error("warm-started plan differs from the original")
+	}
+	st := second.CacheStats()
+	if st.Hits == 0 || st.Misses != 0 {
+		t.Errorf("warm start should be all hits: %+v", st)
+	}
+}
+
+// TestSessionMixedWorkloadRace hammers one Session with concurrent
+// Partition, Replan and TuneBatch calls (run under -race): one cache,
+// many heterogeneous searches, every result matching its serial
+// reference.
+func TestSessionMixedWorkloadRace(t *testing.T) {
+	net, err := BuildModel("alexnet", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := v2v3ResilienceGroups(4)
+	arr, err := HeterogeneousArray(groups...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := ParseFaults("slowdown:0=2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &FaultScenario{Seed: 1, Faults: fl}
+
+	wantPlan, err := Partition(net, arr, StrategyAccPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := planBytes(t, wantPlan)
+	wantReplan, err := ReplanAnalytic(net, groups, StrategyAccPar, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTune, err := TuneBatch("lenet", arr, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := NewSession(0)
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers < 9 {
+		workers = 9
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			switch w % 3 {
+			case 0:
+				plan, err := sess.Partition(net, arr, StrategyAccPar)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d Partition: %w", w, err)
+					return
+				}
+				if !bytes.Equal(planBytes(t, plan), want) {
+					errs <- fmt.Errorf("worker %d: plan differs from serial reference", w)
+				}
+			case 1:
+				rep, err := sess.Replan(net, groups, StrategyAccPar, sc)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d Replan: %w", w, err)
+					return
+				}
+				if rep.Adopted != wantReplan.Adopted {
+					errs <- fmt.Errorf("worker %d: adoption %v, reference %v", w, rep.Adopted, wantReplan.Adopted)
+				}
+			default:
+				res, err := sess.TuneBatch("lenet", arr, 16, 64)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d TuneBatch: %w", w, err)
+					return
+				}
+				if res.Best.Batch != wantTune.Best.Batch {
+					errs <- fmt.Errorf("worker %d: best batch %d, reference %d", w, res.Best.Batch, wantTune.Best.Batch)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := sess.CacheStats(); st.Hits == 0 {
+		t.Errorf("mixed workload shared nothing: %+v", st)
+	}
+}
+
+// TestSessionTuneDepthCached: TuneDepth through a session matches the
+// uncached facade and reuses the cache on repetition.
+func TestSessionTuneDepthCached(t *testing.T) {
+	net, err := BuildModel("lenet", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := paperArray(t, 4)
+	ref, err := TuneDepth(net, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(0)
+	for pass := 0; pass < 2; pass++ {
+		res, err := sess.TuneDepth(net, arr)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if res.Best.Levels != ref.Best.Levels {
+			t.Errorf("pass %d: best depth %d, reference %d", pass, res.Best.Levels, ref.Best.Levels)
+		}
+	}
+	if st := sess.CacheStats(); st.Hits == 0 {
+		t.Errorf("repeated TuneDepth shared nothing: %+v", st)
+	}
+}
