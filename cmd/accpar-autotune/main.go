@@ -23,16 +23,22 @@ func main() {
 		v3        = flag.Int("v3", 16, "TPU-v3 count")
 		minBatch  = flag.Int("min", 64, "smallest batch to try")
 		maxBatch  = flag.Int("max", 2048, "largest batch to try")
-		cacheFile = flag.String("cache-file", "", "warm-start the plan cache from this snapshot and save it back on exit")
+		cacheFile  = flag.String("cache-file", "", "warm-start the plan cache from this snapshot and save it back on exit")
+		metricsOut = flag.String("metrics-out", "", "write the metrics registry to this file (expvar-style text for .txt, JSON otherwise)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome Trace Event Format JSON trace of the planner spans to this file")
 	)
 	flag.Parse()
-	if err := run(*model, *v2, *v3, *minBatch, *maxBatch, *cacheFile); err != nil {
+	if err := run(*model, *v2, *v3, *minBatch, *maxBatch, *cacheFile, *metricsOut, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "accpar-autotune:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model string, v2, v3, minBatch, maxBatch int, cacheFile string) error {
+func run(model string, v2, v3, minBatch, maxBatch int, cacheFile, metricsOut, traceOut string) error {
+	var rec *accpar.TraceRecorder
+	if traceOut != "" {
+		rec = accpar.StartTrace()
+	}
 	arr, err := accpar.HeterogeneousArray(
 		accpar.ArrayGroup{Spec: accpar.TPUv2(), Count: v2},
 		accpar.ArrayGroup{Spec: accpar.TPUv3(), Count: v3})
@@ -91,6 +97,19 @@ func run(model string, v2, v3, minBatch, maxBatch int, cacheFile string) error {
 			return err
 		}
 		fmt.Println("plan cache: saved snapshot to", cacheFile)
+	}
+	if rec != nil {
+		rec.Stop()
+		if err := rec.SaveFile(traceOut); err != nil {
+			return err
+		}
+		fmt.Println("trace written to", traceOut)
+	}
+	if metricsOut != "" {
+		if err := accpar.SaveMetricsFile(metricsOut); err != nil {
+			return err
+		}
+		fmt.Println("metrics written to", metricsOut)
 	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"accpar"
 	"accpar/internal/core"
 	"accpar/internal/eval"
 	"accpar/internal/tensor"
@@ -36,8 +37,32 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile of hierarchical planning to this file (with -json)")
 		cache      = flag.Bool("cache", false, "share one plan cache across every figure and table run")
 		cacheFile  = flag.String("cache-file", "", "warm-start the plan cache from this snapshot and save it back on exit (implies -cache); with -json, adds the snapshot-backed sweep entry")
+		metricsOut = flag.String("metrics-out", "", "write the metrics registry to this file (expvar-style text for .txt, JSON otherwise)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome Trace Event Format JSON trace of the planner spans to this file")
 	)
 	flag.Parse()
+
+	var rec *accpar.TraceRecorder
+	if *traceOut != "" {
+		rec = accpar.StartTrace()
+	}
+	flushObs := func() {
+		if rec != nil {
+			rec.Stop()
+			if err := rec.SaveFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "accpar-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Println("trace written to", *traceOut)
+		}
+		if *metricsOut != "" {
+			if err := accpar.SaveMetricsFile(*metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "accpar-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Println("metrics written to", *metricsOut)
+		}
+	}
 
 	cfg := eval.Config{}
 	if *small {
@@ -49,6 +74,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "accpar-bench:", err)
 			os.Exit(1)
 		}
+		flushObs()
 		return
 	}
 
@@ -94,6 +120,7 @@ func main() {
 			fmt.Println("plan cache: saved snapshot to", *cacheFile)
 		}
 	}
+	flushObs()
 }
 
 // runExtensions prints the extension studies.

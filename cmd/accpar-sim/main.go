@@ -41,8 +41,10 @@ type opts struct {
 	faults    string
 	seed      int64
 	ckpt      float64
-	replan    bool
-	cacheFile string
+	replan     bool
+	cacheFile  string
+	metricsOut string
+	traceOut   string
 }
 
 // runArray executes the array-level simulation of the full plan.
@@ -77,6 +79,8 @@ func main() {
 	flag.Float64Var(&o.ckpt, "ckpt", 0, "checkpoint-restart overhead in seconds charged on group loss")
 	flag.BoolVar(&o.replan, "replan", false, "replan against the degraded specs and print the resilience report (needs -faults)")
 	flag.StringVar(&o.cacheFile, "cache-file", "", "warm-start the plan cache from this snapshot and save it back on exit")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the metrics registry to this file (expvar-style text for .txt, JSON otherwise)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome Trace Event Format JSON trace (planner spans + simulated timelines) to this file, loadable in Perfetto or chrome://tracing")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "accpar-sim:", err)
@@ -123,6 +127,31 @@ func run(o opts) error {
 	}
 	cfg := accpar.SimConfig{OverlapComm: o.overlap}
 
+	// -trace-out attaches the process tracer (planner spans) and records
+	// the simulated timelines to merge into the same document. Neither
+	// observation changes plans or simulated times.
+	var rec *accpar.TraceRecorder
+	if o.traceOut != "" {
+		rec = accpar.StartTrace()
+		cfg.RecordTimeline = true
+	}
+	flushObs := func() error {
+		if rec != nil {
+			rec.Stop()
+			if err := rec.SaveFile(o.traceOut); err != nil {
+				return err
+			}
+			fmt.Printf("\ntrace written to %s (open in Perfetto or chrome://tracing)\n", o.traceOut)
+		}
+		if o.metricsOut != "" {
+			if err := accpar.SaveMetricsFile(o.metricsOut); err != nil {
+				return err
+			}
+			fmt.Printf("metrics written to %s\n", o.metricsOut)
+		}
+		return nil
+	}
+
 	// Planning runs through a session so -cache-file can warm-start the
 	// partition searches (the simulation itself is never cached).
 	sess := accpar.NewSession(0)
@@ -156,7 +185,20 @@ func run(o opts) error {
 		fmt.Printf("model: %s  batch: %d  strategy: %v  array: %s + %s\n\n",
 			o.model, o.batch, st, rep.MachineNames[0], rep.MachineNames[1])
 		fmt.Print(rep.String())
-		return saveCache()
+		if rec != nil {
+			for _, r := range []struct {
+				label string
+				res   *accpar.SimResult
+			}{{"sim: fault-free", rep.FaultFree}, {"sim: stale", rep.Stale}, {"sim: replanned", rep.Replanned}} {
+				if err := rec.AddSimTimeline(r.res, rep.MachineNames, r.label); err != nil {
+					return err
+				}
+			}
+		}
+		if err := saveCache(); err != nil {
+			return err
+		}
+		return flushObs()
 	}
 
 	arr, err := accpar.HeterogeneousArray(groups...)
@@ -171,7 +213,12 @@ func run(o opts) error {
 		if err := runArray(plan, arr, o, st); err != nil {
 			return err
 		}
-		return saveCache()
+		if err := saveCache(); err != nil {
+			return err
+		}
+		// The array-level simulator has no two-group timeline; the trace
+		// carries the planner spans only.
+		return flushObs()
 	}
 	types := plan.Root.Types
 	alpha := plan.Root.Alpha
@@ -204,5 +251,13 @@ func run(o opts) error {
 			fmt.Printf("checkpoint-restart overhead: %.4g s\n", res.RestartOverhead)
 		}
 	}
-	return saveCache()
+	if rec != nil {
+		if err := rec.AddSimTimeline(res, [2]string{a.Name, b.Name}, "simulator"); err != nil {
+			return err
+		}
+	}
+	if err := saveCache(); err != nil {
+		return err
+	}
+	return flushObs()
 }

@@ -528,6 +528,7 @@ func bisectRatio(g func(alpha float64) float64) (float64, error) {
 		mid := (lo + hi) / 2
 		gm := g(mid)
 		if math.IsNaN(gm) {
+			obsBisectIters.Add(int64(iter + 1))
 			return 0, &DegenerateHardwareError{Detail: fmt.Sprintf("non-finite level cost at alpha %g", mid)}
 		}
 		if gm > 0 {
@@ -536,5 +537,6 @@ func bisectRatio(g func(alpha float64) float64) (float64, error) {
 			lo = mid
 		}
 	}
+	obsBisectIters.Add(60)
 	return cost.ClampRatio((lo + hi) / 2), nil
 }

@@ -1,0 +1,21 @@
+package core
+
+import "accpar/internal/obs"
+
+// Process-wide planner metrics. Updates sit on search-level paths (one per
+// subproblem, fork or bisection run, never per DP cell), so the counters
+// are invisible in profiles and free when nothing exports them.
+var (
+	// obsSubproblems counts hierarchy subproblems solved from scratch
+	// (computeNode runs — the work memoization and the shared cache avoid).
+	obsSubproblems = obs.NewCounter("core.subproblems_expanded")
+	// obsMemoHits counts per-search memo hits.
+	obsMemoHits = obs.NewCounter("core.memo_hits")
+	// obsSharedHits counts cross-run shared-cache hits (including
+	// singleflight coalescing onto another search's in-flight solve).
+	obsSharedHits = obs.NewCounter("core.shared_cache_hits")
+	// obsBisectIters counts Eq. 10 bisection iterations.
+	obsBisectIters = obs.NewCounter("core.bisection_iterations")
+	// obsForks counts child subproblems forked onto pooled workers.
+	obsForks = obs.NewCounter("core.parallel_forks")
+)

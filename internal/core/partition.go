@@ -8,6 +8,7 @@ import (
 	"accpar/internal/cost"
 	"accpar/internal/dnn"
 	"accpar/internal/hardware"
+	"accpar/internal/obs"
 	"accpar/internal/parallel"
 	"accpar/internal/tensor"
 )
@@ -77,6 +78,8 @@ func (p *planner) rootDims() []tensor.LayerDims {
 
 // plan runs the hierarchical partitioning over one hardware tree.
 func (p *planner) plan(tree *hardware.Tree) (*Plan, error) {
+	sp := obs.StartSpan("planner", "plan")
+	defer sp.End()
 	root, err := p.partitionNode(tree, p.rootDims())
 	if err != nil {
 		return nil, err
@@ -117,6 +120,7 @@ func strategyName(opt Options) string {
 func (p *planner) partitionNode(node *hardware.Tree, dims []tensor.LayerDims) (*PlanNode, error) {
 	key := subproblemKey(node, dims)
 	if cached, ok := p.memo.get(key); ok {
+		obsMemoHits.Inc()
 		return clonePlanNode(cached), nil
 	}
 	if p.shared != nil {
@@ -126,11 +130,14 @@ func (p *planner) partitionNode(node *hardware.Tree, dims []tensor.LayerDims) (*
 		// result lands in the per-search memo too, keeping the rest of
 		// this search off the shared shards, and is cloned on every use
 		// because plan consumers key maps by *PlanNode identity.
-		n, _, err := p.shared.c.Do(p.searchFP+key, func() (*PlanNode, error) {
+		n, hit, err := p.shared.c.Do(p.searchFP+key, func() (*PlanNode, error) {
 			return p.computeNode(node, dims)
 		})
 		if err != nil {
 			return nil, err
+		}
+		if hit {
+			obsSharedHits.Inc()
 		}
 		p.memo.put(key, n)
 		return clonePlanNode(n), nil
@@ -147,6 +154,14 @@ func (p *planner) partitionNode(node *hardware.Tree, dims []tensor.LayerDims) (*
 
 // computeNode solves one hierarchy node from scratch.
 func (p *planner) computeNode(node *hardware.Tree, dims []tensor.LayerDims) (*PlanNode, error) {
+	obsSubproblems.Inc()
+	if obs.Tracing() {
+		// Span names render a Sprintf; the Tracing guard keeps the disabled
+		// path free of it (the zero Span from StartSpan would be inert, but
+		// the name string would still have been built).
+		sp := obs.StartSpan("planner", fmt.Sprintf("level%d %s", node.Level, node.Group.String()))
+		defer sp.End()
+	}
 	if node.IsLeaf() {
 		return leafNode(node, p.units, dims, p.opt)
 	}
@@ -224,6 +239,7 @@ func (p *planner) partitionChildren(node *hardware.Tree, dims []tensor.LayerDims
 	ldims := scaleUnitDims(p.units, dims, types, alpha)
 	rdims := scaleUnitDims(p.units, dims, types, 1-alpha)
 	if p.sem.TryAcquire() {
+		obsForks.Inc()
 		var wg sync.WaitGroup
 		var rerr error
 		wg.Add(1)

@@ -14,6 +14,7 @@ import (
 	"accpar/internal/dnn"
 	"accpar/internal/hardware"
 	"accpar/internal/models"
+	"accpar/internal/obs"
 	"accpar/internal/parallel"
 	"accpar/internal/report"
 )
@@ -162,6 +163,10 @@ func SpeedupSweepCached(tree *hardware.Tree, modelNames []string, batch int, cac
 	out := make([]ModelResult, len(modelNames))
 	err := parallel.ForEach(len(modelNames), 0, func(i int) error {
 		name := modelNames[i]
+		if obs.Tracing() {
+			sp := obs.StartSpan("eval", "sweep/"+name)
+			defer sp.End()
+		}
 		net, err := models.BuildNetwork(name, batch)
 		if err != nil {
 			return fmt.Errorf("eval: %s: %w", name, err)

@@ -1,0 +1,297 @@
+// Package obs is the zero-dependency observability layer the planning and
+// simulation stack reports into: an atomic counter/gauge/timer registry
+// (this file) and a span-style tracer rendering Chrome Trace Event Format
+// JSON (trace.go).
+//
+// Design constraints, in order:
+//
+//   - The disabled path must be near-free. Counters and timers are plain
+//     atomics — incrementing one never allocates — and span creation with
+//     no tracer attached is a single atomic pointer load returning a zero
+//     Span value. The obs benchmarks assert 0 allocs/op for the whole
+//     instrumented sequence.
+//   - Observation must never perturb decisions. Nothing in this package
+//     feeds back into the planner or simulator; the core equivalence tests
+//     hold plans byte-identical with tracing enabled and disabled.
+//   - No dependencies. The package imports only the standard library and
+//     is imported by leaf packages (core, sim, plancache), so it must
+//     never import anything above them.
+//
+// Instrumented packages declare their metrics once as package-level vars
+// (obs.NewCounter registers into the default registry at init time) and
+// mutate them from hot paths. Exposition is pull-based: Snapshot,
+// WriteJSON and WriteText read the registry on demand — there is no
+// background goroutine and no sink until a caller asks.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing float metric (accumulated
+// seconds, bytes-as-float, ...), updated lock-free via a CAS loop on the
+// value's bit pattern.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates v into the counter.
+func (f *FloatCounter) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		cur := math.Float64frombits(old)
+		if f.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (f *FloatCounter) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Gauge is a last-value-wins float metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Timer accumulates observed durations: a count and a total.
+type Timer struct {
+	count atomic.Int64
+	ns    atomic.Int64
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	t.count.Add(1)
+	t.ns.Add(int64(d))
+}
+
+// Stats returns the observation count and total duration.
+func (t *Timer) Stats() (count int64, total time.Duration) {
+	return t.count.Load(), time.Duration(t.ns.Load())
+}
+
+// TimerStats is a timer's exported snapshot.
+type TimerStats struct {
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// TotalSeconds is the accumulated duration.
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics, the JSON dump
+// format of the -metrics-out CLI flags and Session.Metrics.
+type Snapshot struct {
+	// Counters holds integer counters by name.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges holds float-valued metrics by name: gauges and float
+	// accumulators (busy seconds and the like).
+	Gauges map[string]float64 `json:"gauges"`
+	// Timers holds timers by name.
+	Timers map[string]TimerStats `json:"timers"`
+}
+
+// Registry is a named collection of metrics. Registration (New*) takes a
+// lock and is meant for package init; reads of the registered metrics are
+// lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	floats   map[string]*FloatCounter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		floats:   map[string]*FloatCounter{},
+		gauges:   map[string]*Gauge{},
+		timers:   map[string]*Timer{},
+	}
+}
+
+// defaultRegistry is the process-wide registry every package-level New*
+// helper registers into.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// checkName panics on duplicate registration — metric names are declared
+// once per process at package init, so a collision is a programming error
+// worth failing loudly on.
+func (r *Registry) checkName(name string) {
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	if _, ok := r.floats[name]; ok {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	if _, ok := r.timers[name]; ok {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// NewFloatCounter registers and returns a float accumulator.
+func (r *Registry) NewFloatCounter(name string) *FloatCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	f := &FloatCounter{}
+	r.floats[name] = f
+	return f
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// NewTimer registers and returns a timer.
+func (r *Registry) NewTimer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name)
+	t := &Timer{}
+	r.timers[name] = t
+	return t
+}
+
+// Package-level registration helpers against the default registry.
+
+// NewCounter registers a counter in the default registry.
+func NewCounter(name string) *Counter { return defaultRegistry.NewCounter(name) }
+
+// NewFloatCounter registers a float accumulator in the default registry.
+func NewFloatCounter(name string) *FloatCounter { return defaultRegistry.NewFloatCounter(name) }
+
+// NewGauge registers a gauge in the default registry.
+func NewGauge(name string) *Gauge { return defaultRegistry.NewGauge(name) }
+
+// NewTimer registers a timer in the default registry.
+func NewTimer(name string) *Timer { return defaultRegistry.NewTimer(name) }
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]int64, len(r.counters)),
+		Gauges:   make(map[string]float64, len(r.floats)+len(r.gauges)),
+		Timers:   make(map[string]TimerStats, len(r.timers)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, f := range r.floats {
+		s.Gauges[name] = f.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, t := range r.timers {
+		count, total := t.Stats()
+		s.Timers[name] = TimerStats{Count: count, TotalSeconds: total.Seconds()}
+	}
+	return s
+}
+
+// Reset zeroes every registered metric (tests and per-run CLI reports).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, f := range r.floats {
+		f.bits.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.bits.Store(0)
+	}
+	for _, t := range r.timers {
+		t.count.Store(0)
+		t.ns.Store(0)
+	}
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteText writes the snapshot in expvar-style text: one "name value"
+// line per metric, sorted by name; timers render as "name count total".
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Timers))
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", name, v))
+	}
+	for name, v := range s.Timers {
+		lines = append(lines, fmt.Sprintf("%s %d %gs", name, v.Count, v.TotalSeconds))
+	}
+	slices.Sort(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

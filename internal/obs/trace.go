@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the span half of the observability layer: timestamped
+// events collected by a Tracer and rendered as Chrome Trace Event Format
+// JSON, the format Perfetto and chrome://tracing load directly. Two event
+// styles are used:
+//
+//   - Complete events ("ph":"X") carry an explicit start and duration and
+//     live on a (pid, tid) lane. The simulator's timeline exporter uses
+//     them: one lane per accelerator group × resource, where tasks never
+//     overlap because the resource serializes them.
+//   - Async events ("ph":"b"/"e") are paired by (cat, id) and tolerate
+//     arbitrary overlap, so concurrent planner workers can emit spans
+//     without coordinating lane ownership. Every Span gets a fresh id.
+//
+// One Tracer is attachable process-wide (SetTracer); instrumented code
+// calls StartSpan, which is a single atomic load returning a zero Span
+// when no tracer is attached — the disabled path neither allocates nor
+// takes a lock, which BenchmarkObsDisabled enforces.
+
+// Trace process ids, used to group lanes in the Perfetto UI.
+const (
+	// PidPlanner groups planner, evaluation and session spans.
+	PidPlanner = 1
+	// PidSim is the first simulator process; exporters of multiple runs
+	// (e.g. a resilience report's three simulations) use PidSim, PidSim+1…
+	PidSim = 10
+)
+
+// Event is one Chrome Trace Event Format record. Timestamps and durations
+// are in microseconds, per the format.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ProcessNameEvent returns the metadata event labelling a pid in the UI.
+func ProcessNameEvent(pid int, name string) Event {
+	return Event{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}}
+}
+
+// ThreadNameEvent returns the metadata event labelling a (pid, tid) lane.
+func ThreadNameEvent(pid, tid int, name string) Event {
+	return Event{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}}
+}
+
+// Tracer collects events. Safe for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+	epoch  time.Time
+	ids    atomic.Int64
+}
+
+// NewTracer returns a tracer whose clock starts now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// now returns microseconds since the tracer's epoch.
+func (t *Tracer) now() float64 {
+	return float64(time.Since(t.epoch)) / float64(time.Microsecond)
+}
+
+// Append adds events verbatim (exporters injecting pre-timed lanes).
+func (t *Tracer) Append(events ...Event) {
+	t.mu.Lock()
+	t.events = append(t.events, events...)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of everything collected so far.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// traceDoc is the JSON object trace form (Perfetto accepts both the bare
+// array and this object; the object allows the display-unit hint).
+type traceDoc struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WriteTraceJSON renders events as a Chrome Trace Event Format document.
+func WriteTraceJSON(w io.Writer, events []Event) error {
+	if events == nil {
+		events = []Event{}
+	}
+	b, err := json.MarshalIndent(traceDoc{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteJSON renders the tracer's events as a Chrome trace document.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	return WriteTraceJSON(w, t.Events())
+}
+
+// active is the process-wide tracer instrumented code reports to, nil
+// when tracing is disabled.
+var active atomic.Pointer[Tracer]
+
+// SetTracer attaches t as the process-wide tracer (nil detaches). The
+// planner and simulator pick it up on their next span; attaching mid-run
+// simply truncates the trace, it never affects results.
+func SetTracer(t *Tracer) {
+	active.Store(t)
+}
+
+// CurrentTracer returns the attached tracer, nil when tracing is off.
+func CurrentTracer() *Tracer { return active.Load() }
+
+// Tracing reports whether a tracer is attached. Instrumented code checks
+// it before building span names that would otherwise allocate.
+func Tracing() bool { return active.Load() != nil }
+
+// Span is one in-flight async span. The zero Span (returned when tracing
+// is disabled) is inert: End is a no-op.
+type Span struct {
+	t     *Tracer
+	start float64
+	id    int64
+	name  string
+	cat   string
+}
+
+// StartSpan opens a span on the attached tracer. With no tracer attached
+// it returns the zero Span without allocating.
+func StartSpan(cat, name string) Span {
+	t := active.Load()
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, start: t.now(), id: t.ids.Add(1), name: name, cat: cat}
+}
+
+// End closes the span, appending its begin/end event pair.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := s.t.now()
+	id := strconv.FormatInt(s.id, 10)
+	s.t.Append(
+		Event{Name: s.name, Cat: s.cat, Ph: "b", Ts: s.start, Pid: PidPlanner, ID: id},
+		Event{Name: s.name, Cat: s.cat, Ph: "e", Ts: end, Pid: PidPlanner, ID: id},
+	)
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSpanEmitsPairedAsyncEvents(t *testing.T) {
+	tr := NewTracer()
+	SetTracer(tr)
+	defer SetTracer(nil)
+
+	sp := StartSpan("planner", "partition")
+	sp.End()
+
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events; want 2", len(events))
+	}
+	b, e := events[0], events[1]
+	if b.Ph != "b" || e.Ph != "e" {
+		t.Errorf("phases %q,%q; want b,e", b.Ph, e.Ph)
+	}
+	if b.ID == "" || b.ID != e.ID {
+		t.Errorf("ids %q,%q; want matching non-empty", b.ID, e.ID)
+	}
+	if b.Name != "partition" || b.Cat != "planner" {
+		t.Errorf("event %+v", b)
+	}
+	if e.Ts < b.Ts {
+		t.Errorf("span ends (%g) before it begins (%g)", e.Ts, b.Ts)
+	}
+}
+
+func TestSpanDisabledIsInert(t *testing.T) {
+	SetTracer(nil)
+	sp := StartSpan("planner", "nope")
+	sp.End() // must not panic, must not record anywhere
+	if Tracing() {
+		t.Error("Tracing() true with no tracer attached")
+	}
+}
+
+func TestConcurrentSpansGetDistinctIDs(t *testing.T) {
+	tr := NewTracer()
+	SetTracer(tr)
+	defer SetTracer(nil)
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := StartSpan("c", "s")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	events := tr.Events()
+	if len(events) != 2*n {
+		t.Fatalf("got %d events; want %d", len(events), 2*n)
+	}
+	begins := map[string]bool{}
+	for _, e := range events {
+		if e.Ph == "b" {
+			if begins[e.ID] {
+				t.Fatalf("duplicate span id %s", e.ID)
+			}
+			begins[e.ID] = true
+		}
+	}
+	if len(begins) != n {
+		t.Fatalf("%d distinct span ids; want %d", len(begins), n)
+	}
+}
+
+func TestWriteTraceJSONDocument(t *testing.T) {
+	tr := NewTracer()
+	tr.Append(
+		ProcessNameEvent(PidSim, "simulator"),
+		ThreadNameEvent(PidSim, 0, "group0 compute"),
+		Event{Name: "fwd/conv1/m0", Cat: "sim", Ph: "X", Ts: 0, Dur: 12.5, Pid: PidSim, Tid: 0},
+	)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace document does not parse: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q; want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("%d events; want 3", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0]["ph"] != "M" || doc.TraceEvents[2]["ph"] != "X" {
+		t.Errorf("unexpected phases in %v", doc.TraceEvents)
+	}
+
+	// An empty tracer still renders a valid, loadable document.
+	buf.Reset()
+	if err := WriteTraceJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace document does not parse: %v", err)
+	}
+}

@@ -21,6 +21,18 @@ package plancache
 import (
 	"sync"
 	"sync/atomic"
+
+	"accpar/internal/obs"
+)
+
+// Process-wide mirrors of the per-cache counters, aggregated across every
+// Cache instance so the observability layer can export one set of
+// plancache metrics without holding references to individual caches.
+var (
+	obsHits      = obs.NewCounter("plancache.hits")
+	obsMisses    = obs.NewCounter("plancache.misses")
+	obsEvictions = obs.NewCounter("plancache.evictions")
+	obsCoalesced = obs.NewCounter("plancache.coalesced")
 )
 
 // shardCount is the number of independently locked LRU shards. A power of
@@ -34,11 +46,20 @@ const shardCount = 32
 const DefaultCapacity = 1 << 16
 
 // Stats is a point-in-time snapshot of the cache's operation counters.
+//
+// Counter invariant: every completed lookup — a Get call or a Do call —
+// increments exactly one of Hits and Misses, so Hits + Misses equals the
+// number of lookups and HitRate is the true observed hit fraction. A Do
+// that coalesces onto another goroutine's in-flight computation is one
+// lookup: it counts as a hit when the shared flight succeeded (it
+// observed hit=true without running fn) and as a miss when the flight
+// failed. The concurrency hammer tests assert the invariant.
 type Stats struct {
-	// Hits counts lookups satisfied by a resident entry.
+	// Hits counts lookups satisfied without running a compute: resident
+	// entries, plus coalesced Do calls whose shared flight succeeded.
 	Hits int64
-	// Misses counts lookups that found no entry (including the lookup at
-	// the head of every Do that went on to compute or coalesce).
+	// Misses counts lookups that had to compute (the one Do that runs fn),
+	// found nothing (Get), or shared a failed flight.
 	Misses int64
 	// Evictions counts entries discarded by the LRU bound.
 	Evictions int64
@@ -121,8 +142,11 @@ func (c *Cache[V]) shardFor(key string) *shard[V] {
 	return &c.shards[key[0]&(shardCount-1)]
 }
 
-// Get returns the value cached under key, marking it most recently used.
-func (c *Cache[V]) Get(key string) (V, bool) {
+// lookup returns the value under key, marking it most recently used. It
+// touches no counters: Get and Do account for the lookup themselves (Do
+// must not count its head probe as a miss when it goes on to coalesce —
+// the coalesced outcome decides hit or miss).
+func (c *Cache[V]) lookup(key string) (V, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	e, ok := s.m[key]
@@ -131,12 +155,23 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		c.misses.Add(1)
 		var zero V
 		return zero, false
 	}
-	c.hits.Add(1)
 	return e.val, true
+}
+
+// Get returns the value cached under key, marking it most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	v, ok := c.lookup(key)
+	if !ok {
+		c.misses.Add(1)
+		obsMisses.Inc()
+		return v, false
+	}
+	c.hits.Add(1)
+	obsHits.Inc()
+	return v, true
 }
 
 // Put inserts or refreshes key, evicting the shard's least recently used
@@ -163,6 +198,7 @@ func (c *Cache[V]) Put(key string, val V) {
 	s.mu.Unlock()
 	if evicted > 0 {
 		c.evictions.Add(evicted)
+		obsEvictions.Add(evicted)
 	}
 }
 
@@ -171,9 +207,17 @@ func (c *Cache[V]) Put(key string, val V) {
 // share its outcome. Successful results are inserted into the cache;
 // errors are returned to every waiter but never cached (they are rare and
 // usually carry call-specific context). hit reports whether the value came
-// from the cache or a coalesced flight rather than this call's fn.
+// from the cache or a successful coalesced flight rather than this call's
+// fn; a waiter sharing a failed flight reports hit=false.
+//
+// Counter accounting (the Stats invariant): exactly one of Hits and
+// Misses is incremented per Do call, matching the reported hit — the head
+// probe itself is uncounted, so a coalesced waiter is never double-counted
+// as a miss-then-hit.
 func (c *Cache[V]) Do(key string, fn func() (V, error)) (val V, hit bool, err error) {
-	if v, ok := c.Get(key); ok {
+	if v, ok := c.lookup(key); ok {
+		c.hits.Add(1)
+		obsHits.Inc()
 		return v, true, nil
 	}
 	c.fmu.Lock()
@@ -181,11 +225,21 @@ func (c *Cache[V]) Do(key string, fn func() (V, error)) (val V, hit bool, err er
 		c.fmu.Unlock()
 		<-f.done
 		c.coalesced.Add(1)
-		return f.val, true, f.err
+		obsCoalesced.Inc()
+		if f.err == nil {
+			c.hits.Add(1)
+			obsHits.Inc()
+			return f.val, true, nil
+		}
+		c.misses.Add(1)
+		obsMisses.Inc()
+		return f.val, false, f.err
 	}
 	f := &flight[V]{done: make(chan struct{})}
 	c.flights[key] = f
 	c.fmu.Unlock()
+	c.misses.Add(1)
+	obsMisses.Inc()
 
 	f.val, f.err = fn()
 	if f.err == nil {

@@ -173,6 +173,15 @@ func TestDoCoalesces(t *testing.T) {
 	if st.Coalesced+st.Hits < workers-1 {
 		t.Fatalf("stats %+v: %d workers should have shared one compute", st, workers)
 	}
+	// Counter invariant: each Do is exactly one lookup. One worker computed
+	// (the sole miss); every other worker shared the successful result —
+	// from the flight or the cache — and counts as exactly one hit.
+	if st.Misses != 1 || st.Hits != workers-1 {
+		t.Fatalf("stats %+v: want Misses=1, Hits=%d", st, workers-1)
+	}
+	if st.Hits+st.Misses != workers {
+		t.Fatalf("stats %+v: Hits+Misses = %d; want %d lookups", st, st.Hits+st.Misses, workers)
+	}
 }
 
 // TestDoErrorNotCached: a failing compute is reported to every waiter and
@@ -316,11 +325,15 @@ func TestSnapshotRejectsMismatch(t *testing.T) {
 
 // TestConcurrentHammer mixes Get/Put/Do across goroutines and shards
 // under -race: correctness here is "no race, no deadlock, values are
-// whatever some Put for that key wrote".
+// whatever some Put for that key wrote" — plus the Stats counter
+// invariant, Hits + Misses == lookups, which the old implementation
+// violated by double-counting coalesced Do calls (head-probe miss
+// followed by a flight-share hit).
 func TestConcurrentHammer(t *testing.T) {
 	c := New[int](64) // small: force constant eviction
 	const workers = 8
 	const ops = 500
+	var lookups atomic.Int64 // Get + Do calls issued
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
@@ -333,8 +346,10 @@ func TestConcurrentHammer(t *testing.T) {
 				case 0:
 					c.Put(k, i)
 				case 1:
+					lookups.Add(1)
 					c.Get(k)
 				default:
+					lookups.Add(1)
 					if _, _, err := c.Do(k, func() (int, error) { return i, nil }); err != nil {
 						t.Error(err)
 						return
@@ -346,5 +361,10 @@ func TestConcurrentHammer(t *testing.T) {
 	wg.Wait()
 	if c.Len() > 64+shardCount {
 		t.Fatalf("cache grew past its bound: %d", c.Len())
+	}
+	st := c.Stats()
+	if got, want := st.Hits+st.Misses, lookups.Load(); got != want {
+		t.Fatalf("counter invariant broken: Hits(%d)+Misses(%d) = %d; want %d lookups (stats %+v)",
+			st.Hits, st.Misses, got, want, st)
 	}
 }

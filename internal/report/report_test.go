@@ -71,12 +71,51 @@ func TestGeomean(t *testing.T) {
 	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
 		t.Errorf("geomean(2,8) = %g, want 4", g)
 	}
-	if g := Geomean([]float64{3}); g != 3 {
+	if g := Geomean([]float64{3}); math.Abs(g-3) > 1e-12 {
 		t.Errorf("geomean(3) = %g", g)
 	}
 	if g := Geomean(nil); g != 0 {
 		t.Errorf("geomean(nil) = %g, want 0", g)
 	}
+}
+
+// TestGeomeanLongExtremeSeries is the overflow regression: the old
+// running-product implementation multiplied 500 values of 1e6 to 1e3000,
+// overflowing to +Inf (and symmetrically underflowing to 0 for 1e-6);
+// the log-domain mean must return the exact common value.
+func TestGeomeanLongExtremeSeries(t *testing.T) {
+	large := make([]float64, 500)
+	small := make([]float64, 500)
+	for i := range large {
+		large[i] = 1e6
+		small[i] = 1e-6
+	}
+	if g := Geomean(large); math.IsInf(g, 0) || math.Abs(g/1e6-1) > 1e-12 {
+		t.Errorf("geomean(500 × 1e6) = %g, want 1e6", g)
+	}
+	if g := Geomean(small); g == 0 || math.Abs(g/1e-6-1) > 1e-12 {
+		t.Errorf("geomean(500 × 1e-6) = %g, want 1e-6", g)
+	}
+	// A mixed extreme series whose product overflows but whose geomean is
+	// exactly 1.
+	mixed := make([]float64, 0, 1000)
+	for i := 0; i < 500; i++ {
+		mixed = append(mixed, 1e6, 1e-6)
+	}
+	if g := Geomean(mixed); math.Abs(g-1) > 1e-9 {
+		t.Errorf("geomean(alternating 1e6,1e-6) = %g, want 1", g)
+	}
+}
+
+// TestGeomeanPanicsOnNaN: NaN passes a plain v <= 0 check; the guard must
+// reject it explicitly rather than returning NaN.
+func TestGeomeanPanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("geomean of NaN must panic")
+		}
+	}()
+	Geomean([]float64{1, math.NaN()})
 }
 
 func TestGeomeanPanicsOnNonPositive(t *testing.T) {

@@ -1,0 +1,26 @@
+package sim
+
+import "accpar/internal/obs"
+
+// Process-wide simulator metrics, aggregated across every Simulate call.
+// Counters are cheap atomics on the scheduling epilogue (one update per
+// run, not per task), so the registry costs nothing on the per-task hot
+// path and nothing extra when no exporter ever reads it.
+var (
+	// obsTasks counts tasks scheduled across all runs.
+	obsTasks = obs.NewCounter("sim.tasks")
+	// obsRetries counts transient-fault re-executions across all runs.
+	obsRetries = obs.NewCounter("sim.retries")
+	// obsLossEvents counts group-loss checkpoint-restart events injected.
+	obsLossEvents = obs.NewCounter("sim.loss_events")
+	// obsComputeBusy and obsNetBusy accumulate per-machine resource busy
+	// time (seconds of simulated time, not wall clock).
+	obsComputeBusy = [2]*obs.FloatCounter{
+		obs.NewFloatCounter("sim.compute_busy_seconds.m0"),
+		obs.NewFloatCounter("sim.compute_busy_seconds.m1"),
+	}
+	obsNetBusy = [2]*obs.FloatCounter{
+		obs.NewFloatCounter("sim.net_busy_seconds.m0"),
+		obs.NewFloatCounter("sim.net_busy_seconds.m1"),
+	}
+)

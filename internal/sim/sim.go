@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"slices"
@@ -147,7 +148,10 @@ type Result struct {
 	// added to the makespan (zero without GroupLoss faults).
 	RestartOverhead float64
 	// Timeline holds per-task timings when Config.RecordTimeline is set,
-	// in schedule order.
+	// sorted by start time (ties broken by task name). The sort makes the
+	// timeline deterministic output: schedule order is an arena-internal
+	// detail, and consumers (CSV export, Gantt, Chrome traces, golden
+	// tests) diff it byte-for-byte.
 	Timeline []TaskTiming
 }
 
@@ -814,13 +818,15 @@ func (b *builder) schedule(cfg Config, inj *faults.Injector) (*Result, error) {
 	}
 
 	if inj != nil {
-		for _, ev := range inj.LossPenalties(res.Time) {
+		events := inj.LossPenalties(res.Time)
+		for _, ev := range events {
 			res.RestartOverhead += ev.Penalty
 			if ev.Group >= 0 && ev.Group < 2 {
 				res.LostTime[ev.Group] += ev.Penalty
 			}
 		}
 		res.Time += res.RestartOverhead
+		obsLossEvents.Add(int64(len(events)))
 	}
 
 	for m := 0; m < 2; m++ {
@@ -829,6 +835,22 @@ func (b *builder) schedule(cfg Config, inj *faults.Injector) (*Result, error) {
 		}
 		res.PeakMemBytes[m] = b.residency(m)
 		res.MemOK[m] = res.PeakMemBytes[m] <= b.machines[m].HBMBytes
+	}
+
+	if cfg.RecordTimeline {
+		slices.SortFunc(res.Timeline, func(a, b TaskTiming) int {
+			if c := cmp.Compare(a.Start, b.Start); c != 0 {
+				return c
+			}
+			return cmp.Compare(a.Name, b.Name)
+		})
+	}
+
+	obsTasks.Add(int64(res.Tasks))
+	obsRetries.Add(int64(res.Retries[0] + res.Retries[1]))
+	for m := 0; m < 2; m++ {
+		obsComputeBusy[m].Add(res.ComputeBusy[m])
+		obsNetBusy[m].Add(res.NetBusy[m])
 	}
 	return res, nil
 }

@@ -1,0 +1,113 @@
+package accpar
+
+import (
+	"io"
+	"os"
+	"strings"
+
+	"accpar/internal/obs"
+)
+
+// MetricsSnapshot is a point-in-time copy of the process-wide metrics
+// registry: planner search counters (subproblems expanded, memo and
+// shared-cache hits, bisection iterations, parallel forks), plan-cache
+// accounting, and simulator totals (tasks, retries, per-group busy time,
+// injected fault events).
+type MetricsSnapshot = obs.Snapshot
+
+// Metrics returns the current process-wide metrics snapshot. The registry
+// is process-global (cheap atomics updated by every search and
+// simulation), so the snapshot covers all work since process start — or
+// since ResetMetrics.
+func (s *Session) Metrics() MetricsSnapshot { return obs.Default().Snapshot() }
+
+// Metrics is the sessionless form of Session.Metrics.
+func Metrics() MetricsSnapshot { return obs.Default().Snapshot() }
+
+// ResetMetrics zeroes every metric, scoping subsequent snapshots to the
+// work that follows (per-run CLI reports, tests).
+func ResetMetrics() { obs.Default().Reset() }
+
+// WriteMetricsJSON writes the metrics snapshot as indented JSON.
+func WriteMetricsJSON(w io.Writer) error { return obs.Default().WriteJSON(w) }
+
+// WriteMetricsText writes the metrics snapshot as expvar-style "name
+// value" lines, sorted by name.
+func WriteMetricsText(w io.Writer) error { return obs.Default().WriteText(w) }
+
+// SaveMetricsFile writes the metrics snapshot to path: expvar-style text
+// when the path ends in ".txt", indented JSON otherwise. This is the
+// implementation behind the CLI -metrics-out flags.
+func SaveMetricsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".txt") {
+		err = WriteMetricsText(f)
+	} else {
+		err = WriteMetricsJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// TraceRecorder captures the process's observability trace: planner and
+// experiment spans recorded while it is attached, plus any simulated-run
+// timelines merged in with AddSimTimeline. The result renders as one
+// Chrome Trace Event Format JSON document (Perfetto, chrome://tracing)
+// with the planner and each simulation as separate process groups.
+type TraceRecorder struct {
+	tr      *obs.Tracer
+	nextPid int
+}
+
+// StartTrace attaches a fresh process-wide tracer and returns its
+// recorder. Tracing changes no decisions — plans are byte-identical with
+// and without a recorder attached — but planner spans do render their
+// names, so leave tracing off on hot paths that don't need it. Stop the
+// recorder before writing its document.
+func StartTrace() *TraceRecorder {
+	tr := obs.NewTracer()
+	tr.Append(obs.ProcessNameEvent(obs.PidPlanner, "planner"))
+	obs.SetTracer(tr)
+	return &TraceRecorder{tr: tr, nextPid: obs.PidSim}
+}
+
+// Stop detaches the recorder from the process; recorded events remain
+// available for export.
+func (t *TraceRecorder) Stop() { obs.SetTracer(nil) }
+
+// AddSimTimeline merges a simulated run's per-task timeline (recorded
+// with SimConfig.RecordTimeline) into the trace as its own process group,
+// labelled label, with one compute and one network lane per machine.
+// Successive calls stack runs side by side — the three simulations of a
+// resilience experiment render as three process groups.
+func (t *TraceRecorder) AddSimTimeline(res *SimResult, names [2]string, label string) error {
+	events, err := res.ChromeTraceEvents(t.nextPid, label, names)
+	if err != nil {
+		return err
+	}
+	t.nextPid++
+	t.tr.Append(events...)
+	return nil
+}
+
+// WriteJSON writes the recorded trace as a Chrome Trace Event Format
+// JSON document.
+func (t *TraceRecorder) WriteJSON(w io.Writer) error { return t.tr.WriteJSON(w) }
+
+// SaveFile writes the trace document to path (the CLI -trace-out flags).
+func (t *TraceRecorder) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = t.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,155 @@
+package accpar
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSessionMetricsAndTrace: session work shows up in the metrics
+// snapshot, the trace recorder captures the planner and resilience spans,
+// and a recorded session still makes the exact decisions an unobserved
+// one does.
+func TestSessionMetricsAndTrace(t *testing.T) {
+	net, err := BuildModel("alexnet", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := paperArray(t, 4)
+
+	plain, err := NewSession(0).Partition(net, arr, StrategyAccPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := planBytes(t, plain)
+
+	rec := StartTrace()
+	sess := NewSession(0)
+	before := sess.Metrics()
+	traced, err := sess.Partition(net, arr, StrategyAccPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := sess.Metrics()
+	rec.Stop()
+
+	if got := planBytes(t, traced); !bytes.Equal(got, want) {
+		t.Error("plan differs under an attached trace recorder")
+	}
+	if d := after.Counters["core.subproblems_expanded"] - before.Counters["core.subproblems_expanded"]; d <= 0 {
+		t.Errorf("session metrics recorded %d expanded subproblems; want > 0", d)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	sawSpan := false
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "b" && e["cat"] == "planner" {
+			sawSpan = true
+			break
+		}
+	}
+	if !sawSpan {
+		t.Error("trace captured no planner spans")
+	}
+}
+
+// TestSaveMetricsFileFormats: the extension picks the exposition format.
+func TestSaveMetricsFileFormats(t *testing.T) {
+	dir := t.TempDir()
+
+	jsonPath := filepath.Join(dir, "metrics.json")
+	if err := SaveMetricsFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("JSON metrics do not parse: %v", err)
+	}
+
+	txtPath := filepath.Join(dir, "metrics.txt")
+	if err := SaveMetricsFile(txtPath); err != nil {
+		t.Fatal(err)
+	}
+	b, err = os.ReadFile(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		if len(strings.Fields(line)) < 2 {
+			t.Errorf("malformed text metrics line %q", line)
+		}
+	}
+}
+
+// TestTraceRecorderStacksSimRuns: resilience through a recorder yields
+// timelines for all three simulated runs as distinct process groups.
+func TestTraceRecorderStacksSimRuns(t *testing.T) {
+	net, err := BuildModel("lenet", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := []ArrayGroup{{Spec: TPUv2(), Count: 2}, {Spec: TPUv3(), Count: 2}}
+	fl, err := ParseFaults("slowdown:0=2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := FaultScenario{Seed: 1, Faults: fl}
+
+	rec := StartTrace()
+	defer rec.Stop()
+	rep, err := NewSession(0).Resilience(net, groups, StrategyAccPar, sc, SimConfig{RecordTimeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []struct {
+		label string
+		res   *SimResult
+	}{{"sim: fault-free", rep.FaultFree}, {"sim: stale", rep.Stale}, {"sim: replanned", rep.Replanned}} {
+		if err := rec.AddSimTimeline(r.res, rep.MachineNames, r.label); err != nil {
+			t.Fatalf("%s: %v", r.label, err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	simPids := map[float64]bool{}
+	resSpans := 0
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "X" {
+			simPids[e["pid"].(float64)] = true
+		}
+		if e["ph"] == "b" && e["cat"] == "resilience" {
+			resSpans++
+		}
+	}
+	if len(simPids) != 3 {
+		t.Errorf("%d simulated process groups; want 3", len(simPids))
+	}
+	if resSpans != 5 {
+		t.Errorf("%d resilience phase spans; want 5 (plan ×2, simulate ×3)", resSpans)
+	}
+}

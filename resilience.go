@@ -7,6 +7,7 @@ import (
 	"accpar/internal/core"
 	"accpar/internal/faults"
 	"accpar/internal/hardware"
+	"accpar/internal/obs"
 )
 
 // Fault-injection building blocks, re-exported from internal/faults. A
@@ -181,7 +182,11 @@ func resilienceCached(net *Network, groups []ArrayGroup, strategy Strategy, sc F
 	if err != nil {
 		return nil, err
 	}
+	// The experiment's phases carry spans so a trace of a resilience run
+	// reads as its pipeline: plan, three simulations, replan.
+	sp := obs.StartSpan("resilience", "plan-pristine")
 	plan, err := partitionCached(net, arr, strategy, cache)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -190,14 +195,18 @@ func resilienceCached(net *Network, groups []ArrayGroup, strategy Strategy, sc F
 
 	pristineCfg := cfg
 	pristineCfg.Faults = nil
+	sp = obs.StartSpan("resilience", "simulate-fault-free")
 	free, err := Simulate(net, plan.Root.Types, plan.Root.Alpha, a, b, pristineCfg)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	faultedCfg := cfg
 	faultedCfg.Faults = &sc
+	sp = obs.StartSpan("resilience", "simulate-stale")
 	stale, err := Simulate(net, plan.Root.Types, plan.Root.Alpha, a, b, faultedCfg)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -214,11 +223,15 @@ func resilienceCached(net *Network, groups []ArrayGroup, strategy Strategy, sc F
 	if err != nil {
 		return nil, err
 	}
+	sp = obs.StartSpan("resilience", "plan-degraded")
 	dplan, err := partitionCached(net, darr, strategy, cache)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = obs.StartSpan("resilience", "simulate-replanned")
 	replanned, err := Simulate(net, dplan.Root.Types, dplan.Root.Alpha, a, b, faultedCfg)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
