@@ -27,6 +27,8 @@ package accpar
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"accpar/internal/arraysim"
 	"accpar/internal/autotune"
@@ -178,6 +180,32 @@ func HeterogeneousArray(groups ...ArrayGroup) (*Array, error) {
 	return hardware.NewHeterogeneous(groups...)
 }
 
+// ParseFleet builds an array from a "name:count,name:count" description
+// using the built-in accelerator presets (tpu-v2, tpu-v3, gpu-class-a,
+// gpu-class-b, edge-npu). This is the parser behind the CLI and serve
+// -fleet/"fleet" specs.
+func ParseFleet(desc string) (*Array, error) {
+	presets := hardware.Presets()
+	var groups []ArrayGroup
+	for _, part := range strings.Split(desc, ",") {
+		part = strings.TrimSpace(part)
+		name, countStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("fleet entry %q: want name:count", part)
+		}
+		spec, ok := presets[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown accelerator preset %q", name)
+		}
+		count, err := strconv.Atoi(countStr)
+		if err != nil || count < 1 {
+			return nil, fmt.Errorf("fleet entry %q: bad count", part)
+		}
+		groups = append(groups, ArrayGroup{Spec: spec, Count: count})
+	}
+	return HeterogeneousArray(groups...)
+}
+
 // Strategy selects a parallelization scheme.
 type Strategy int
 
@@ -199,6 +227,24 @@ const (
 // Strategies lists all strategies in ascending flexibility order
 // (Table 8 of the paper: DP ≺ OWT ≺ HyPar ≺ AccPar).
 var Strategies = []Strategy{StrategyDP, StrategyOWT, StrategyHyPar, StrategyAccPar}
+
+// ParseStrategy converts a case-insensitive strategy name ("dp", "owt",
+// "hypar", "accpar") to a Strategy — the parser behind the CLI and serve
+// -strategy/"strategy" inputs.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(name) {
+	case "dp":
+		return StrategyDP, nil
+	case "owt":
+		return StrategyOWT, nil
+	case "hypar":
+		return StrategyHyPar, nil
+	case "accpar":
+		return StrategyAccPar, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want dp, owt, hypar or accpar)", name)
+	}
+}
 
 // String names the strategy.
 func (s Strategy) String() string {

@@ -14,20 +14,26 @@ import (
 	"strings"
 
 	"accpar"
+	"accpar/internal/obs"
 )
 
 func main() {
 	var (
-		model     = flag.String("model", "resnet50", "model name: "+strings.Join(accpar.Models(), ", "))
-		v2        = flag.Int("v2", 16, "TPU-v2 count")
-		v3        = flag.Int("v3", 16, "TPU-v3 count")
-		minBatch  = flag.Int("min", 64, "smallest batch to try")
-		maxBatch  = flag.Int("max", 2048, "largest batch to try")
+		model      = flag.String("model", "resnet50", "model name: "+strings.Join(accpar.Models(), ", "))
+		v2         = flag.Int("v2", 16, "TPU-v2 count")
+		v3         = flag.Int("v3", 16, "TPU-v3 count")
+		minBatch   = flag.Int("min", 64, "smallest batch to try")
+		maxBatch   = flag.Int("max", 2048, "largest batch to try")
 		cacheFile  = flag.String("cache-file", "", "warm-start the plan cache from this snapshot and save it back on exit")
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry to this file (expvar-style text for .txt, JSON otherwise)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome Trace Event Format JSON trace of the planner spans to this file")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("accpar-autotune"))
+		return
+	}
 	if err := run(*model, *v2, *v3, *minBatch, *maxBatch, *cacheFile, *metricsOut, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "accpar-autotune:", err)
 		os.Exit(1)

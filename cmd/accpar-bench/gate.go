@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// The bench regression gate compares a freshly measured BENCH_PLANNER
+// report against a committed baseline and fails on significant slowdowns,
+// so a planner or simulator performance regression breaks CI instead of
+// landing silently.
+
+// gatePrefixes selects the entries the gate compares: the planner and
+// simulator benchmarks. Cache cold/warm entries are excluded — their
+// timings measure cache state, not code speed, and the warm side is
+// nanoseconds-scale noise.
+var gatePrefixes = []string{"PartitionHierarchical/", "Simulate/", "SolveRatio/"}
+
+// gated reports whether the gate compares a benchmark entry.
+func gated(name string) bool {
+	for _, p := range gatePrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// gateLine is one compared benchmark.
+type gateLine struct {
+	name                    string
+	baseNs, freshNs         float64
+	baseAllocs, freshAllocs int64
+	// ratio is freshNs / baseNs (>1 = slower).
+	ratio float64
+	fail  bool
+	why   string
+}
+
+// allocSlack is the absolute allocs/op headroom granted on top of the
+// relative tolerance, so single-digit-alloc entries don't fail on one
+// incidental allocation.
+const allocSlack = 16
+
+// compareReports gates every baseline planner/simulator entry against the
+// fresh report. A fresh report missing a gated baseline entry fails — a
+// silently dropped benchmark must not pass the gate.
+func compareReports(fresh, base *BenchReport, tol float64) ([]gateLine, bool) {
+	byName := make(map[string]BenchEntry, len(fresh.Benchmarks))
+	for _, e := range fresh.Benchmarks {
+		byName[e.Name] = e
+	}
+	var lines []gateLine
+	ok := true
+	for _, b := range base.Benchmarks {
+		if !gated(b.Name) {
+			continue
+		}
+		l := gateLine{name: b.Name, baseNs: b.NsPerOp, baseAllocs: b.AllocsPerOp}
+		f, found := byName[b.Name]
+		switch {
+		case !found:
+			l.fail, l.why = true, "missing from fresh report"
+		default:
+			l.freshNs, l.freshAllocs = f.NsPerOp, f.AllocsPerOp
+			if b.NsPerOp > 0 {
+				l.ratio = f.NsPerOp / b.NsPerOp
+			}
+			if l.ratio > 1+tol {
+				l.fail = true
+				l.why = fmt.Sprintf("%.0f%% slower than baseline (tolerance %.0f%%)", 100*(l.ratio-1), 100*tol)
+			} else if float64(f.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol)+allocSlack {
+				l.fail = true
+				l.why = fmt.Sprintf("allocs/op %d vs baseline %d", f.AllocsPerOp, b.AllocsPerOp)
+			}
+		}
+		if l.fail {
+			ok = false
+		}
+		lines = append(lines, l)
+	}
+	return lines, ok
+}
+
+// readReport decodes a BENCH_PLANNER-format report file.
+func readReport(path string) (*BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r BenchReport
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// runGate compares the fresh report at freshPath against the baseline and
+// errors when any gated entry regresses beyond the tolerance.
+func runGate(freshPath, basePath string, tol float64) error {
+	fresh, err := readReport(freshPath)
+	if err != nil {
+		return err
+	}
+	base, err := readReport(basePath)
+	if err != nil {
+		return err
+	}
+	lines, ok := compareReports(fresh, base, tol)
+	if len(lines) == 0 {
+		return fmt.Errorf("baseline %s has no gated benchmark entries", basePath)
+	}
+	fmt.Printf("bench gate: %s vs baseline %s (tolerance %.0f%%)\n\n", freshPath, basePath, 100*tol)
+	fmt.Printf("%-44s %14s %14s %8s\n", "benchmark", "baseline ns/op", "fresh ns/op", "ratio")
+	for _, l := range lines {
+		status := ""
+		if l.fail {
+			status = "  FAIL: " + l.why
+		}
+		fmt.Printf("%-44s %14.0f %14.0f %8.2f%s\n", l.name, l.baseNs, l.freshNs, l.ratio, status)
+	}
+	if !ok {
+		return fmt.Errorf("bench gate failed: planner/simulator performance regressed beyond %.0f%%", 100*tol)
+	}
+	fmt.Println("\nbench gate passed")
+	return nil
+}

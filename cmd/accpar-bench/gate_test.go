@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func report(entries ...BenchEntry) *BenchReport {
+	return &BenchReport{GoMaxProcs: 1, Benchmarks: entries}
+}
+
+func writeReport(t *testing.T, r *BenchReport) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "report.json")
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareReportsPassAndFail(t *testing.T) {
+	base := report(
+		BenchEntry{Name: "PartitionHierarchical/resnet50/parallel", NsPerOp: 1000, AllocsPerOp: 100},
+		BenchEntry{Name: "Simulate/vgg16", NsPerOp: 500, AllocsPerOp: 50},
+		BenchEntry{Name: "SpeedupSweep/resnet50/warm", NsPerOp: 10, AllocsPerOp: 1},
+	)
+
+	// Within tolerance: 20% slower passes a 25% gate.
+	fresh := report(
+		BenchEntry{Name: "PartitionHierarchical/resnet50/parallel", NsPerOp: 1200, AllocsPerOp: 100},
+		BenchEntry{Name: "Simulate/vgg16", NsPerOp: 500, AllocsPerOp: 50},
+	)
+	lines, ok := compareReports(fresh, base, 0.25)
+	if !ok {
+		t.Errorf("20%% slowdown must pass a 25%% gate: %+v", lines)
+	}
+	// The cache-warm entry is not gated even though the fresh report
+	// dropped it.
+	if len(lines) != 2 {
+		t.Errorf("gated %d entries, want 2 (cache entries excluded)", len(lines))
+	}
+
+	// Beyond tolerance fails.
+	slow := report(
+		BenchEntry{Name: "PartitionHierarchical/resnet50/parallel", NsPerOp: 1300, AllocsPerOp: 100},
+		BenchEntry{Name: "Simulate/vgg16", NsPerOp: 500, AllocsPerOp: 50},
+	)
+	if _, ok := compareReports(slow, base, 0.25); ok {
+		t.Error("30% slowdown must fail a 25% gate")
+	}
+
+	// An alloc regression fails even when ns/op holds.
+	leaky := report(
+		BenchEntry{Name: "PartitionHierarchical/resnet50/parallel", NsPerOp: 1000, AllocsPerOp: 500},
+		BenchEntry{Name: "Simulate/vgg16", NsPerOp: 500, AllocsPerOp: 50},
+	)
+	if _, ok := compareReports(leaky, base, 0.25); ok {
+		t.Error("5x allocs/op must fail the gate")
+	}
+
+	// A missing gated entry fails.
+	missing := report(
+		BenchEntry{Name: "PartitionHierarchical/resnet50/parallel", NsPerOp: 1000, AllocsPerOp: 100},
+	)
+	if _, ok := compareReports(missing, base, 0.25); ok {
+		t.Error("dropped Simulate entry must fail the gate")
+	}
+}
+
+func TestCompareReportsAllocSlack(t *testing.T) {
+	// Tiny absolute alloc counts get slack: 2 → 10 allocs/op is within
+	// the absolute headroom even though the ratio is 5x.
+	base := report(BenchEntry{Name: "SolveRatio/closed-form", NsPerOp: 100, AllocsPerOp: 2})
+	fresh := report(BenchEntry{Name: "SolveRatio/closed-form", NsPerOp: 100, AllocsPerOp: 10})
+	if _, ok := compareReports(fresh, base, 0.25); !ok {
+		t.Error("small absolute alloc increase must pass via the slack")
+	}
+}
+
+func TestRunGate(t *testing.T) {
+	base := report(BenchEntry{Name: "Simulate/vgg16", NsPerOp: 500, AllocsPerOp: 50})
+	good := report(BenchEntry{Name: "Simulate/vgg16", NsPerOp: 510, AllocsPerOp: 50})
+	bad := report(BenchEntry{Name: "Simulate/vgg16", NsPerOp: 5000, AllocsPerOp: 50})
+
+	basePath := writeReport(t, base)
+	if err := runGate(writeReport(t, good), basePath, 0.25); err != nil {
+		t.Errorf("good gate: %v", err)
+	}
+	if err := runGate(writeReport(t, bad), basePath, 0.25); err == nil {
+		t.Error("10x slowdown must error")
+	}
+	if err := runGate(filepath.Join(t.TempDir(), "nope.json"), basePath, 0.25); err == nil {
+		t.Error("missing fresh report must error")
+	}
+	// A baseline with nothing to gate is an error, not a silent pass.
+	empty := writeReport(t, report(BenchEntry{Name: "SpeedupSweep/resnet50/warm", NsPerOp: 10}))
+	if err := runGate(writeReport(t, good), empty, 0.25); err == nil {
+		t.Error("baseline without gated entries must error")
+	}
+}

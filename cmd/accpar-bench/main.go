@@ -19,6 +19,7 @@ import (
 	"accpar"
 	"accpar/internal/core"
 	"accpar/internal/eval"
+	"accpar/internal/obs"
 	"accpar/internal/tensor"
 )
 
@@ -39,8 +40,24 @@ func main() {
 		cacheFile  = flag.String("cache-file", "", "warm-start the plan cache from this snapshot and save it back on exit (implies -cache); with -json, adds the snapshot-backed sweep entry")
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry to this file (expvar-style text for .txt, JSON otherwise)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome Trace Event Format JSON trace of the planner spans to this file")
+		gatePath   = flag.String("gate", "", "regression-gate this fresh -json report against -baseline and exit")
+		baseline   = flag.String("baseline", "BENCH_PLANNER_SMALL.json", "committed baseline report the -gate run compares against")
+		gateTol    = flag.Float64("gate-tolerance", 0.25, "relative ns/op (and allocs/op) slowdown the -gate run tolerates")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("accpar-bench"))
+		return
+	}
+
+	if *gatePath != "" {
+		if err := runGate(*gatePath, *baseline, *gateTol); err != nil {
+			fmt.Fprintln(os.Stderr, "accpar-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var rec *accpar.TraceRecorder
 	if *traceOut != "" {

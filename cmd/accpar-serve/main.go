@@ -1,0 +1,116 @@
+// Command accpar-serve is the HTTP planning service: the accpar planning
+// stack behind a JSON API, with the live diagnostics endpoints mounted on
+// the same listener.
+//
+//	POST /v1/plan          partition a workload; the response is
+//	                       byte-identical to `accpar -json` for the same
+//	                       inputs
+//	POST /v1/compare       all four strategies with speedups
+//	POST /v1/resilience    simulated fault-injection experiment
+//	GET  /metrics          Prometheus text exposition
+//	GET  /metrics.json     metrics snapshot as JSON
+//	GET  /healthz          liveness
+//	GET  /readyz           readiness (503 while draining)
+//	GET  /debug/events     structured decision-event ring
+//	POST /debug/trace      live Perfetto trace window
+//	GET  /debug/pprof/...  net/http/pprof
+//
+// One planning Session (and plan cache) serves every request; -cache-file
+// warm-starts it and persists it back on graceful shutdown. SIGTERM or
+// SIGINT flips /readyz to 503, drains in-flight requests and exits.
+//
+// Usage:
+//
+//	accpar-serve -addr :8080 -cache-file plans.cache
+//	curl -s localhost:8080/v1/plan -d '{"model":"vgg16","batch":512}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"accpar"
+	"accpar/internal/diag"
+	"accpar/internal/obs"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+		cacheFile = flag.String("cache-file", "", "warm-start the plan cache from this snapshot and save it back on graceful shutdown")
+		version   = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("accpar-serve"))
+		return
+	}
+	if err := run(*addr, *cacheFile); err != nil {
+		fmt.Fprintln(os.Stderr, "accpar-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, cacheFile string) error {
+	sess := accpar.NewSession(0)
+	if cacheFile != "" {
+		n, err := sess.LoadCacheFile(cacheFile)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			fmt.Printf("plan cache: warm-started %d subproblems from %s\n", n, cacheFile)
+		}
+	}
+	srv := newServer(sess)
+
+	mux := http.NewServeMux()
+	srv.routes(mux)
+	diag.NewHandler(diag.Options{Ready: srv.readyChecks()}).Routes(mux)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	fmt.Printf("accpar-serve listening on %s\n", ln.Addr())
+	obs.Log().Info("serve.listening", "addr", ln.Addr().String())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	select {
+	case err := <-done:
+		// Serve never returns nil; an early return is a listener failure.
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop advertising readiness, drain in-flight
+	// requests, then persist the warmed cache.
+	srv.draining.Store(true)
+	obs.Log().Info("serve.draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if cacheFile != "" {
+		if err := sess.SaveCacheFile(cacheFile); err != nil {
+			return err
+		}
+		st := sess.CacheStats()
+		fmt.Printf("plan cache: %d entries saved to %s (%.1f%% hit rate)\n",
+			st.Entries, cacheFile, 100*st.HitRate())
+	}
+	fmt.Println("accpar-serve: drained, exiting")
+	return nil
+}

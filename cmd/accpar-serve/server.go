@@ -1,0 +1,380 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"accpar"
+	"accpar/internal/obs"
+)
+
+// server holds the shared planning session behind the /v1 endpoints. One
+// session (and therefore one plan cache) serves every request, so
+// repeated and related requests reuse each other's solved subproblems.
+type server struct {
+	sess *accpar.Session
+	// draining flips when shutdown begins; /readyz turns 503 so load
+	// balancers stop routing here while in-flight requests finish.
+	draining atomic.Bool
+}
+
+func newServer(sess *accpar.Session) *server { return &server{sess: sess} }
+
+// routes registers the /v1 planning endpoints, each wrapped with its own
+// latency histogram, in-flight gauge and request/error counters.
+func (s *server) routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/plan", instrument(planMetrics, s.plan))
+	mux.HandleFunc("POST /v1/compare", instrument(compareMetrics, s.compare))
+	mux.HandleFunc("POST /v1/resilience", instrument(resilienceMetrics, s.resilience))
+}
+
+// readyChecks are the readiness probes: serving (not draining) and the
+// plan cache's state. The cache probe never fails — an empty cache is a
+// cold start, not unreadiness — but keeping it a named check surfaces the
+// entry count in future 503 bodies if a bound is ever added.
+func (s *server) readyChecks() []accpar.DiagCheck {
+	return []accpar.DiagCheck{{
+		Name: "serving",
+		Probe: func() error {
+			if s.draining.Load() {
+				return fmt.Errorf("draining: shutdown in progress")
+			}
+			return nil
+		},
+	}}
+}
+
+// statusWriter captures the response code so the instrumentation can
+// count errors.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// endpointMetrics is one endpoint's observability set: a log-bucketed
+// latency histogram serve.<name>.seconds, an in-flight gauge
+// serve.<name>.inflight and request/error counters. The metrics surface
+// on /metrics as serve_<name>_seconds_bucket/_sum/_count etc. Registered
+// once at package init — the obs registry rejects duplicate names, so
+// per-server registration would panic under tests building several
+// servers in one process.
+type endpointMetrics struct {
+	timer    *obs.Timer
+	inflight *obs.Gauge
+	requests *obs.Counter
+	errors   *obs.Counter
+}
+
+func newEndpointMetrics(name string) *endpointMetrics {
+	obs.SetHelp("serve_"+name+"_seconds", "Latency of POST /v1/"+name+" requests.")
+	obs.SetHelp("serve_"+name+"_inflight", "In-flight POST /v1/"+name+" requests.")
+	return &endpointMetrics{
+		timer:    obs.NewTimer("serve." + name + ".seconds"),
+		inflight: obs.NewGauge("serve." + name + ".inflight"),
+		requests: obs.NewCounter("serve." + name + ".requests"),
+		errors:   obs.NewCounter("serve." + name + ".errors"),
+	}
+}
+
+var (
+	planMetrics       = newEndpointMetrics("plan")
+	compareMetrics    = newEndpointMetrics("compare")
+	resilienceMetrics = newEndpointMetrics("resilience")
+)
+
+// instrument wraps a handler with the endpoint's metrics.
+func instrument(m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.requests.Inc()
+		m.inflight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		m.timer.Observe(time.Since(start))
+		m.inflight.Add(-1)
+		if sw.code >= 400 {
+			m.errors.Inc()
+		}
+	}
+}
+
+// planRequest is the JSON workload+fleet spec the /v1 endpoints accept.
+// Zero-valued fields take the accpar CLI's defaults, so an empty body
+// plans the paper's AlexNet-on-128+128 evaluation point.
+type planRequest struct {
+	// Model is a built-in model name (accpar.Models).
+	Model string `json:"model"`
+	// Batch is the mini-batch size.
+	Batch int `json:"batch"`
+	// V2 and V3 size the default TPU-v2 + TPU-v3 fleet.
+	V2 int `json:"v2"`
+	V3 int `json:"v3"`
+	// Fleet is an explicit "name:count,name:count" preset spec overriding
+	// V2/V3 (accpar.ParseFleet).
+	Fleet string `json:"fleet"`
+	// Strategy selects the partitioning scheme: dp, owt, hypar, accpar.
+	Strategy string `json:"strategy"`
+	// Levels is the hierarchy level budget.
+	Levels int `json:"levels"`
+	// Optimizer is the weight-update rule: sgd, momentum, adam.
+	Optimizer string `json:"optimizer"`
+	// Inference costs the forward phase only.
+	Inference bool `json:"inference"`
+}
+
+// defaults fills zero-valued fields with the accpar CLI's flag defaults,
+// keeping serve plans byte-identical to CLI plans for the same inputs.
+func (q *planRequest) defaults() {
+	if q.Model == "" {
+		q.Model = "alexnet"
+	}
+	if q.Batch == 0 {
+		q.Batch = 512
+	}
+	if q.V2 == 0 && q.V3 == 0 && q.Fleet == "" {
+		q.V2, q.V3 = 128, 128
+	}
+	if q.Strategy == "" {
+		q.Strategy = "accpar"
+	}
+	if q.Levels == 0 {
+		q.Levels = 64
+	}
+	if q.Optimizer == "" {
+		q.Optimizer = "sgd"
+	}
+}
+
+// decode parses the request body into req, applying defaults. An empty
+// body is valid and selects all defaults.
+func decode(w http.ResponseWriter, r *http.Request, req *planRequest) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil && err.Error() != "EOF" {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	req.defaults()
+	return true
+}
+
+// workload builds the network and array a request describes.
+func workload(req *planRequest) (*accpar.Network, *accpar.Array, error) {
+	net, err := accpar.BuildModel(req.Model, req.Batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	var arr *accpar.Array
+	if req.Fleet != "" {
+		arr, err = accpar.ParseFleet(req.Fleet)
+	} else {
+		arr, err = buildArray(req.V2, req.V3)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, arr, nil
+}
+
+// buildArray mirrors the accpar CLI's -v2/-v3 array construction.
+func buildArray(v2, v3 int) (*accpar.Array, error) {
+	switch {
+	case v2 > 0 && v3 > 0:
+		return accpar.HeterogeneousArray(
+			accpar.ArrayGroup{Spec: accpar.TPUv2(), Count: v2},
+			accpar.ArrayGroup{Spec: accpar.TPUv3(), Count: v3})
+	case v2 > 0:
+		return accpar.HomogeneousArray(accpar.TPUv2(), v2)
+	case v3 > 0:
+		return accpar.HomogeneousArray(accpar.TPUv3(), v3)
+	default:
+		return nil, fmt.Errorf("need at least one accelerator (v2/v3 or fleet)")
+	}
+}
+
+// plan serves POST /v1/plan: the partition plan as JSON, byte-identical
+// to `accpar -json` for the same workload (the response goes through the
+// same Plan.WriteJSON path the CLI uses, and caching never changes
+// decisions).
+func (s *server) plan(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	net, arr, err := workload(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := accpar.ParseStrategy(req.Strategy)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	opt := st.Options()
+	opt.Optimizer, err = accpar.ParseOptimizer(req.Optimizer)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Inference {
+		opt.Mode = accpar.ModeInference
+	}
+	plan, err := s.sess.PartitionWithOptions(net, arr, opt, req.Levels)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := plan.WriteJSON(w); err != nil {
+		obs.Log().Warn("serve.plan_write_failed", "err", err.Error())
+	}
+}
+
+// compareRow is one strategy's result in a /v1/compare response.
+type compareRow struct {
+	Strategy         string  `json:"strategy"`
+	TimeSeconds      float64 `json:"time_seconds"`
+	SamplesPerSecond float64 `json:"samples_per_second"`
+	// Speedup is relative to the DP baseline.
+	Speedup float64 `json:"speedup"`
+}
+
+// compare serves POST /v1/compare: all four strategies on the workload,
+// with times, throughputs and speedups over the DP baseline.
+func (s *server) compare(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	net, arr, err := workload(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c, err := s.sess.Compare(net, arr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	rows := make([]compareRow, 0, len(accpar.Strategies))
+	for _, st := range accpar.Strategies {
+		p := c.Plans[st]
+		rows = append(rows, compareRow{
+			Strategy:         st.String(),
+			TimeSeconds:      p.Time(),
+			SamplesPerSecond: p.Throughput(),
+			Speedup:          c.Speedup(st),
+		})
+	}
+	writeJSON(w, struct {
+		Model      string       `json:"model"`
+		Batch      int          `json:"batch"`
+		Array      string       `json:"array"`
+		Strategies []compareRow `json:"strategies"`
+	}{req.Model, req.Batch, arr.Name, rows})
+}
+
+// resilienceRequest extends the workload spec with a fault scenario.
+type resilienceRequest struct {
+	planRequest
+	// Faults is the accpar-sim fault spec, e.g.
+	// "slowdown:0=2.0,transient:1=0.05@0.001".
+	Faults string `json:"faults"`
+	// Seed makes the injection stream deterministic.
+	Seed int64 `json:"seed"`
+	// Ckpt is the checkpoint-restart overhead charged on group loss.
+	Ckpt float64 `json:"ckpt"`
+	// Overlap allows communication/computation overlap in the simulation.
+	Overlap bool `json:"overlap"`
+}
+
+// resilience serves POST /v1/resilience: the simulated three-way
+// fault-free / stale / replanned experiment on a two-group array.
+func (s *server) resilience(w http.ResponseWriter, r *http.Request) {
+	var req resilienceRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && err.Error() != "EOF" {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.defaults()
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Fleet != "" {
+		http.Error(w, "resilience runs on the two-group v2/v3 array; fleet is not supported", http.StatusBadRequest)
+		return
+	}
+	if req.Faults == "" {
+		http.Error(w, "resilience needs a fault scenario (faults)", http.StatusBadRequest)
+		return
+	}
+	net, err := accpar.BuildModel(req.Model, req.Batch)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := accpar.ParseStrategy(req.Strategy)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fl, err := accpar.ParseFaults(req.Faults)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sc := accpar.FaultScenario{Seed: req.Seed, Faults: fl, CheckpointOverhead: req.Ckpt}
+	groups := []accpar.ArrayGroup{
+		{Spec: accpar.TPUv2(), Count: req.V2},
+		{Spec: accpar.TPUv3(), Count: req.V3},
+	}
+	rep, err := s.sess.Resilience(net, groups, st, sc, accpar.SimConfig{OverlapComm: req.Overlap})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, struct {
+		Faults           string    `json:"faults"`
+		Seed             int64     `json:"seed"`
+		Machines         [2]string `json:"machines"`
+		FaultFreeSeconds float64   `json:"fault_free_seconds"`
+		StaleSeconds     float64   `json:"stale_seconds"`
+		ReplannedSeconds float64   `json:"replanned_seconds"`
+		Impact           float64   `json:"impact"`
+		Recovery         float64   `json:"recovery"`
+		Adopted          bool      `json:"adopted"`
+		Retries          int       `json:"retries"`
+	}{
+		Faults:           rep.Scenario.String(),
+		Seed:             rep.Scenario.Seed,
+		Machines:         rep.MachineNames,
+		FaultFreeSeconds: rep.FaultFree.Time,
+		StaleSeconds:     rep.Stale.Time,
+		ReplannedSeconds: rep.Replanned.Time,
+		Impact:           rep.Impact(),
+		Recovery:         rep.Recovery(),
+		Adopted:          rep.Adopted,
+		Retries:          rep.Stale.Retries[0] + rep.Stale.Retries[1],
+	})
+}
+
+// writeJSON writes v as indented JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		obs.Log().Warn("serve.response_write_failed", "err", err.Error())
+	}
+}

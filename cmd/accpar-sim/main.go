@@ -28,19 +28,20 @@ import (
 	"accpar"
 	"accpar/internal/arraysim"
 	"accpar/internal/hardware"
+	"accpar/internal/obs"
 )
 
 // opts collects the command's knobs.
 type opts struct {
-	model     string
-	batch     int
-	v2, v3    int
-	strategy  string
-	overlap   bool
-	array     bool
-	faults    string
-	seed      int64
-	ckpt      float64
+	model      string
+	batch      int
+	v2, v3     int
+	strategy   string
+	overlap    bool
+	array      bool
+	faults     string
+	seed       int64
+	ckpt       float64
 	replan     bool
 	cacheFile  string
 	metricsOut string
@@ -81,7 +82,12 @@ func main() {
 	flag.StringVar(&o.cacheFile, "cache-file", "", "warm-start the plan cache from this snapshot and save it back on exit")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the metrics registry to this file (expvar-style text for .txt, JSON otherwise)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome Trace Event Format JSON trace (planner spans + simulated timelines) to this file, loadable in Perfetto or chrome://tracing")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("accpar-sim"))
+		return
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "accpar-sim:", err)
 		os.Exit(1)

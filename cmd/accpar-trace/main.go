@@ -18,6 +18,7 @@ import (
 
 	"accpar/internal/cost"
 	"accpar/internal/models"
+	"accpar/internal/obs"
 	"accpar/internal/sim"
 	"accpar/internal/trace"
 )
@@ -31,8 +32,13 @@ func main() {
 		alpha    = flag.Float64("alpha", 0.5, "partitioning ratio of the traced accelerator")
 		timeline = flag.Bool("timeline", false, "simulate the whole model and dump the task timeline CSV")
 		gantt    = flag.Bool("gantt", false, "render a text Gantt chart instead of CSV (with -timeline)")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("accpar-trace"))
+		return
+	}
 	if err := run(*model, *batch, *layer, *typeName, *alpha, *timeline, *gantt); err != nil {
 		fmt.Fprintln(os.Stderr, "accpar-trace:", err)
 		os.Exit(1)

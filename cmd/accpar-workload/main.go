@@ -15,26 +15,60 @@ import (
 	"fmt"
 	"os"
 
+	"accpar"
 	"accpar/internal/core"
 	"accpar/internal/eval"
 	"accpar/internal/hardware"
+	"accpar/internal/obs"
 	"accpar/internal/workload"
 )
 
 func main() {
 	var (
-		seed   = flag.Int64("seed", 1, "workload seed")
-		batch  = flag.Int("batch", 64, "mini-batch size")
-		layers = flag.Int("layers", 0, "exact weighted-layer count (0 = random in [3,12])")
-		v2     = flag.Int("v2", 8, "TPU-v2 count")
-		v3     = flag.Int("v3", 8, "TPU-v3 count")
-		dotOut = flag.String("dot", "", "write the network as Graphviz DOT to this file ('-' for stdout)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		batch      = flag.Int("batch", 64, "mini-batch size")
+		layers     = flag.Int("layers", 0, "exact weighted-layer count (0 = random in [3,12])")
+		v2         = flag.Int("v2", 8, "TPU-v2 count")
+		v3         = flag.Int("v3", 8, "TPU-v3 count")
+		dotOut     = flag.String("dot", "", "write the network as Graphviz DOT to this file ('-' for stdout)")
+		metricsOut = flag.String("metrics-out", "", "write the metrics registry to this file (expvar-style text for .txt, JSON otherwise)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome Trace Event Format JSON trace of the planner spans to this file")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
-	if err := run(*seed, *batch, *layers, *v2, *v3, *dotOut); err != nil {
+	if *version {
+		fmt.Println(obs.VersionString("accpar-workload"))
+		return
+	}
+	if err := runObserved(*seed, *batch, *layers, *v2, *v3, *dotOut, *metricsOut, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "accpar-workload:", err)
 		os.Exit(1)
 	}
+}
+
+// runObserved wraps run with the optional trace and metrics exports.
+func runObserved(seed int64, batch, layers, v2, v3 int, dotOut, metricsOut, traceOut string) error {
+	var rec *accpar.TraceRecorder
+	if traceOut != "" {
+		rec = accpar.StartTrace()
+	}
+	if err := run(seed, batch, layers, v2, v3, dotOut); err != nil {
+		return err
+	}
+	if rec != nil {
+		rec.Stop()
+		if err := rec.SaveFile(traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("\ntrace written to %s (open in Perfetto or chrome://tracing)\n", traceOut)
+	}
+	if metricsOut != "" {
+		if err := accpar.SaveMetricsFile(metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s\n", metricsOut)
+	}
+	return nil
 }
 
 func run(seed int64, batch, layers, v2, v3 int, dotOut string) error {

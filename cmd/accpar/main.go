@@ -12,11 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"accpar"
-	"accpar/internal/hardware"
+	"accpar/internal/obs"
 )
 
 func main() {
@@ -35,13 +34,48 @@ func main() {
 		optName  = flag.String("optimizer", "sgd", "weight-update rule: sgd, momentum, adam")
 		explain  = flag.Bool("explain", false, "print the per-layer cost breakdown of the root split")
 		infer    = flag.Bool("inference", false, "cost the forward phase only (inference) instead of training")
+
+		metricsOut = flag.String("metrics-out", "", "write the metrics registry to this file (expvar-style text for .txt, JSON otherwise)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome Trace Event Format JSON trace of the planner spans to this file")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("accpar"))
+		return
+	}
 
+	var rec *accpar.TraceRecorder
+	if *traceOut != "" {
+		rec = accpar.StartTrace()
+	}
 	if err := run(*model, *batch, *v2, *v3, *fleet, *strategy, *levels, *showMap, *compare, *explain, *infer, *jsonOut, *dotOut, *optName); err != nil {
 		fmt.Fprintln(os.Stderr, "accpar:", err)
 		os.Exit(1)
 	}
+	if err := flushObs(rec, *traceOut, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "accpar:", err)
+		os.Exit(1)
+	}
+}
+
+// flushObs saves the optional trace and metrics exports after a
+// successful run.
+func flushObs(rec *accpar.TraceRecorder, traceOut, metricsOut string) error {
+	if rec != nil {
+		rec.Stop()
+		if err := rec.SaveFile(traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (open in Perfetto or chrome://tracing)\n", traceOut)
+	}
+	if metricsOut != "" {
+		if err := accpar.SaveMetricsFile(metricsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", metricsOut)
+	}
+	return nil
 }
 
 func run(model string, batch, v2, v3 int, fleet, strategy string, levels int, showMap, compare, explain, infer bool, jsonOut, dotOut, optName string) error {
@@ -63,7 +97,7 @@ func run(model string, batch, v2, v3 int, fleet, strategy string, levels int, sh
 	}
 	var arr *accpar.Array
 	if fleet != "" {
-		arr, err = parseFleet(fleet)
+		arr, err = accpar.ParseFleet(fleet)
 	} else {
 		arr, err = buildArray(v2, v3)
 	}
@@ -155,41 +189,4 @@ func buildArray(v2, v3 int) (*accpar.Array, error) {
 	}
 }
 
-// parseFleet builds an array from a "name:count,name:count" description
-// using the built-in accelerator presets.
-func parseFleet(desc string) (*accpar.Array, error) {
-	presets := hardware.Presets()
-	var groups []accpar.ArrayGroup
-	for _, part := range strings.Split(desc, ",") {
-		part = strings.TrimSpace(part)
-		name, countStr, ok := strings.Cut(part, ":")
-		if !ok {
-			return nil, fmt.Errorf("fleet entry %q: want name:count", part)
-		}
-		spec, ok := presets[name]
-		if !ok {
-			return nil, fmt.Errorf("unknown accelerator preset %q", name)
-		}
-		count, err := strconv.Atoi(countStr)
-		if err != nil || count < 1 {
-			return nil, fmt.Errorf("fleet entry %q: bad count", part)
-		}
-		groups = append(groups, accpar.ArrayGroup{Spec: spec, Count: count})
-	}
-	return accpar.HeterogeneousArray(groups...)
-}
-
-func parseStrategy(s string) (accpar.Strategy, error) {
-	switch strings.ToLower(s) {
-	case "dp":
-		return accpar.StrategyDP, nil
-	case "owt":
-		return accpar.StrategyOWT, nil
-	case "hypar":
-		return accpar.StrategyHyPar, nil
-	case "accpar":
-		return accpar.StrategyAccPar, nil
-	default:
-		return 0, fmt.Errorf("unknown strategy %q (want dp, owt, hypar or accpar)", s)
-	}
-}
+func parseStrategy(s string) (accpar.Strategy, error) { return accpar.ParseStrategy(s) }

@@ -62,13 +62,13 @@ func TestRunModes(t *testing.T) {
 }
 
 func TestParseFleet(t *testing.T) {
-	arr, err := parseFleet("tpu-v2:4,gpu-class-b:2")
+	arr, err := accpar.ParseFleet("tpu-v2:4,gpu-class-b:2")
 	if err != nil || arr.Size() != 6 {
-		t.Errorf("parseFleet: %v, %v", arr, err)
+		t.Errorf("ParseFleet: %v, %v", arr, err)
 	}
 	for _, bad := range []string{"tpu-v2", "nope:4", "tpu-v2:x", "tpu-v2:0"} {
-		if _, err := parseFleet(bad); err == nil {
-			t.Errorf("parseFleet(%q) must error", bad)
+		if _, err := accpar.ParseFleet(bad); err == nil {
+			t.Errorf("ParseFleet(%q) must error", bad)
 		}
 	}
 	if err := run("lenet", 16, 0, 0, "edge-npu:2,gpu-class-a:2", "accpar", 8, false, false, false, false, "", "", "sgd"); err != nil {

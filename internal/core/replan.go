@@ -6,6 +6,7 @@ import (
 	"accpar/internal/cost"
 	"accpar/internal/dnn"
 	"accpar/internal/hardware"
+	"accpar/internal/obs"
 	"accpar/internal/parallel"
 	"accpar/internal/tensor"
 )
@@ -167,5 +168,10 @@ func Replan(net *dnn.Network, pristine, degraded *hardware.Tree, opt Options) (*
 	if !rep.Adopted {
 		rep.Replanned = stale
 	}
+	obs.Log().Info("core.replan",
+		"adopted", rep.Adopted,
+		"fault_free_seconds", faultFree.Time(),
+		"stale_seconds", stale.Time(),
+		"fresh_seconds", fresh.Time())
 	return rep, nil
 }

@@ -1,0 +1,284 @@
+// Package diag is the live half of the observability layer: a
+// zero-dependency net/http diagnostics server exposing the obs registry,
+// event ring and tracer of a running planning process.
+//
+// Endpoints:
+//
+//	GET  /metrics            Prometheus text exposition v0.0.4
+//	GET  /metrics.json       the obs.Snapshot JSON dump
+//	GET  /healthz            liveness: pluggable checks, 200/503
+//	GET  /readyz             readiness: pluggable checks, 200/503
+//	GET  /debug/events       the structured decision-event ring as JSON
+//	POST /debug/trace?sec=N  capture a live Perfetto trace window
+//	GET  /debug/pprof/...    net/http/pprof profiles
+//
+// The handler is embeddable: Routes registers the endpoints onto any
+// *http.ServeMux (accpar-serve mounts them next to its /v1 planning
+// endpoints), and Start runs a standalone server for library users
+// (Session.ServeDiagnostics / accpar.StartDiagServer).
+package diag
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"accpar/internal/obs"
+)
+
+// Check is one named health or readiness probe; a nil error means
+// healthy.
+type Check struct {
+	// Name labels the probe in 503 bodies.
+	Name string
+	// Probe reports the component's state.
+	Probe func() error
+}
+
+// Options configures a diagnostics handler. The zero value serves the
+// process-wide registry and event ring with no checks (always healthy
+// and ready).
+type Options struct {
+	// Registry is the metrics source; nil selects obs.Default().
+	Registry *obs.Registry
+	// Events is the decision-event ring; nil selects obs.DefaultEvents().
+	Events *obs.EventRing
+	// Health are the liveness probes behind GET /healthz.
+	Health []Check
+	// Ready are the readiness probes behind GET /readyz (e.g. plan cache
+	// loaded, not draining).
+	Ready []Check
+	// MaxTraceWindow caps POST /debug/trace capture windows; 0 selects
+	// one minute.
+	MaxTraceWindow time.Duration
+}
+
+// Handler serves the diagnostics endpoints.
+type Handler struct {
+	opts    Options
+	mux     *http.ServeMux
+	tracing atomic.Bool
+}
+
+// NewHandler builds a diagnostics handler for the options.
+func NewHandler(opts Options) *Handler {
+	if opts.Registry == nil {
+		opts.Registry = obs.Default()
+	}
+	if opts.Events == nil {
+		opts.Events = obs.DefaultEvents()
+	}
+	if opts.MaxTraceWindow <= 0 {
+		opts.MaxTraceWindow = time.Minute
+	}
+	h := &Handler{opts: opts, mux: http.NewServeMux()}
+	h.Routes(h.mux)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// Routes registers the diagnostics endpoints onto mux, for embedding
+// next to application routes.
+func (h *Handler) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("GET /metrics.json", h.metricsJSON)
+	mux.HandleFunc("GET /healthz", checksHandler(h.opts.Health))
+	mux.HandleFunc("GET /readyz", checksHandler(h.opts.Ready))
+	mux.HandleFunc("GET /debug/events", h.events)
+	mux.HandleFunc("POST /debug/trace", h.trace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// metrics serves the Prometheus text exposition.
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	if err := h.opts.Registry.WritePrometheus(w); err != nil {
+		// Headers are gone; nothing to do but note it in the event ring.
+		obs.Log().Warn("diag.metrics_write_failed", "err", err.Error())
+	}
+}
+
+// metricsJSON serves the snapshot JSON dump.
+func (h *Handler) metricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := h.opts.Registry.WriteJSON(w); err != nil {
+		obs.Log().Warn("diag.metrics_write_failed", "err", err.Error())
+	}
+}
+
+// checksHandler runs the probes and reports 200 "ok" or 503 with one
+// line per failing check.
+func checksHandler(checks []Check) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var failures []string
+		for _, c := range checks {
+			if err := c.Probe(); err != nil {
+				failures = append(failures, fmt.Sprintf("%s: %v", c.Name, err))
+			}
+		}
+		if len(failures) > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			for _, f := range failures {
+				fmt.Fprintln(w, f)
+			}
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+// eventsDoc is the /debug/events response shape.
+type eventsDoc struct {
+	// Total counts events ever emitted; Total − len(Events) were
+	// overwritten by newer ones.
+	Total uint64 `json:"total"`
+	// Events holds the retained records, oldest first.
+	Events []obs.LogEvent `json:"events"`
+}
+
+// events serves the retained decision events, newest-bounded by ?n=K.
+func (h *Handler) events(w http.ResponseWriter, r *http.Request) {
+	evs := h.opts.Events.Events()
+	if s := r.URL.Query().Get("n"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n: want a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		if n < len(evs) {
+			evs = evs[len(evs)-n:]
+		}
+	}
+	if evs == nil {
+		evs = []obs.LogEvent{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(eventsDoc{Total: h.opts.Events.Total(), Events: evs}); err != nil {
+		obs.Log().Warn("diag.events_write_failed", "err", err.Error())
+	}
+}
+
+// trace captures a live Perfetto trace window: it attaches a fresh
+// process-wide tracer, waits ?sec=N seconds (default 1, capped by
+// MaxTraceWindow) and streams the Chrome Trace Event Format document
+// back. One capture at a time; 409 when a tracer is already attached
+// (e.g. a CLI -trace-out run).
+func (h *Handler) trace(w http.ResponseWriter, r *http.Request) {
+	sec := 1.0
+	if s := r.URL.Query().Get("sec"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad sec: want a positive number of seconds", http.StatusBadRequest)
+			return
+		}
+		sec = v
+	}
+	window := time.Duration(sec * float64(time.Second))
+	if window > h.opts.MaxTraceWindow {
+		window = h.opts.MaxTraceWindow
+	}
+	if !h.tracing.CompareAndSwap(false, true) {
+		http.Error(w, "a trace capture is already in progress", http.StatusConflict)
+		return
+	}
+	defer h.tracing.Store(false)
+	if obs.CurrentTracer() != nil {
+		http.Error(w, "a tracer is already attached to this process", http.StatusConflict)
+		return
+	}
+
+	tr := obs.NewTracer()
+	tr.Append(obs.ProcessNameEvent(obs.PidPlanner, "planner"))
+	obs.SetTracer(tr)
+	select {
+	case <-time.After(window):
+	case <-r.Context().Done():
+	}
+	obs.SetTracer(nil)
+	obs.Log().Info("diag.trace_captured", "window_seconds", window.Seconds(), "events", len(tr.Events()))
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="accpar-trace.json"`)
+	if err := tr.WriteJSON(w); err != nil {
+		obs.Log().Warn("diag.trace_write_failed", "err", err.Error())
+	}
+}
+
+// Server is a standalone diagnostics HTTP server.
+type Server struct {
+	handler *Handler
+	ln      net.Listener
+	srv     *http.Server
+	// done closes when the serve goroutine exits; serveErr (written
+	// before the close) holds its terminal error. The closed-channel
+	// shape keeps Shutdown and Close individually and jointly safe —
+	// either may wait, in any order.
+	done     chan struct{}
+	serveErr error
+}
+
+// Start listens on addr (":0" picks a free port) and serves the
+// diagnostics endpoints in a background goroutine.
+func Start(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	h := NewHandler(opts)
+	s := &Server{
+		handler: h,
+		ln:      ln,
+		srv:     &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second},
+		done:    make(chan struct{}),
+	}
+	go func() {
+		err := s.srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		s.serveErr = err
+		close(s.done)
+	}()
+	obs.Log().Info("diag.serving", "addr", ln.Addr().String())
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43381".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown gracefully drains in-flight requests.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	<-s.done
+	return s.serveErr
+}
+
+// Close immediately closes the server.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	if err != nil {
+		return err
+	}
+	return s.serveErr
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// BuildMeta identifies the process a metrics snapshot came from: module
+// build information plus the runtime facts needed to interpret the
+// numbers (a snapshot from a GOMAXPROCS=1 CI box reads differently from
+// a 64-core server).
+type BuildMeta struct {
+	// Version is the main module's version from the embedded build info
+	// ("(devel)" for plain `go build` / `go run` trees).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// GoMaxProcs is runtime.GOMAXPROCS at snapshot time.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// PID is the process id.
+	PID int `json:"pid"`
+	// StartTime is the process start (package-init) time, RFC 3339.
+	StartTime string `json:"start_time"`
+}
+
+// processStart approximates process start as package-init time; obs is
+// initialized by every instrumented binary before any work runs.
+var processStart = time.Now()
+
+// moduleVersion resolves once at first use.
+var moduleVersion = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "(devel)"
+}()
+
+// Build returns the current process's build/runtime metadata.
+func Build() BuildMeta {
+	return BuildMeta{
+		Version:    moduleVersion,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		PID:        os.Getpid(),
+		StartTime:  processStart.UTC().Format(time.RFC3339),
+	}
+}
+
+// StartTimeUnix returns the process start time as Unix seconds (the
+// Prometheus process_start_time_seconds convention).
+func StartTimeUnix() float64 {
+	return float64(processStart.UnixNano()) / 1e9
+}
+
+// VersionString renders the one-line -version output of a CLI tool.
+func VersionString(tool string) string {
+	return fmt.Sprintf("%s %s (%s %s/%s)",
+		tool, moduleVersion, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEventRingAppendAndOverwrite(t *testing.T) {
+	r := NewEventRing(4)
+	for i := 0; i < 6; i++ {
+		r.Logger().Info("evt", "i", i)
+	}
+	if r.Total() != 6 {
+		t.Errorf("total = %d; want 6", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events; want 4", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint64(i + 3) // events 3..6 survive
+		if e.Seq != wantSeq {
+			t.Errorf("event %d seq = %d; want %d", i, e.Seq, wantSeq)
+		}
+		if e.Msg != "evt" || e.Level != "INFO" {
+			t.Errorf("event %d = %+v", i, e)
+		}
+		if got := e.Attrs["i"]; got != int64(i+2) {
+			t.Errorf("event %d attr i = %v (%T); want %d", i, got, got, i+2)
+		}
+	}
+}
+
+func TestEventRingLoggerAttrsAndGroups(t *testing.T) {
+	r := NewEventRing(8)
+	log := r.Logger().With("component", "test").WithGroup("sim")
+	log.Warn("fault", "retries", 3)
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatalf("retained %d events; want 1", len(evs))
+	}
+	e := evs[0]
+	if e.Level != "WARN" || e.Msg != "fault" {
+		t.Errorf("event %+v", e)
+	}
+	if e.Attrs["component"] != "test" {
+		t.Errorf("base attr missing: %+v", e.Attrs)
+	}
+	if e.Attrs["sim.retries"] != int64(3) {
+		t.Errorf("grouped attr missing: %+v", e.Attrs)
+	}
+}
+
+func TestEventRingDebugSuppressed(t *testing.T) {
+	r := NewEventRing(8)
+	r.Logger().Debug("noise")
+	if n := len(r.Events()); n != 0 {
+		t.Errorf("debug record retained (%d events); ring admits Info and above", n)
+	}
+}
+
+func TestEventRingConcurrentAppendSnapshot(t *testing.T) {
+	r := NewEventRing(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			log := r.Logger()
+			for i := 0; i < 500; i++ {
+				log.Info(fmt.Sprintf("w%d", w), "i", i)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, e := range r.Events() {
+				if e.Msg == "" {
+					t.Error("snapshot saw a zero event")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if r.Total() != 2000 {
+		t.Errorf("total = %d; want 2000", r.Total())
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentRegistryHammer exercises every reader (Snapshot, JSON,
+// text and Prometheus renderers, event-ring snapshots) while writers
+// pound counters, gauges, histogram timers and the ring — the contract
+// behind serving GET /metrics from a live planning service. Run with
+// -race; the assertions are on final totals, the value is the interleaving.
+func TestConcurrentRegistryHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("hammer.counter")
+	f := r.NewFloatCounter("hammer.float")
+	g := r.NewGauge("hammer.gauge")
+	tm := r.NewTimer("hammer.seconds")
+	ring := NewEventRing(64)
+
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			log := ring.Logger()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				f.Add(0.25)
+				g.Add(1)
+				tm.Observe(time.Duration(i%1000) * time.Microsecond)
+				g.Add(-1)
+				if i%100 == 0 {
+					log.Info("hammer.tick", "worker", w, "i", i)
+				}
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for rd := 0; rd < 4; rd++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.Snapshot()
+				if h := s.Timers["hammer.seconds"]; h.Count > 0 {
+					if h.P50Seconds < h.MinSeconds || h.P99Seconds > h.MaxSeconds {
+						t.Errorf("mid-flight percentiles out of range: %+v", h)
+						return
+					}
+				}
+				_ = r.WriteJSON(io.Discard)
+				_ = r.WriteText(io.Discard)
+				_ = r.WritePrometheus(io.Discard)
+				_ = ring.Events()
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if v := c.Value(); v != writers*perWriter {
+		t.Errorf("counter = %d; want %d", v, writers*perWriter)
+	}
+	if v := g.Value(); v != 0 {
+		t.Errorf("in-flight gauge settled at %g; want 0", v)
+	}
+	h := tm.HistStats()
+	if h.Count != writers*perWriter {
+		t.Errorf("timer count = %d; want %d", h.Count, writers*perWriter)
+	}
+	if ring.Total() != writers*perWriter/100 {
+		t.Errorf("ring total = %d; want %d", ring.Total(), writers*perWriter/100)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -70,7 +71,8 @@ func (f *FloatCounter) Add(v float64) {
 // Value returns the accumulated total.
 func (f *FloatCounter) Value() float64 { return math.Float64frombits(f.bits.Load()) }
 
-// Gauge is a last-value-wins float metric.
+// Gauge is a last-value-wins float metric that also supports relative
+// adjustment (in-flight request counts and the like).
 type Gauge struct {
 	bits atomic.Uint64
 }
@@ -78,19 +80,87 @@ type Gauge struct {
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add adjusts the gauge by delta, lock-free via a CAS loop on the value's
+// bit pattern.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+delta)) {
+			return
+		}
+	}
+}
+
 // Value returns the last stored value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-// Timer accumulates observed durations: a count and a total.
+// histBuckets is the fixed log2 bucket count of a Timer histogram. Bucket
+// i < histBuckets-1 covers durations in (2^(i-1)-1, 2^i-1] nanoseconds
+// (bucket 0 is exactly 0 ns); the last bucket is the +Inf overflow.
+// 2^(histBuckets-2)-1 ns ≈ 73 minutes, far beyond any planner latency.
+const histBuckets = 43
+
+// bucketIndex maps a non-negative duration in nanoseconds to its bucket.
+func bucketIndex(ns int64) int {
+	idx := bits.Len64(uint64(ns))
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpperNs returns bucket i's inclusive upper bound in nanoseconds;
+// the last bucket returns +Inf.
+func bucketUpperNs(i int) float64 {
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1)<<uint(i) - 1)
+}
+
+// Timer accumulates observed durations into a log-bucketed histogram:
+// count, total, min/max and per-bucket counts, all plain atomics so the
+// hot path never allocates or locks. Percentiles are estimated at
+// snapshot time from the bucket boundaries, clamped to the observed
+// [min, max] (exact for single-observation timers).
 type Timer struct {
 	count atomic.Int64
 	ns    atomic.Int64
+	// minp1/maxp1 store the extreme observation + 1 ns, so the zero value
+	// means "no observation yet" and Reset can zero every field uniformly.
+	minp1   atomic.Int64
+	maxp1   atomic.Int64
+	buckets [histBuckets]atomic.Int64
 }
 
-// Observe records one duration.
+// Observe records one duration (negative durations clamp to zero).
 func (t *Timer) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
 	t.count.Add(1)
-	t.ns.Add(int64(d))
+	t.ns.Add(ns)
+	for {
+		old := t.minp1.Load()
+		if old != 0 && old <= ns+1 {
+			break
+		}
+		if t.minp1.CompareAndSwap(old, ns+1) {
+			break
+		}
+	}
+	for {
+		old := t.maxp1.Load()
+		if old >= ns+1 {
+			break
+		}
+		if t.maxp1.CompareAndSwap(old, ns+1) {
+			break
+		}
+	}
+	t.buckets[bucketIndex(ns)].Add(1)
 }
 
 // Stats returns the observation count and total duration.
@@ -98,24 +168,98 @@ func (t *Timer) Stats() (count int64, total time.Duration) {
 	return t.count.Load(), time.Duration(t.ns.Load())
 }
 
-// TimerStats is a timer's exported snapshot.
-type TimerStats struct {
+// HistBucket is one cumulative histogram bucket: the count of
+// observations at or below UpperSeconds.
+type HistBucket struct {
+	// UpperSeconds is the bucket's inclusive upper bound; +Inf on the
+	// overflow bucket.
+	UpperSeconds float64 `json:"le"`
+	// Count is the cumulative observation count ≤ UpperSeconds.
+	Count int64 `json:"count"`
+}
+
+// HistStats is a timer's exported snapshot: totals, extremes, estimated
+// percentiles and the cumulative bucket counts backing them.
+type HistStats struct {
 	// Count is the number of observations.
 	Count int64 `json:"count"`
 	// TotalSeconds is the accumulated duration.
 	TotalSeconds float64 `json:"total_seconds"`
+	// MinSeconds and MaxSeconds are the observed extremes (0 when empty).
+	MinSeconds float64 `json:"min_seconds"`
+	MaxSeconds float64 `json:"max_seconds"`
+	// P50Seconds, P95Seconds and P99Seconds are percentile estimates from
+	// the log-bucketed histogram, clamped to [MinSeconds, MaxSeconds].
+	P50Seconds float64 `json:"p50_seconds"`
+	P95Seconds float64 `json:"p95_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	// Buckets is the cumulative histogram, trimmed to the occupied
+	// prefix; renderers append the +Inf bucket from Count.
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket counts.
+func (h HistStats) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	est := h.MaxSeconds
+	for _, b := range h.Buckets {
+		if b.Count >= rank {
+			est = b.UpperSeconds
+			break
+		}
+	}
+	return math.Min(math.Max(est, h.MinSeconds), h.MaxSeconds)
+}
+
+// HistStats snapshots the timer. The read is not atomic with respect to
+// concurrent Observe calls; each field is individually consistent and the
+// percentile estimates are clamped into the observed range.
+func (t *Timer) HistStats() HistStats {
+	h := HistStats{Count: t.count.Load()}
+	h.TotalSeconds = time.Duration(t.ns.Load()).Seconds()
+	if minp1 := t.minp1.Load(); minp1 > 0 {
+		h.MinSeconds = time.Duration(minp1 - 1).Seconds()
+	}
+	if maxp1 := t.maxp1.Load(); maxp1 > 0 {
+		h.MaxSeconds = time.Duration(maxp1 - 1).Seconds()
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := t.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		h.Buckets = append(h.Buckets, HistBucket{
+			UpperSeconds: bucketUpperNs(i) / 1e9,
+			Count:        cum,
+		})
+	}
+	h.P50Seconds = h.Quantile(0.50)
+	h.P95Seconds = h.Quantile(0.95)
+	h.P99Seconds = h.Quantile(0.99)
+	return h
 }
 
 // Snapshot is a point-in-time copy of a registry's metrics, the JSON dump
 // format of the -metrics-out CLI flags and Session.Metrics.
 type Snapshot struct {
+	// Meta identifies the producing process: build, runtime and start
+	// time metadata.
+	Meta BuildMeta `json:"meta"`
 	// Counters holds integer counters by name.
 	Counters map[string]int64 `json:"counters"`
 	// Gauges holds float-valued metrics by name: gauges and float
 	// accumulators (busy seconds and the like).
 	Gauges map[string]float64 `json:"gauges"`
-	// Timers holds timers by name.
-	Timers map[string]TimerStats `json:"timers"`
+	// Timers holds timer histograms by name.
+	Timers map[string]HistStats `json:"timers"`
 }
 
 // Registry is a named collection of metrics. Registration (New*) takes a
@@ -223,9 +367,10 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
+		Meta:     Build(),
 		Counters: make(map[string]int64, len(r.counters)),
 		Gauges:   make(map[string]float64, len(r.floats)+len(r.gauges)),
-		Timers:   make(map[string]TimerStats, len(r.timers)),
+		Timers:   make(map[string]HistStats, len(r.timers)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
@@ -237,8 +382,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, t := range r.timers {
-		count, total := t.Stats()
-		s.Timers[name] = TimerStats{Count: count, TotalSeconds: total.Seconds()}
+		s.Timers[name] = t.HistStats()
 	}
 	return s
 }
@@ -259,6 +403,11 @@ func (r *Registry) Reset() {
 	for _, t := range r.timers {
 		t.count.Store(0)
 		t.ns.Store(0)
+		t.minp1.Store(0)
+		t.maxp1.Store(0)
+		for i := range t.buckets {
+			t.buckets[i].Store(0)
+		}
 	}
 }
 
@@ -274,7 +423,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WriteText writes the snapshot in expvar-style text: one "name value"
-// line per metric, sorted by name; timers render as "name count total".
+// line per metric, sorted by name; timers render as "name count total
+// p50=… p95=… p99=…".
 func (r *Registry) WriteText(w io.Writer) error {
 	s := r.Snapshot()
 	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Timers))
@@ -285,7 +435,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 		lines = append(lines, fmt.Sprintf("%s %g", name, v))
 	}
 	for name, v := range s.Timers {
-		lines = append(lines, fmt.Sprintf("%s %d %gs", name, v.Count, v.TotalSeconds))
+		lines = append(lines, fmt.Sprintf("%s %d %gs p50=%gs p95=%gs p99=%gs",
+			name, v.Count, v.TotalSeconds, v.P50Seconds, v.P95Seconds, v.P99Seconds))
 	}
 	slices.Sort(lines)
 	for _, l := range lines {

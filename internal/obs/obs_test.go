@@ -46,6 +46,9 @@ func TestCounterGaugeTimerBasics(t *testing.T) {
 	if ts := s.Timers["t"]; ts.Count != 2 || ts.TotalSeconds != 2.5 {
 		t.Errorf("timer snapshot %+v", ts)
 	}
+	if ts := s.Timers["t"]; ts.MinSeconds != 0.5 || ts.MaxSeconds != 2 {
+		t.Errorf("timer extremes %+v; want min 0.5s max 2s", ts)
+	}
 
 	r.Reset()
 	s = r.Snapshot()
@@ -77,7 +80,7 @@ func TestRegistryWriters(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	want := []string{"alpha 3", "beta 1.25", "gamma 1 1s"}
+	want := []string{"alpha 3", "beta 1.25", "gamma 1 1s p50=1s p95=1s p99=1s"}
 	if len(lines) != len(want) {
 		t.Fatalf("text lines %q; want %q", lines, want)
 	}
@@ -133,9 +136,12 @@ func TestObsDisabledZeroAllocs(t *testing.T) {
 	var c Counter
 	var f FloatCounter
 	var tm Timer
+	var g Gauge
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Add(1)
 		f.Add(0.25)
+		g.Add(1)
+		g.Add(-1)
 		tm.Observe(time.Microsecond)
 		sp := StartSpan("bench", "noop")
 		sp.End()
@@ -151,11 +157,14 @@ func BenchmarkObsDisabled(b *testing.B) {
 	SetTracer(nil)
 	var c Counter
 	var f FloatCounter
+	var g Gauge
 	var tm Timer
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.Add(1)
 		f.Add(0.25)
+		g.Add(1)
+		g.Add(-1)
 		tm.Observe(time.Microsecond)
 		sp := StartSpan("bench", "noop")
 		sp.End()

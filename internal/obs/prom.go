@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file renders a Snapshot as Prometheus text exposition format
+// v0.0.4, the wire format of GET /metrics. Registry metric names use
+// dotted segments ("core.memo_hits"); the renderer sanitizes them to the
+// Prometheus grammar, renders timers as native histograms
+// (_bucket/_sum/_count) and emits the snapshot's build metadata as an
+// info-style labelled gauge — the one place label escaping matters.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registry metric name to the Prometheus metric
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscapeHelp escapes a HELP string: backslash and line feed.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promEscapeLabel escapes a label value: backslash, double-quote and
+// line feed.
+func promEscapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promFloat renders a sample value; +Inf renders per the exposition
+// format.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// helpTexts holds optional HELP strings by registry metric name.
+var (
+	helpMu    sync.Mutex
+	helpTexts = map[string]string{}
+)
+
+// SetHelp attaches a HELP string to a default-registry metric name,
+// rendered (escaped) above the metric in the Prometheus exposition.
+func SetHelp(name, help string) {
+	helpMu.Lock()
+	defer helpMu.Unlock()
+	helpTexts[name] = help
+}
+
+// helpFor returns the registered HELP string for name, "" when unset.
+func helpFor(help map[string]string, name string) string {
+	if help == nil {
+		return ""
+	}
+	return help[name]
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format v0.0.4. help maps registry metric names (pre-sanitization) to
+// HELP strings; nil is fine.
+func WritePrometheus(w io.Writer, s Snapshot, help map[string]string) error {
+	var b strings.Builder
+
+	writeHeader := func(name, typ string) {
+		if h := helpFor(help, name); h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", promName(name), promEscapeHelp(h))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", promName(name), typ)
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		writeHeader(name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", promName(name), s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		writeHeader(name, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", promName(name), promFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Timers) {
+		h := s.Timers[name]
+		base := promName(name)
+		writeHeader(name, "histogram")
+		for _, bkt := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", base, promFloat(bkt.UpperSeconds), bkt.Count)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", base, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", base, promFloat(h.TotalSeconds))
+		fmt.Fprintf(&b, "%s_count %d\n", base, h.Count)
+	}
+
+	// Build/runtime metadata: an info-style gauge carrying the string
+	// facts as labels, plus the numeric process facts as plain gauges.
+	fmt.Fprintf(&b, "# TYPE accpar_build_info gauge\n")
+	fmt.Fprintf(&b, "accpar_build_info{version=\"%s\",go_version=\"%s\"} 1\n",
+		promEscapeLabel(s.Meta.Version), promEscapeLabel(s.Meta.GoVersion))
+	fmt.Fprintf(&b, "# TYPE go_gomaxprocs gauge\n")
+	fmt.Fprintf(&b, "go_gomaxprocs %d\n", s.Meta.GoMaxProcs)
+	fmt.Fprintf(&b, "# TYPE process_pid gauge\n")
+	fmt.Fprintf(&b, "process_pid %d\n", s.Meta.PID)
+	fmt.Fprintf(&b, "# TYPE process_start_time_seconds gauge\n")
+	fmt.Fprintf(&b, "process_start_time_seconds %s\n", promFloat(StartTimeUnix()))
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePrometheus renders the registry's snapshot with the registered
+// HELP strings (SetHelp applies to the default registry only).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var help map[string]string
+	if r == defaultRegistry {
+		helpMu.Lock()
+		help = make(map[string]string, len(helpTexts))
+		for k, v := range helpTexts {
+			help[k] = v
+		}
+		helpMu.Unlock()
+	}
+	return WritePrometheus(w, r.Snapshot(), help)
+}
+
+// sortedKeys returns m's keys sorted.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

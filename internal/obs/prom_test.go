@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the exposition output for a registry
+// covering all metric kinds, including name sanitization and help/label
+// escaping of backslash, line feed and double quote.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("core.memo_hits").Add(7)
+	r.NewGauge("serve.plan.inflight").Set(2)
+	r.NewTimer("serve.plan.seconds").Observe(time.Millisecond)
+
+	s := r.Snapshot()
+	// Pin the metadata so the golden text is deterministic; escaping of
+	// `\`, `"` and newline in label values is exercised by Version.
+	s.Meta = BuildMeta{
+		Version:    "v1.2.3+dirty\\\"quoted\"\nline2",
+		GoVersion:  "go1.24.0",
+		GoMaxProcs: 8,
+		PID:        1234,
+	}
+	help := map[string]string{
+		"core.memo_hits":     "Planner memo hits.\nSecond \\ line.",
+		"serve.plan.seconds": `Latency of /v1/plan.`,
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, s, help); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	// process_start_time_seconds varies per run; strip its value line.
+	lines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, "process_start_time_seconds ") {
+			lines[i] = "process_start_time_seconds <start>"
+		}
+	}
+	got = strings.Join(lines, "\n") + "\n"
+
+	want := `# HELP core_memo_hits Planner memo hits.\nSecond \\ line.
+# TYPE core_memo_hits counter
+core_memo_hits 7
+# TYPE serve_plan_inflight gauge
+serve_plan_inflight 2
+# HELP serve_plan_seconds Latency of /v1/plan.
+# TYPE serve_plan_seconds histogram
+serve_plan_seconds_bucket{le="0.001048575"} 1
+serve_plan_seconds_bucket{le="+Inf"} 1
+serve_plan_seconds_sum 0.001
+serve_plan_seconds_count 1
+# TYPE accpar_build_info gauge
+accpar_build_info{version="v1.2.3+dirty\\\"quoted\"\nline2",go_version="go1.24.0"} 1
+# TYPE go_gomaxprocs gauge
+go_gomaxprocs 8
+# TYPE process_pid gauge
+process_pid 1234
+# TYPE process_start_time_seconds gauge
+process_start_time_seconds <start>
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPromNameSanitization: dotted registry names map to the Prometheus
+// grammar, and hostile characters never leak into metric names.
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"core.memo_hits":   "core_memo_hits",
+		"sim.busy.m0":      "sim_busy_m0",
+		"0starts.with.num": "_starts_with_num",
+		"has space/slash":  "has_space_slash",
+		"ok:colon_name":    "ok:colon_name",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q; want %q", in, got, want)
+		}
+	}
+}
+
+// TestRegistryWritePrometheusParses: the default-registry renderer output
+// has the invariant histogram structure for every timer.
+func TestRegistryWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	tm := r.NewTimer("x.latency.seconds")
+	for i := 0; i < 10; i++ {
+		tm.Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE x_latency_seconds histogram",
+		`x_latency_seconds_bucket{le="+Inf"} 10`,
+		"x_latency_seconds_count 10",
+		"x_latency_seconds_sum 0.055",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSetHelpRendered: help registered against the default registry shows
+// up in its exposition.
+func TestSetHelpRendered(t *testing.T) {
+	name := "obs.test.help_counter"
+	Default().NewCounter(name)
+	SetHelp(name, "a help line")
+	var buf bytes.Buffer
+	if err := Default().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# HELP obs_test_help_counter a help line") {
+		t.Error("registered help text missing from default-registry exposition")
+	}
+}

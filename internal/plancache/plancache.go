@@ -199,6 +199,8 @@ func (c *Cache[V]) Put(key string, val V) {
 	if evicted > 0 {
 		c.evictions.Add(evicted)
 		obsEvictions.Add(evicted)
+		obs.Log().Info("plancache.evict",
+			"evicted", evicted, "total_evictions", c.evictions.Load())
 	}
 }
 

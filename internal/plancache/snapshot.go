@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"accpar/internal/obs"
 )
 
 // Disk snapshots make the cache survive the process: a sweep, autotune or
@@ -91,5 +93,6 @@ func (c *Cache[V]) Load(r io.Reader, schema string, decode func([]byte) (V, erro
 		c.Put(string(e.K), v)
 		n++
 	}
+	obs.Log().Info("plancache.warm_start", "entries", n, "schema", schema)
 	return n, nil
 }

@@ -30,6 +30,7 @@ import (
 	"accpar/internal/cost"
 	"accpar/internal/dnn"
 	"accpar/internal/faults"
+	"accpar/internal/obs"
 	"accpar/internal/optimizer"
 	"accpar/internal/tensor"
 	"accpar/internal/trace"
@@ -827,6 +828,10 @@ func (b *builder) schedule(cfg Config, inj *faults.Injector) (*Result, error) {
 		}
 		res.Time += res.RestartOverhead
 		obsLossEvents.Add(int64(len(events)))
+		if len(events) > 0 {
+			obs.Log().Info("sim.loss_injected",
+				"events", len(events), "restart_overhead_seconds", res.RestartOverhead)
+		}
 	}
 
 	for m := 0; m < 2; m++ {
@@ -848,6 +853,11 @@ func (b *builder) schedule(cfg Config, inj *faults.Injector) (*Result, error) {
 
 	obsTasks.Add(int64(res.Tasks))
 	obsRetries.Add(int64(res.Retries[0] + res.Retries[1]))
+	if retries := res.Retries[0] + res.Retries[1]; retries > 0 {
+		obs.Log().Info("sim.faults_injected",
+			"retries", retries,
+			"lost_seconds", res.LostTime[0]+res.LostTime[1])
+	}
 	for m := 0; m < 2; m++ {
 		obsComputeBusy[m].Add(res.ComputeBusy[m])
 		obsNetBusy[m].Add(res.NetBusy[m])

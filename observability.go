@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 
+	"accpar/internal/diag"
 	"accpar/internal/obs"
 )
 
@@ -34,6 +35,37 @@ func WriteMetricsJSON(w io.Writer) error { return obs.Default().WriteJSON(w) }
 // WriteMetricsText writes the metrics snapshot as expvar-style "name
 // value" lines, sorted by name.
 func WriteMetricsText(w io.Writer) error { return obs.Default().WriteText(w) }
+
+// WriteMetricsPrometheus writes the metrics snapshot in Prometheus text
+// exposition format v0.0.4 — the rendering behind GET /metrics on the
+// diagnostics server.
+func WriteMetricsPrometheus(w io.Writer) error { return obs.Default().WritePrometheus(w) }
+
+// EventLog is one structured decision event: replans, plan-cache
+// evictions and warm starts, fault injections.
+type EventLog = obs.LogEvent
+
+// Events returns the retained decision events, oldest first. The ring is
+// bounded; the diagnostics server serves the same records at
+// GET /debug/events.
+func Events() []EventLog { return obs.DefaultEvents().Events() }
+
+// DiagServer is a live diagnostics HTTP server: Prometheus /metrics,
+// /metrics.json, health and readiness probes, the decision-event ring,
+// live Perfetto trace capture and net/http/pprof.
+type DiagServer = diag.Server
+
+// DiagCheck is one named health or readiness probe for the diagnostics
+// server.
+type DiagCheck = diag.Check
+
+// StartDiagServer serves the process-wide diagnostics on addr (":0"
+// picks a free port; see DiagServer.Addr). The server observes the same
+// registry and event ring every Session reports into, so one server
+// covers all sessions in the process.
+func StartDiagServer(addr string) (*DiagServer, error) {
+	return diag.Start(addr, diag.Options{})
+}
 
 // SaveMetricsFile writes the metrics snapshot to path: expvar-style text
 // when the path ends in ".txt", indented JSON otherwise. This is the

@@ -2,11 +2,15 @@ package accpar
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestSessionMetricsAndTrace: session work shows up in the metrics
@@ -95,6 +99,102 @@ func TestSaveMetricsFileFormats(t *testing.T) {
 			t.Errorf("malformed text metrics line %q", line)
 		}
 	}
+}
+
+// TestWriteMetricsPrometheus: the facade's Prometheus rendering carries
+// the process-wide counters and build metadata.
+func TestWriteMetricsPrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetricsPrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{"accpar_build_info{", "go_gomaxprocs", "process_start_time_seconds"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+}
+
+// TestServeDiagnostics: the session diagnostics server comes up on a
+// free port, reports not-ready on an empty plan cache, flips ready once
+// the session has planned, and serves the decision events the work
+// emitted.
+func TestServeDiagnostics(t *testing.T) {
+	sess := NewSession(0)
+	srv, err := sess.ServeDiagnostics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	fetch := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := fetch("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "plan-cache") {
+		t.Errorf("empty-cache readyz = %d %q; want 503 naming plan-cache", code, body)
+	}
+	if code, _ := fetch("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz = %d; want 200", code)
+	}
+
+	net, err := BuildModel("lenet", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Partition(net, paperArray(t, 2), StrategyAccPar); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := fetch("/readyz"); code != http.StatusOK {
+		t.Errorf("post-plan readyz = %d %q; want 200", code, body)
+	}
+	if code, body := fetch("/metrics"); code != http.StatusOK || !strings.Contains(body, "core_subproblems_expanded") {
+		t.Errorf("metrics = %d; want 200 with planner counters", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestEventsRecorded: replanning emits a core.replan decision event
+// retrievable through the facade.
+func TestEventsRecorded(t *testing.T) {
+	net, err := BuildModel("lenet", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := []ArrayGroup{{Spec: TPUv2(), Count: 2}, {Spec: TPUv3(), Count: 2}}
+	fl, err := ParseFaults("slowdown:0=2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSession(0).Replan(net, groups, StrategyAccPar, &FaultScenario{Seed: 1, Faults: fl}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range Events() {
+		if ev.Msg == "core.replan" {
+			if _, ok := ev.Attrs["adopted"]; !ok {
+				t.Errorf("core.replan event lacks adopted attr: %v", ev.Attrs)
+			}
+			return
+		}
+	}
+	t.Error("no core.replan event recorded")
 }
 
 // TestTraceRecorderStacksSimRuns: resilience through a recorder yields

@@ -6,6 +6,7 @@ import (
 
 	"accpar/internal/autotune"
 	"accpar/internal/core"
+	"accpar/internal/diag"
 	"accpar/internal/hardware"
 	"accpar/internal/parallel"
 	"accpar/internal/plancache"
@@ -67,6 +68,26 @@ func (s *Session) SaveCacheFile(path string) error { return s.cache.SaveFile(pat
 // LoadCacheFile replays the snapshot at path. A missing file is the
 // ordinary cold-start case, not an error, and restores zero entries.
 func (s *Session) LoadCacheFile(path string) (int, error) { return s.cache.LoadFile(path) }
+
+// ServeDiagnostics starts a diagnostics HTTP server on addr (":0" picks
+// a free port; see DiagServer.Addr) with a "plan-cache" readiness probe
+// bound to this session: readiness fails until the session cache holds at
+// least one solved subproblem (a warm start via LoadCache, or any
+// completed search). Metrics and events are process-wide, so the server
+// also reflects work done outside this session.
+func (s *Session) ServeDiagnostics(addr string) (*DiagServer, error) {
+	return diag.Start(addr, diag.Options{
+		Ready: []diag.Check{{
+			Name: "plan-cache",
+			Probe: func() error {
+				if s.cache.Stats().Entries == 0 {
+					return fmt.Errorf("empty (no warm start and no completed search yet)")
+				}
+				return nil
+			},
+		}},
+	})
+}
 
 // Partition is the package-level Partition through the session cache.
 func (s *Session) Partition(net *Network, arr *Array, strategy Strategy) (*Plan, error) {
