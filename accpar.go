@@ -25,6 +25,7 @@
 package accpar
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -109,6 +110,16 @@ const (
 	// ModeInference costs the forward phase only (Section 1: inference
 	// performs only data forward).
 	ModeInference = core.ModeInference
+)
+
+// Cancellation sentinels of the context-bound entry points (PartitionCtx
+// and friends), re-exported from the planning core. Both wrap the
+// corresponding context sentinel, so errors.Is matches either.
+var (
+	// ErrCanceled reports a search aborted by context cancellation.
+	ErrCanceled = core.ErrCanceled
+	// ErrDeadlineExceeded reports a search aborted by a context deadline.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
 )
 
 // ParseOptimizer converts "sgd", "momentum" or "adam" to an Optimizer.
@@ -287,33 +298,47 @@ func (s Strategy) Options() Options {
 // loses to any baseline (the hierarchical search is greedy per level, so a
 // single pass lacks that guarantee).
 func Partition(net *Network, arr *Array, strategy Strategy) (*Plan, error) {
-	return partitionCached(net, arr, strategy, nil)
+	return partitionCachedCtx(context.Background(), net, arr, strategy, nil)
 }
 
-// partitionCached is Partition through an optional shared plan cache; it
-// backs both the package-level entry point (nil cache) and Session.
-func partitionCached(net *Network, arr *Array, strategy Strategy, cache *PlanCache) (*Plan, error) {
+// PartitionCtx is Partition bound to a context: the search polls ctx and
+// aborts with ErrCanceled or ErrDeadlineExceeded instead of running to
+// completion. For a live context the plan is byte-identical to
+// Partition's.
+func PartitionCtx(ctx context.Context, net *Network, arr *Array, strategy Strategy) (*Plan, error) {
+	return partitionCachedCtx(ctx, net, arr, strategy, nil)
+}
+
+// partitionCachedCtx is Partition through an optional shared plan cache
+// and a context; it backs the package-level entry points and Session.
+func partitionCachedCtx(ctx context.Context, net *Network, arr *Array, strategy Strategy, cache *PlanCache) (*Plan, error) {
 	if strategy == StrategyAccPar {
 		tree, err := hardware.BuildTree(arr, 64)
 		if err != nil {
 			return nil, err
 		}
-		return core.PartitionAccParCached(net, tree, cache)
+		return core.PartitionAccParCachedCtx(ctx, net, tree, cache)
 	}
 	opt := strategy.Options()
 	opt.Cache = cache
-	return PartitionWithOptions(net, arr, opt, 64)
+	return PartitionWithOptionsCtx(ctx, net, arr, opt, 64)
 }
 
 // PartitionWithOptions is the advanced entry point: explicit partitioner
 // options and a hierarchy-level budget (unsplit leaf groups fall back to
 // internal data parallelism).
 func PartitionWithOptions(net *Network, arr *Array, opt Options, maxLevels int) (*Plan, error) {
+	return PartitionWithOptionsCtx(context.Background(), net, arr, opt, maxLevels)
+}
+
+// PartitionWithOptionsCtx is PartitionWithOptions bound to a context;
+// see PartitionCtx for the abort semantics.
+func PartitionWithOptionsCtx(ctx context.Context, net *Network, arr *Array, opt Options, maxLevels int) (*Plan, error) {
 	tree, err := hardware.BuildTree(arr, maxLevels)
 	if err != nil {
 		return nil, err
 	}
-	return core.Partition(net, tree, opt)
+	return core.PartitionCtx(ctx, net, tree, opt)
 }
 
 // Comparison is the outcome of comparing all strategies on one workload.

@@ -1,0 +1,79 @@
+// Command accpar-loadgen drives a running accpar-serve with a mixed
+// plan/compare/resilience workload and measures what comes back: latency
+// percentiles per endpoint, throughput, and how the service degrades —
+// 429 shed rate, retry volume, 5xx count (which should stay zero no
+// matter the offered load).
+//
+// Two load models:
+//
+//	closed  N workers in a request/response loop — offered load adapts
+//	        to service capacity (default)
+//	open    requests fired at a fixed rate regardless of completions —
+//	        the overload-proving mode: an open loop does not slow down
+//	        just because the server did
+//
+// Rejected requests (429) are retried with jittered exponential backoff
+// honouring the server's Retry-After hint, like a well-behaved client.
+// The run ends with a human summary on stdout and, with -json-out, a
+// BENCH_SERVE.json report (per-endpoint p50/p95/p99, throughput, shed
+// rate, status breakdown).
+//
+// Usage:
+//
+//	accpar-serve -addr :8080 &
+//	accpar-loadgen -url http://localhost:8080 -mode open -rate 200 \
+//	    -duration 30s -json-out BENCH_SERVE.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"accpar/internal/obs"
+)
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.URL, "url", "http://localhost:8080", "base URL of the accpar-serve instance")
+	flag.StringVar(&cfg.Mode, "mode", "closed", "load model: closed (worker loop) or open (fixed arrival rate)")
+	flag.IntVar(&cfg.Concurrency, "concurrency", 8, "closed-loop worker count")
+	flag.Float64Var(&cfg.Rate, "rate", 50, "open-loop arrival rate, requests/second")
+	flag.DurationVar(&cfg.Duration, "duration", 10_000_000_000, "run length")
+	flag.StringVar(&cfg.Mix, "mix", "plan=8,compare=1,resilience=1", "endpoint mix as name=weight, comma-separated")
+	flag.StringVar(&cfg.Model, "model", "lenet", "workload model name")
+	flag.IntVar(&cfg.Batch, "batch", 64, "workload batch size")
+	flag.IntVar(&cfg.V2, "v2", 8, "TPU-v2 count in the workload fleet")
+	flag.IntVar(&cfg.V3, "v3", 8, "TPU-v3 count in the workload fleet")
+	flag.IntVar(&cfg.Levels, "levels", 16, "hierarchy level budget per request")
+	flag.IntVar(&cfg.TimeoutMs, "timeout-ms", 0, "per-request server-side deadline sent as timeout_ms (0: none)")
+	flag.DurationVar(&cfg.ClientTimeout, "client-timeout", 60_000_000_000, "HTTP client timeout per attempt")
+	flag.IntVar(&cfg.MaxRetries, "max-retries", 3, "retry budget per request for 429s and transport errors")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "PRNG seed for the mix and the backoff jitter")
+	flag.StringVar(&cfg.JSONOut, "json-out", "", "write the JSON report here (e.g. BENCH_SERVE.json)")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("accpar-loadgen"))
+		return
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "accpar-loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.summary())
+	if cfg.JSONOut != "" {
+		if err := rep.writeFile(cfg.JSONOut); err != nil {
+			fmt.Fprintln(os.Stderr, "accpar-loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", cfg.JSONOut)
+	}
+	// A load test that produced 5xx responses is a failed robustness
+	// check, not a measurement: exit nonzero so CI trips on it.
+	if rep.Totals.Server5xx > 0 {
+		fmt.Fprintf(os.Stderr, "accpar-loadgen: %d server errors (5xx) observed\n", rep.Totals.Server5xx)
+		os.Exit(2)
+	}
+}

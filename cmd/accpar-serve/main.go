@@ -19,6 +19,16 @@
 // warm-starts it and persists it back on graceful shutdown. SIGTERM or
 // SIGINT flips /readyz to 503, drains in-flight requests and exits.
 //
+// The service is built to survive overload rather than melt: admission
+// control bounds concurrent planning work (-max-concurrent, in weight
+// units) with a bounded FIFO wait queue (-max-queue) behind it, and
+// everything beyond both is shed immediately with 429 + Retry-After.
+// Deadlines bound each request's planning work (-default-deadline, or
+// per-request "timeout_ms"); expiry aborts the search mid-recursion and
+// answers 504, and a client disconnect aborts it the same way. Request
+// bodies are capped (-max-body, 413 beyond), handler panics become 500s,
+// and the listener carries full read/write/idle timeouts.
+//
 // Usage:
 //
 //	accpar-serve -addr :8080 -cache-file plans.cache
@@ -46,19 +56,35 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
 		cacheFile = flag.String("cache-file", "", "warm-start the plan cache from this snapshot and save it back on graceful shutdown")
 		version   = flag.Bool("version", false, "print version and exit")
+
+		maxConcurrent   = flag.Int64("max-concurrent", 0, "admission capacity in weight units (plan=1, compare/resilience=2); 0 selects 2×GOMAXPROCS")
+		maxQueue        = flag.Int("max-queue", 64, "admission wait-queue bound; requests beyond it are shed with 429 (negative: unbounded)")
+		retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
+		defaultDeadline = flag.Duration("default-deadline", 0, "per-request planning deadline when the request carries no timeout_ms (0: none); expiry answers 504")
+		maxBody         = flag.Int64("max-body", 1<<20, "request-body byte bound; larger bodies answer 413")
+		readTimeout     = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (full request read)")
+		writeTimeout    = flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (queue wait + planning + response write)")
+		idleTimeout     = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout (keep-alive connections)")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(obs.VersionString("accpar-serve"))
 		return
 	}
-	if err := run(*addr, *cacheFile); err != nil {
+	cfg := serveConfig{
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueue:        *maxQueue,
+		RetryAfter:      *retryAfter,
+		DefaultDeadline: *defaultDeadline,
+		MaxBodyBytes:    *maxBody,
+	}
+	if err := run(*addr, *cacheFile, cfg, *readTimeout, *writeTimeout, *idleTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "accpar-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cacheFile string) error {
+func run(addr, cacheFile string, cfg serveConfig, readTimeout, writeTimeout, idleTimeout time.Duration) error {
 	sess := accpar.NewSession(0)
 	if cacheFile != "" {
 		n, err := sess.LoadCacheFile(cacheFile)
@@ -69,7 +95,7 @@ func run(addr, cacheFile string) error {
 			fmt.Printf("plan cache: warm-started %d subproblems from %s\n", n, cacheFile)
 		}
 	}
-	srv := newServer(sess)
+	srv := newServer(sess, cfg)
 
 	mux := http.NewServeMux()
 	srv.routes(mux)
@@ -79,7 +105,16 @@ func run(addr, cacheFile string) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	// WriteTimeout covers queue wait + planning + the response write, so
+	// it is the hard backstop behind -default-deadline: even a request
+	// that opted out of deadlines cannot hold a connection forever.
+	hs := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
+	}
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 	fmt.Printf("accpar-serve listening on %s\n", ln.Addr())

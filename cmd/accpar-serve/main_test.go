@@ -16,7 +16,7 @@ import (
 // fresh session, as run() does.
 func newTestMux(t *testing.T) (*server, *http.ServeMux) {
 	t.Helper()
-	srv := newServer(accpar.NewSession(0))
+	srv := newServer(accpar.NewSession(0), serveConfig{})
 	mux := http.NewServeMux()
 	srv.routes(mux)
 	diag.NewHandler(diag.Options{Ready: srv.readyChecks()}).Routes(mux)

@@ -1,14 +1,59 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync/atomic"
 	"time"
 
 	"accpar"
+	"accpar/internal/admission"
 	"accpar/internal/obs"
+)
+
+// serveConfig bundles the robustness knobs: the admission limits in
+// front of the planning endpoints, the per-request deadline policy and
+// the request-body bound. The zero value selects the defaults.
+type serveConfig struct {
+	// MaxConcurrent caps concurrently running planning work, in weight
+	// units (plan costs 1, compare and resilience cost 2 — they fan out
+	// several searches each). ≤ 0 selects 2×GOMAXPROCS.
+	MaxConcurrent int64
+	// MaxQueue bounds the admission wait queue; beyond it requests are
+	// shed with 429. Negative means unbounded (never shed).
+	MaxQueue int
+	// RetryAfter is the backoff hint sent with 429 responses.
+	RetryAfter time.Duration
+	// DefaultDeadline bounds each request's planning work when the
+	// request carries no timeout_ms of its own; 0 means no deadline.
+	DefaultDeadline time.Duration
+	// MaxBodyBytes bounds request bodies (413 beyond it); ≤ 0 selects
+	// 1 MiB — generous for a workload spec that fits in a tweet.
+	MaxBodyBytes int64
+}
+
+// withDefaults fills unset knobs.
+func (c serveConfig) withDefaults() serveConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = int64(2 * runtime.GOMAXPROCS(0))
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Admission weights: compare fans out all four strategies and
+// resilience runs two searches plus three simulations, so they hold
+// twice the weight of a single plan.
+const (
+	weightPlan       = 1
+	weightCompare    = 2
+	weightResilience = 2
 )
 
 // server holds the shared planning session behind the /v1 endpoints. One
@@ -16,19 +61,34 @@ import (
 // repeated and related requests reuse each other's solved subproblems.
 type server struct {
 	sess *accpar.Session
+	cfg  serveConfig
+	adm  *admission.Controller
 	// draining flips when shutdown begins; /readyz turns 503 so load
 	// balancers stop routing here while in-flight requests finish.
 	draining atomic.Bool
 }
 
-func newServer(sess *accpar.Session) *server { return &server{sess: sess} }
+func newServer(sess *accpar.Session, cfg serveConfig) *server {
+	cfg = cfg.withDefaults()
+	return &server{
+		sess: sess,
+		cfg:  cfg,
+		adm:  admission.NewController(cfg.MaxConcurrent, cfg.MaxQueue, cfg.RetryAfter),
+	}
+}
 
-// routes registers the /v1 planning endpoints, each wrapped with its own
-// latency histogram, in-flight gauge and request/error counters.
+// routes registers the /v1 planning endpoints. Each handler is wrapped
+// inside-out as guard → instrument → recover: the admission guard sheds
+// or queues, instrument times the admitted work and counts 429s as
+// errors, and the panic recovery is outermost so a panic anywhere in the
+// stack still becomes a 500 instead of a torn connection.
 func (s *server) routes(mux *http.ServeMux) {
-	mux.HandleFunc("POST /v1/plan", instrument(planMetrics, s.plan))
-	mux.HandleFunc("POST /v1/compare", instrument(compareMetrics, s.compare))
-	mux.HandleFunc("POST /v1/resilience", instrument(resilienceMetrics, s.resilience))
+	wrap := func(weight int64, m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+		return admission.Recover(instrument(m, s.adm.Guard(weight, m.shed, h)))
+	}
+	mux.HandleFunc("POST /v1/plan", wrap(weightPlan, planMetrics, s.plan))
+	mux.HandleFunc("POST /v1/compare", wrap(weightCompare, compareMetrics, s.compare))
+	mux.HandleFunc("POST /v1/resilience", wrap(weightResilience, resilienceMetrics, s.resilience))
 }
 
 // readyChecks are the readiness probes: serving (not draining) and the
@@ -71,16 +131,21 @@ type endpointMetrics struct {
 	inflight *obs.Gauge
 	requests *obs.Counter
 	errors   *obs.Counter
+	// shed counts this endpoint's 429s, on top of the aggregate
+	// admission.shed counter.
+	shed *obs.Counter
 }
 
 func newEndpointMetrics(name string) *endpointMetrics {
 	obs.SetHelp("serve_"+name+"_seconds", "Latency of POST /v1/"+name+" requests.")
 	obs.SetHelp("serve_"+name+"_inflight", "In-flight POST /v1/"+name+" requests.")
+	obs.SetHelp("serve_"+name+"_shed", "POST /v1/"+name+" requests shed with 429 under overload.")
 	return &endpointMetrics{
 		timer:    obs.NewTimer("serve." + name + ".seconds"),
 		inflight: obs.NewGauge("serve." + name + ".inflight"),
 		requests: obs.NewCounter("serve." + name + ".requests"),
 		errors:   obs.NewCounter("serve." + name + ".errors"),
+		shed:     obs.NewCounter("serve." + name + ".shed"),
 	}
 }
 
@@ -128,6 +193,10 @@ type planRequest struct {
 	Optimizer string `json:"optimizer"`
 	// Inference costs the forward phase only.
 	Inference bool `json:"inference"`
+	// TimeoutMs bounds this request's planning work in milliseconds,
+	// overriding the server's -default-deadline. An expired deadline
+	// aborts the search mid-recursion and answers 504.
+	TimeoutMs int `json:"timeout_ms"`
 }
 
 // defaults fills zero-valued fields with the accpar CLI's flag defaults,
@@ -153,17 +222,65 @@ func (q *planRequest) defaults() {
 	}
 }
 
-// decode parses the request body into req, applying defaults. An empty
-// body is valid and selects all defaults.
-func decode(w http.ResponseWriter, r *http.Request, req *planRequest) bool {
+// decodeBody parses the request body into v with the server's body
+// bound applied: oversize bodies answer 413, malformed ones 400. An
+// empty body is valid and leaves v zero-valued (all defaults).
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(req); err != nil && err.Error() != "EOF" {
+	if err := dec.Decode(v); err != nil && err.Error() != "EOF" {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit), http.StatusRequestEntityTooLarge)
+			return false
+		}
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// decode parses the request body into req, applying defaults.
+func (s *server) decode(w http.ResponseWriter, r *http.Request, req *planRequest) bool {
+	if !s.decodeBody(w, r, req) {
 		return false
 	}
 	req.defaults()
 	return true
+}
+
+// requestCtx derives the handler's planning context: the request's own
+// context (canceled when the client disconnects) bounded by the
+// request's timeout_ms or, failing that, the server's default deadline.
+func (s *server) requestCtx(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultDeadline
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// statusClientClosedRequest is the de-facto (nginx) status for "client
+// went away before the response": the connection is gone, so the code
+// only reaches logs and metrics — what matters is that it is not a 5xx.
+const statusClientClosedRequest = 499
+
+// planStatus maps a planning error to its response status: deadline
+// expiry is 504 (the server gave up on time, as promised), client
+// disconnect is 499, anything else is an unprocessable workload.
+func planStatus(err error) int {
+	switch {
+	case errors.Is(err, accpar.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, accpar.ErrCanceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusUnprocessableEntity
+	}
 }
 
 // workload builds the network and array a request describes.
@@ -206,7 +323,7 @@ func buildArray(v2, v3 int) (*accpar.Array, error) {
 // decisions).
 func (s *server) plan(w http.ResponseWriter, r *http.Request) {
 	var req planRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	net, arr, err := workload(&req)
@@ -228,13 +345,16 @@ func (s *server) plan(w http.ResponseWriter, r *http.Request) {
 	if req.Inference {
 		opt.Mode = accpar.ModeInference
 	}
-	plan, err := s.sess.PartitionWithOptions(net, arr, opt, req.Levels)
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
+	plan, err := s.sess.PartitionWithOptionsCtx(ctx, net, arr, opt, req.Levels)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		http.Error(w, err.Error(), planStatus(err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := plan.WriteJSON(w); err != nil {
+		obsEncodeErrors.Inc()
 		obs.Log().Warn("serve.plan_write_failed", "err", err.Error())
 	}
 }
@@ -252,7 +372,7 @@ type compareRow struct {
 // with times, throughputs and speedups over the DP baseline.
 func (s *server) compare(w http.ResponseWriter, r *http.Request) {
 	var req planRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	net, arr, err := workload(&req)
@@ -260,9 +380,11 @@ func (s *server) compare(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	c, err := s.sess.Compare(net, arr)
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
+	c, err := s.sess.CompareCtx(ctx, net, arr)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		http.Error(w, err.Error(), planStatus(err))
 		return
 	}
 	rows := make([]compareRow, 0, len(accpar.Strategies))
@@ -301,10 +423,7 @@ type resilienceRequest struct {
 // fault-free / stale / replanned experiment on a two-group array.
 func (s *server) resilience(w http.ResponseWriter, r *http.Request) {
 	var req resilienceRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil && err.Error() != "EOF" {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	req.defaults()
@@ -339,9 +458,11 @@ func (s *server) resilience(w http.ResponseWriter, r *http.Request) {
 		{Spec: accpar.TPUv2(), Count: req.V2},
 		{Spec: accpar.TPUv3(), Count: req.V3},
 	}
-	rep, err := s.sess.Resilience(net, groups, st, sc, accpar.SimConfig{OverlapComm: req.Overlap})
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
+	rep, err := s.sess.ResilienceCtx(ctx, net, groups, st, sc, accpar.SimConfig{OverlapComm: req.Overlap})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		http.Error(w, err.Error(), planStatus(err))
 		return
 	}
 	writeJSON(w, struct {
@@ -369,12 +490,22 @@ func (s *server) resilience(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// writeJSON writes v as indented JSON.
+// obsEncodeErrors counts response bodies that failed to encode or
+// write — almost always a client that hung up mid-response, surfaced as
+// a counter so a spike is visible without grepping logs.
+var obsEncodeErrors = obs.NewCounter("serve.encode_errors")
+
+func init() {
+	obs.SetHelp("serve_encode_errors", "Response-body encode/write failures (client hangups mid-response).")
+}
+
+// writeJSON writes v as indented JSON, counting and logging failures.
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
+		obsEncodeErrors.Inc()
 		obs.Log().Warn("serve.response_write_failed", "err", err.Error())
 	}
 }

@@ -1,0 +1,138 @@
+package admission
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"accpar/internal/obs"
+)
+
+// Process-wide admission metrics. The per-endpoint split (which endpoint
+// shed, which endpoint's latency) lives with the endpoints themselves in
+// cmd/accpar-serve; these are the aggregate control-loop signals an
+// operator alerts on.
+var (
+	// obsAdmitted counts requests granted semaphore weight (fast path or
+	// after queueing).
+	obsAdmitted = obs.NewCounter("admission.admitted")
+	// obsShed counts requests rejected with 429 because the wait queue was
+	// full.
+	obsShed = obs.NewCounter("admission.shed")
+	// obsQueued counts requests that could not take the fast path and
+	// entered the FIFO wait queue.
+	obsQueued = obs.NewCounter("admission.queued")
+	// obsQueueAborts counts queued requests whose client went away (or
+	// whose deadline expired) before a slot freed up.
+	obsQueueAborts = obs.NewCounter("admission.queue_aborts")
+	// obsQueueDepth gauges the current wait-queue depth.
+	obsQueueDepth = obs.NewGauge("admission.queue_depth")
+	// obsWait times how long admitted requests waited for their slot
+	// (fast-path admissions observe ~0).
+	obsWait = obs.NewTimer("admission.wait_seconds")
+	// obsPanics counts handler panics converted to 500s by Recover.
+	obsPanics = obs.NewCounter("serve.panics")
+)
+
+func init() {
+	obs.SetHelp("admission_wait_seconds", "Time admitted requests spent queued for a concurrency slot.")
+	obs.SetHelp("admission_queue_depth", "Requests currently waiting in the admission queue.")
+	obs.SetHelp("serve_panics", "Handler panics converted to 500 responses.")
+}
+
+// Controller owns one weighted semaphore shared by every guarded
+// endpoint and the shedding policy around it.
+type Controller struct {
+	sem *Sem
+	// retryAfter is the hint sent with 429s, rounded up to whole seconds
+	// for the header.
+	retryAfter time.Duration
+}
+
+// NewController returns a controller admitting at most capacity weight
+// units concurrently with at most maxQueue waiters. retryAfter ≤ 0
+// defaults to 1s (the smallest honest Retry-After the header's
+// whole-second granularity can express).
+func NewController(capacity int64, maxQueue int, retryAfter time.Duration) *Controller {
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	return &Controller{sem: NewSem(capacity, maxQueue), retryAfter: retryAfter}
+}
+
+// Sem exposes the underlying semaphore (tests, readiness probes).
+func (c *Controller) Sem() *Sem { return c.sem }
+
+// RetryAfterSeconds returns the whole-second Retry-After hint.
+func (c *Controller) RetryAfterSeconds() int {
+	secs := int((c.retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// Guard wraps h with weighted admission: the request acquires weight
+// units before h runs and releases them after. When the semaphore and
+// its wait queue are both full the request is shed with 429 and a
+// Retry-After hint; when the client gives up while queued, the handler
+// never runs. shed, when non-nil, counts this endpoint's 429s on top of
+// the aggregate admission.shed counter.
+func (c *Controller) Guard(weight int64, shed *obs.Counter, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !c.sem.TryAcquire(weight) {
+			// Slow path: queue (FIFO) or shed.
+			obsQueued.Inc()
+			obsQueueDepth.Add(1)
+			start := time.Now()
+			err := c.sem.Acquire(r.Context(), weight)
+			obsQueueDepth.Add(-1)
+			if err != nil {
+				if err == ErrQueueFull {
+					obsShed.Inc()
+					if shed != nil {
+						shed.Inc()
+					}
+					w.Header().Set("Retry-After", strconv.Itoa(c.RetryAfterSeconds()))
+					http.Error(w, "overloaded: concurrency limit and wait queue full", http.StatusTooManyRequests)
+					return
+				}
+				// Client disconnected or request deadline expired while
+				// queued. The connection is (almost certainly) gone; any
+				// status is written into the void, but 503 is the honest
+				// one for the log line.
+				obsQueueAborts.Inc()
+				http.Error(w, "canceled while queued: "+err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			obsWait.Observe(time.Since(start))
+		} else {
+			obsWait.Observe(0)
+		}
+		obsAdmitted.Inc()
+		defer c.sem.Release(weight)
+		h(w, r)
+	}
+}
+
+// Recover converts a handler panic into a 500 response (when no bytes
+// were written yet; otherwise the connection is already torn and the
+// recovery only keeps the process alive), counts it in serve.panics and
+// logs the stack to the event ring.
+func Recover(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				obsPanics.Inc()
+				obs.Log().Error("serve.panic",
+					"path", r.URL.Path,
+					"panic", fmt.Sprint(v),
+					"stack", string(debug.Stack()))
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		h(w, r)
+	}
+}

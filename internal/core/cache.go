@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"hash/fnv"
@@ -215,9 +216,15 @@ func searchFingerprint(units []dnn.WeightedLayer, segs, planSegs []segRef, opt O
 // the production portfolio search with every variant seeding from and
 // feeding the same cache. A nil cache degrades to the uncached search.
 func PartitionAccParCached(net *dnn.Network, tree *hardware.Tree, cache *SharedCache) (*Plan, error) {
+	return PartitionAccParCachedCtx(context.Background(), net, tree, cache)
+}
+
+// PartitionAccParCachedCtx is PartitionAccParCached bound to a context;
+// see PartitionBestCtx for the abort semantics.
+func PartitionAccParCachedCtx(ctx context.Context, net *dnn.Network, tree *hardware.Tree, cache *SharedCache) (*Plan, error) {
 	variants := AccParVariants()
 	for i := range variants {
 		variants[i].Cache = cache
 	}
-	return PartitionBest(net, tree, variants...)
+	return PartitionBestCtx(ctx, net, tree, variants...)
 }

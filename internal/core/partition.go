@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -31,10 +32,15 @@ type planner struct {
 	// namespaces this planner's subproblem keys inside it.
 	shared   *SharedCache
 	searchFP string
+	// ctx aborts the search; done caches its Done channel so the
+	// per-subproblem cancellation probe (checkCtx) is one nil comparison
+	// when no context was supplied.
+	ctx  context.Context
+	done <-chan struct{}
 }
 
 // newPlanner validates the inputs and builds the shared search state.
-func newPlanner(net *dnn.Network, opt Options) (*planner, error) {
+func newPlanner(ctx context.Context, net *dnn.Network, opt Options) (*planner, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -60,6 +66,10 @@ func newPlanner(net *dnn.Network, opt Options) (*planner, error) {
 		memo:     newPlanMemo(),
 		sem:      parallel.NewSem(opt.Parallelism),
 		shared:   opt.Cache,
+		ctx:      ctx,
+	}
+	if ctx != nil {
+		p.done = ctx.Done()
 	}
 	if p.shared != nil {
 		p.searchFP = searchFingerprint(p.units, p.segs, p.planSegs, p.opt)
@@ -100,7 +110,17 @@ func (p *planner) plan(tree *hardware.Tree) (*Plan, error) {
 // bounds the worker pool the recursion fans out over; every subproblem is
 // pure, so the plan is byte-identical across all settings.
 func Partition(net *dnn.Network, tree *hardware.Tree, opt Options) (*Plan, error) {
-	p, err := newPlanner(net, opt)
+	return PartitionCtx(context.Background(), net, tree, opt)
+}
+
+// PartitionCtx is Partition bound to a context: the search polls ctx at
+// every subproblem visit and every type/ratio alternation, aborting with
+// ErrCanceled or ErrDeadlineExceeded. An aborted search never publishes
+// partial results — neither into its plan nor into the shared cache —
+// and for a live context the produced plan is byte-identical to
+// Partition's.
+func PartitionCtx(ctx context.Context, net *dnn.Network, tree *hardware.Tree, opt Options) (*Plan, error) {
+	p, err := newPlanner(ctx, net, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -118,6 +138,9 @@ func strategyName(opt Options) string {
 // consumers key maps by *PlanNode identity, so parents must never share
 // subtree pointers.
 func (p *planner) partitionNode(node *hardware.Tree, dims []tensor.LayerDims) (*PlanNode, error) {
+	if err := p.checkCtx(); err != nil {
+		return nil, err
+	}
 	key := subproblemKey(node, dims)
 	if cached, ok := p.memo.get(key); ok {
 		obsMemoHits.Inc()
@@ -130,17 +153,27 @@ func (p *planner) partitionNode(node *hardware.Tree, dims []tensor.LayerDims) (*
 		// result lands in the per-search memo too, keeping the rest of
 		// this search off the shared shards, and is cloned on every use
 		// because plan consumers key maps by *PlanNode identity.
-		n, hit, err := p.shared.c.Do(p.searchFP+key, func() (*PlanNode, error) {
-			return p.computeNode(node, dims)
-		})
-		if err != nil {
-			return nil, err
+		for {
+			n, hit, err := p.shared.c.Do(p.searchFP+key, func() (*PlanNode, error) {
+				return p.computeNode(node, dims)
+			})
+			if err != nil {
+				// A coalesced waiter shares its flight's outcome — including
+				// an abort caused by the *computing* search's context. An
+				// abort is never this subproblem's answer (aborts are not
+				// cached for the same reason), so a waiter whose own context
+				// is still live retries and computes the subproblem itself.
+				if isAbort(err) && p.ctxLive() {
+					continue
+				}
+				return nil, err
+			}
+			if hit {
+				obsSharedHits.Inc()
+			}
+			p.memo.put(key, n)
+			return clonePlanNode(n), nil
 		}
-		if hit {
-			obsSharedHits.Inc()
-		}
-		p.memo.put(key, n)
-		return clonePlanNode(n), nil
 	}
 	n, err := p.computeNode(node, dims)
 	if err != nil {
@@ -188,6 +221,9 @@ func (p *planner) computeNode(node *hardware.Tree, dims []tensor.LayerDims) (*Pl
 		search = ctx.runExhaustive
 	}
 	for iter := 0; iter < p.opt.MaxRatioIters; iter++ {
+		if err := p.checkCtx(); err != nil {
+			return nil, err
+		}
 		newTypes, _, dpErr := search()
 		if dpErr != nil {
 			return nil, dpErr

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"accpar/internal/cost"
@@ -55,6 +56,13 @@ func AccParVariants() []Options {
 // loop exactly. The pool stays serial when every option set asks for the
 // serial reference path (Parallelism 1).
 func PartitionBest(net *dnn.Network, tree *hardware.Tree, opts ...Options) (*Plan, error) {
+	return PartitionBestCtx(context.Background(), net, tree, opts...)
+}
+
+// PartitionBestCtx is PartitionBest bound to a context: each variant's
+// search polls ctx, and option sets not yet started when ctx is done are
+// never dispatched. Aborts report ErrCanceled or ErrDeadlineExceeded.
+func PartitionBestCtx(ctx context.Context, net *dnn.Network, tree *hardware.Tree, opts ...Options) (*Plan, error) {
 	if len(opts) == 0 {
 		return nil, fmt.Errorf("core: PartitionBest needs at least one option set")
 	}
@@ -66,8 +74,8 @@ func PartitionBest(net *dnn.Network, tree *hardware.Tree, opts ...Options) (*Pla
 		}
 	}
 	plans := make([]*Plan, len(opts))
-	err := parallel.ForEach(len(opts), workers, func(i int) error {
-		plan, err := Partition(net, tree, opts[i])
+	err := parallel.ForEachCtx(ctx, len(opts), workers, func(i int) error {
+		plan, err := PartitionCtx(ctx, net, tree, opts[i])
 		if err != nil {
 			return err
 		}
@@ -75,7 +83,7 @@ func PartitionBest(net *dnn.Network, tree *hardware.Tree, opts ...Options) (*Pla
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapCtxErr(err)
 	}
 	var best *Plan
 	for _, plan := range plans {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"accpar/internal/cost"
 	"accpar/internal/dnn"
 	"accpar/internal/hardware"
@@ -20,7 +22,7 @@ type RatioBenchCase struct {
 // for the network, with the type assignment the Eq. 9 dynamic programming
 // actually chooses there.
 func NewRatioBenchCase(net *dnn.Network, tree *hardware.Tree, opt Options) (*RatioBenchCase, error) {
-	p, err := newPlanner(net, opt)
+	p, err := newPlanner(context.Background(), net, opt)
 	if err != nil {
 		return nil, err
 	}

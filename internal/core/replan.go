@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"accpar/internal/cost"
@@ -21,7 +22,7 @@ import (
 // applies and the subtree is partitioned fresh — the honest model of a
 // runtime that must improvise placement for orphaned shards.
 func StalePlan(net *dnn.Network, plan *Plan, tree *hardware.Tree, opt Options) (*Plan, error) {
-	p, err := newPlanner(net, opt)
+	p, err := newPlanner(context.Background(), net, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -48,6 +49,9 @@ func (p *planner) stalePlan(plan *Plan, tree *hardware.Tree) (*Plan, error) {
 // staleNode applies one stale decision to one (possibly degraded)
 // hierarchy node.
 func (p *planner) staleNode(node *hardware.Tree, old *PlanNode, dims []tensor.LayerDims) (*PlanNode, error) {
+	if err := p.checkCtx(); err != nil {
+		return nil, err
+	}
 	if old == nil || node.IsLeaf() != old.IsLeaf() {
 		// Structure diverged: no stale decision for this subtree. The fresh
 		// partition goes through the memo, so a subtree already solved for
@@ -133,7 +137,14 @@ func (r *ReplanReport) Recovery() float64 {
 // the degraded one, and the stale and fresh passes run concurrently when
 // Options.Parallelism permits.
 func Replan(net *dnn.Network, pristine, degraded *hardware.Tree, opt Options) (*ReplanReport, error) {
-	p, err := newPlanner(net, opt)
+	return ReplanCtx(context.Background(), net, pristine, degraded, opt)
+}
+
+// ReplanCtx is Replan bound to a context: all three passes (pristine,
+// stale, fresh) poll ctx and the pipeline aborts with ErrCanceled or
+// ErrDeadlineExceeded without publishing a report.
+func ReplanCtx(ctx context.Context, net *dnn.Network, pristine, degraded *hardware.Tree, opt Options) (*ReplanReport, error) {
+	p, err := newPlanner(ctx, net, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -246,7 +246,16 @@ func Start(addr string, opts Options) (*Server, error) {
 	s := &Server{
 		handler: h,
 		ln:      ln,
-		srv:     &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second},
+		// WriteTimeout must outlast the longest streaming handler — a
+		// 30s pprof profile or a /debug/trace window — so it is a
+		// backstop against wedged clients, not a bound on those windows.
+		srv: &http.Server{
+			Handler:           h,
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       time.Minute,
+			WriteTimeout:      5 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		},
 		done:    make(chan struct{}),
 	}
 	go func() {

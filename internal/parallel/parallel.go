@@ -13,6 +13,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -28,10 +29,14 @@ func Workers(n int) int {
 
 // Group runs tasks with at most limit goroutines in flight, collecting
 // the first error. A limit of 1 degenerates to calling each function
-// inline, preserving submission order exactly.
+// inline, preserving submission order exactly. A Group built with
+// NewGroupCtx additionally stops admitting new tasks once its context is
+// done: Go records the context's error instead of running the function.
 type Group struct {
 	limit int
 	sem   chan struct{}
+	ctx   context.Context
+	done  <-chan struct{}
 	wg    sync.WaitGroup
 	mu    sync.Mutex
 	err   error
@@ -40,8 +45,18 @@ type Group struct {
 // NewGroup returns a Group running at most Workers(limit) tasks
 // concurrently.
 func NewGroup(limit int) *Group {
+	return NewGroupCtx(context.Background(), limit)
+}
+
+// NewGroupCtx returns a Group running at most Workers(limit) tasks
+// concurrently that refuses new work once ctx is done. Tasks already
+// running are not interrupted — cancellation-aware tasks observe ctx
+// themselves — but Go calls after cancellation record ctx.Err() and
+// return without running the function, so a canceled fan-out drains
+// quickly instead of submitting its whole backlog.
+func NewGroupCtx(ctx context.Context, limit int) *Group {
 	w := Workers(limit)
-	g := &Group{limit: w}
+	g := &Group{limit: w, ctx: ctx, done: ctx.Done()}
 	if w > 1 {
 		g.sem = make(chan struct{}, w)
 	}
@@ -50,13 +65,22 @@ func NewGroup(limit int) *Group {
 
 // Go schedules fn. With limit 1 it runs fn on the calling goroutine
 // before returning; otherwise it blocks until a worker slot frees up and
-// runs fn on its own goroutine.
+// runs fn on its own goroutine. When the group's context is done, fn is
+// not run and the context's error is recorded instead.
 func (g *Group) Go(fn func() error) {
+	if g.canceled() {
+		return
+	}
 	if g.sem == nil {
 		g.record(fn())
 		return
 	}
-	g.sem <- struct{}{}
+	select {
+	case g.sem <- struct{}{}:
+	case <-g.done:
+		g.record(g.ctx.Err())
+		return
+	}
 	g.wg.Add(1)
 	go func() {
 		defer func() {
@@ -65,6 +89,21 @@ func (g *Group) Go(fn func() error) {
 		}()
 		g.record(fn())
 	}()
+}
+
+// canceled records and reports the context error once the group's
+// context is done.
+func (g *Group) canceled() bool {
+	if g.done == nil {
+		return false
+	}
+	select {
+	case <-g.done:
+		g.record(g.ctx.Err())
+		return true
+	default:
+		return false
+	}
 }
 
 // Wait blocks until every scheduled task finished and returns the first
@@ -94,15 +133,30 @@ func (g *Group) record(err error) {
 // runs inline in index order and stops at the first error, exactly like
 // the serial code it replaces.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach bound to a context: once ctx is done, no further
+// index is started and ctx.Err() is recorded for every index not yet
+// begun, so the lowest-index error a canceled run reports is either a
+// task's own error or the context's. Indexes already running are not
+// interrupted — cancellation-aware tasks observe ctx themselves.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	done := ctx.Done()
 	w := Workers(workers)
 	if w > n {
 		w = n
 	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -117,12 +171,25 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				errs[i] = fn(i)
+				select {
+				case <-done:
+					errs[i] = ctx.Err()
+				default:
+					errs[i] = fn(i)
+				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			for j := i; j < n; j++ {
+				errs[j] = ctx.Err()
+			}
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()

@@ -1,6 +1,8 @@
 package accpar
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -63,9 +65,30 @@ func ReplanAnalytic(net *Network, groups []ArrayGroup, strategy Strategy, sc *Fa
 	return replanAnalytic(net, groups, strategy.Options(), sc)
 }
 
+// ctxSentinel maps a raw context error (surfaced by a fan-out primitive
+// rather than the planner itself) to the package's typed sentinel;
+// everything else passes through unchanged.
+func ctxSentinel(err error) error {
+	switch {
+	case err == nil, errors.Is(err, ErrCanceled), errors.Is(err, ErrDeadlineExceeded):
+		return err
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		return ErrCanceled
+	default:
+		return err
+	}
+}
+
 // replanAnalytic is the options-level replanning pipeline shared by
 // ReplanAnalytic and Session.Replan.
 func replanAnalytic(net *Network, groups []ArrayGroup, opt Options, sc *FaultScenario) (*ReplanReport, error) {
+	return replanAnalyticCtx(context.Background(), net, groups, opt, sc)
+}
+
+// replanAnalyticCtx is replanAnalytic bound to a context.
+func replanAnalyticCtx(ctx context.Context, net *Network, groups []ArrayGroup, opt Options, sc *FaultScenario) (*ReplanReport, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -89,7 +112,7 @@ func replanAnalytic(net *Network, groups []ArrayGroup, opt Options, sc *FaultSce
 	if err != nil {
 		return nil, err
 	}
-	return core.Replan(net, pristine, degraded, opt)
+	return core.ReplanCtx(ctx, net, pristine, degraded, opt)
 }
 
 // ResilienceReport is the simulated three-way comparison of a fault
@@ -163,12 +186,16 @@ func (r *ResilienceReport) String() string {
 // replanned result is adopted only if its simulated makespan beats the
 // stale run, so Replanned.Time ≤ Stale.Time always holds.
 func Resilience(net *Network, groups []ArrayGroup, strategy Strategy, sc FaultScenario, cfg SimConfig) (*ResilienceReport, error) {
-	return resilienceCached(net, groups, strategy, sc, cfg, nil)
+	return resilienceCachedCtx(context.Background(), net, groups, strategy, sc, cfg, nil)
 }
 
-// resilienceCached is Resilience through an optional shared plan cache;
-// it backs both the package-level entry point (nil cache) and Session.
-func resilienceCached(net *Network, groups []ArrayGroup, strategy Strategy, sc FaultScenario, cfg SimConfig, cache *PlanCache) (*ResilienceReport, error) {
+// resilienceCachedCtx is Resilience through an optional shared plan
+// cache and a context; it backs the package-level entry point (nil
+// cache, background context) and Session. The partition searches poll
+// ctx themselves; the simulation phases are not cancellation-aware, so
+// the pipeline re-checks ctx between phases — an abort is observed
+// within one phase.
+func resilienceCachedCtx(ctx context.Context, net *Network, groups []ArrayGroup, strategy Strategy, sc FaultScenario, cfg SimConfig, cache *PlanCache) (*ResilienceReport, error) {
 	if len(groups) != 2 {
 		return nil, fmt.Errorf("accpar: resilience needs exactly 2 accelerator groups, got %d", len(groups))
 	}
@@ -185,7 +212,7 @@ func resilienceCached(net *Network, groups []ArrayGroup, strategy Strategy, sc F
 	// The experiment's phases carry spans so a trace of a resilience run
 	// reads as its pipeline: plan, three simulations, replan.
 	sp := obs.StartSpan("resilience", "plan-pristine")
-	plan, err := partitionCached(net, arr, strategy, cache)
+	plan, err := partitionCachedCtx(ctx, net, arr, strategy, cache)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -199,6 +226,9 @@ func resilienceCached(net *Network, groups []ArrayGroup, strategy Strategy, sc F
 	free, err := Simulate(net, plan.Root.Types, plan.Root.Alpha, a, b, pristineCfg)
 	sp.End()
 	if err != nil {
+		return nil, err
+	}
+	if err := ctxSentinel(ctx.Err()); err != nil {
 		return nil, err
 	}
 
@@ -224,9 +254,12 @@ func resilienceCached(net *Network, groups []ArrayGroup, strategy Strategy, sc F
 		return nil, err
 	}
 	sp = obs.StartSpan("resilience", "plan-degraded")
-	dplan, err := partitionCached(net, darr, strategy, cache)
+	dplan, err := partitionCachedCtx(ctx, net, darr, strategy, cache)
 	sp.End()
 	if err != nil {
+		return nil, err
+	}
+	if err := ctxSentinel(ctx.Err()); err != nil {
 		return nil, err
 	}
 	sp = obs.StartSpan("resilience", "simulate-replanned")

@@ -1,6 +1,7 @@
 package accpar
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -91,30 +92,59 @@ func (s *Session) ServeDiagnostics(addr string) (*DiagServer, error) {
 
 // Partition is the package-level Partition through the session cache.
 func (s *Session) Partition(net *Network, arr *Array, strategy Strategy) (*Plan, error) {
-	return partitionCached(net, arr, strategy, s.cache)
+	return s.PartitionCtx(context.Background(), net, arr, strategy)
+}
+
+// PartitionCtx is Partition bound to a context: the search polls ctx and
+// aborts with ErrCanceled or ErrDeadlineExceeded. An aborted search
+// never leaves partial results in the session cache — only fully solved
+// subproblems are ever published — so a subsequent uncanceled run is
+// byte-identical to one against a fresh session.
+func (s *Session) PartitionCtx(ctx context.Context, net *Network, arr *Array, strategy Strategy) (*Plan, error) {
+	return partitionCachedCtx(ctx, net, arr, strategy, s.cache)
 }
 
 // Resilience is the package-level fault-injection experiment through the
 // session cache: the pristine and degraded partition searches share
 // subproblems with each other and with prior session work.
 func (s *Session) Resilience(net *Network, groups []ArrayGroup, strategy Strategy, sc FaultScenario, cfg SimConfig) (*ResilienceReport, error) {
-	return resilienceCached(net, groups, strategy, sc, cfg, s.cache)
+	return s.ResilienceCtx(context.Background(), net, groups, strategy, sc, cfg)
+}
+
+// ResilienceCtx is Resilience bound to a context: both partition
+// searches poll ctx, and the pipeline re-checks it between its plan and
+// simulation phases, so an abort is observed within one phase.
+func (s *Session) ResilienceCtx(ctx context.Context, net *Network, groups []ArrayGroup, strategy Strategy, sc FaultScenario, cfg SimConfig) (*ResilienceReport, error) {
+	return resilienceCachedCtx(ctx, net, groups, strategy, sc, cfg, s.cache)
 }
 
 // PartitionWithOptions is the package-level PartitionWithOptions through
 // the session cache (overriding any Options.Cache the caller set).
 func (s *Session) PartitionWithOptions(net *Network, arr *Array, opt Options, maxLevels int) (*Plan, error) {
+	return s.PartitionWithOptionsCtx(context.Background(), net, arr, opt, maxLevels)
+}
+
+// PartitionWithOptionsCtx is PartitionWithOptions bound to a context;
+// see PartitionCtx for the abort and cache-consistency semantics.
+func (s *Session) PartitionWithOptionsCtx(ctx context.Context, net *Network, arr *Array, opt Options, maxLevels int) (*Plan, error) {
 	opt.Cache = s.cache
-	return PartitionWithOptions(net, arr, opt, maxLevels)
+	return PartitionWithOptionsCtx(ctx, net, arr, opt, maxLevels)
 }
 
 // Compare partitions the network with all four strategies concurrently,
 // every strategy seeding from and feeding the session cache. Plans are
 // identical to four serial Partition calls.
 func (s *Session) Compare(net *Network, arr *Array) (*Comparison, error) {
+	return s.CompareCtx(context.Background(), net, arr)
+}
+
+// CompareCtx is Compare bound to a context: strategies not yet started
+// when ctx is done are never dispatched, and running ones abort at their
+// next cancellation probe.
+func (s *Session) CompareCtx(ctx context.Context, net *Network, arr *Array) (*Comparison, error) {
 	plans := make([]*Plan, len(Strategies))
-	err := parallel.ForEach(len(Strategies), 0, func(i int) error {
-		plan, err := s.Partition(net, arr, Strategies[i])
+	err := parallel.ForEachCtx(ctx, len(Strategies), 0, func(i int) error {
+		plan, err := s.PartitionCtx(ctx, net, arr, Strategies[i])
 		if err != nil {
 			return fmt.Errorf("accpar: %v: %w", Strategies[i], err)
 		}
@@ -122,7 +152,7 @@ func (s *Session) Compare(net *Network, arr *Array) (*Comparison, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, ctxSentinel(err)
 	}
 	c := &Comparison{Plans: map[Strategy]*Plan{}}
 	for i, st := range Strategies {
@@ -136,9 +166,15 @@ func (s *Session) Compare(net *Network, arr *Array) (*Comparison, error) {
 // subproblems (a fault touching one group leaves the other group's
 // subtrees cache-resident).
 func (s *Session) Replan(net *Network, groups []ArrayGroup, strategy Strategy, sc *FaultScenario) (*ReplanReport, error) {
+	return s.ReplanCtx(context.Background(), net, groups, strategy, sc)
+}
+
+// ReplanCtx is Replan bound to a context; all three planning passes poll
+// ctx and abort with ErrCanceled or ErrDeadlineExceeded.
+func (s *Session) ReplanCtx(ctx context.Context, net *Network, groups []ArrayGroup, strategy Strategy, sc *FaultScenario) (*ReplanReport, error) {
 	opt := strategy.Options()
 	opt.Cache = s.cache
-	return replanAnalytic(net, groups, opt, sc)
+	return replanAnalyticCtx(ctx, net, groups, opt, sc)
 }
 
 // TuneBatch is the package-level TuneBatch through the session cache.
