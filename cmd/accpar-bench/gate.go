@@ -13,10 +13,12 @@ import (
 // landing silently.
 
 // gatePrefixes selects the entries the gate compares: the planner and
-// simulator benchmarks. Cache cold/warm entries are excluded — their
-// timings measure cache state, not code speed, and the warm side is
-// nanoseconds-scale noise.
-var gatePrefixes = []string{"PartitionHierarchical/", "Simulate/", "SolveRatio/"}
+// simulator benchmarks plus the replan-after-fault paths (full search,
+// incremental, recurrent) — a regression in the engine's retained-state
+// reuse is exactly the kind of slowdown the gate exists to catch. Cache
+// cold/warm entries are excluded — their timings measure cache state,
+// not code speed, and the warm side is nanoseconds-scale noise.
+var gatePrefixes = []string{"PartitionHierarchical/", "Simulate/", "SolveRatio/", "ReplanAfterFault/"}
 
 // gated reports whether the gate compares a benchmark entry.
 func gated(name string) bool {

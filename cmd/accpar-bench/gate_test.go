@@ -73,6 +73,48 @@ func TestCompareReportsPassAndFail(t *testing.T) {
 	}
 }
 
+func TestCompareReportsGatesReplan(t *testing.T) {
+	// The replan-after-fault entries are gated: losing the incremental
+	// path's advantage (here 20x slower) must fail, and dropping the
+	// entry from the fresh report must fail too.
+	base := report(
+		BenchEntry{Name: "ReplanAfterFault/resnet50/full", NsPerOp: 100000, AllocsPerOp: 5000},
+		BenchEntry{Name: "ReplanAfterFault/resnet50/incremental", NsPerOp: 30000, AllocsPerOp: 2000},
+		BenchEntry{Name: "ReplanAfterFault/resnet50/warm", NsPerOp: 500, AllocsPerOp: 100},
+	)
+	good := report(
+		BenchEntry{Name: "ReplanAfterFault/resnet50/full", NsPerOp: 100000, AllocsPerOp: 5000},
+		BenchEntry{Name: "ReplanAfterFault/resnet50/incremental", NsPerOp: 31000, AllocsPerOp: 2000},
+		BenchEntry{Name: "ReplanAfterFault/resnet50/warm", NsPerOp: 520, AllocsPerOp: 100},
+	)
+	lines, ok := compareReports(good, base, 0.25)
+	if !ok {
+		t.Errorf("steady replan timings must pass: %+v", lines)
+	}
+	if len(lines) != 3 {
+		t.Errorf("gated %d entries, want all 3 replan entries", len(lines))
+	}
+
+	// The warm path regressing to incremental-scale latency fails.
+	regressed := report(
+		BenchEntry{Name: "ReplanAfterFault/resnet50/full", NsPerOp: 100000, AllocsPerOp: 5000},
+		BenchEntry{Name: "ReplanAfterFault/resnet50/incremental", NsPerOp: 30000, AllocsPerOp: 2000},
+		BenchEntry{Name: "ReplanAfterFault/resnet50/warm", NsPerOp: 10000, AllocsPerOp: 100},
+	)
+	if _, ok := compareReports(regressed, base, 0.25); ok {
+		t.Error("warm replan regressing 20x must fail the gate")
+	}
+
+	// Dropping the incremental entry fails.
+	dropped := report(
+		BenchEntry{Name: "ReplanAfterFault/resnet50/full", NsPerOp: 100000, AllocsPerOp: 5000},
+		BenchEntry{Name: "ReplanAfterFault/resnet50/warm", NsPerOp: 500, AllocsPerOp: 100},
+	)
+	if _, ok := compareReports(dropped, base, 0.25); ok {
+		t.Error("dropped incremental replan entry must fail the gate")
+	}
+}
+
 func TestCompareReportsAllocSlack(t *testing.T) {
 	// Tiny absolute alloc counts get slack: 2 → 10 allocs/op is within
 	// the absolute headroom even though the ratio is 5x.

@@ -80,8 +80,8 @@ func TestRunPerfJSON(t *testing.T) {
 	if report.GoMaxProcs < 1 {
 		t.Errorf("gomaxprocs = %d", report.GoMaxProcs)
 	}
-	if len(report.Benchmarks) != 11 {
-		t.Fatalf("benchmarks = %d, want 11", len(report.Benchmarks))
+	if len(report.Benchmarks) != 14 {
+		t.Fatalf("benchmarks = %d, want 14", len(report.Benchmarks))
 	}
 	for _, e := range report.Benchmarks {
 		if e.NsPerOp <= 0 || e.Iterations <= 0 {
@@ -99,6 +99,12 @@ func TestRunPerfJSON(t *testing.T) {
 	}
 	if report.SpeedupWarmTuneBatch <= 1 {
 		t.Errorf("warm tune-batch speedup = %g, want > 1", report.SpeedupWarmTuneBatch)
+	}
+	if report.SpeedupReplanIncremental <= 1 {
+		t.Errorf("incremental replan speedup = %g, want > 1", report.SpeedupReplanIncremental)
+	}
+	if report.SpeedupReplanWarm <= 1 {
+		t.Errorf("warm replan speedup = %g, want > 1", report.SpeedupReplanWarm)
 	}
 	if report.WarmStartEntries != 0 {
 		t.Errorf("cold start restored %d entries", report.WarmStartEntries)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"accpar/internal/autotune"
 	"accpar/internal/core"
 	"accpar/internal/eval"
+	"accpar/internal/hardware"
 	"accpar/internal/models"
 )
 
@@ -50,6 +52,15 @@ type BenchReport struct {
 	// SpeedupWarmTuneBatch is the same ratio for the ResNet-50 batch-size
 	// autotuning sweep.
 	SpeedupWarmTuneBatch float64 `json:"speedup_warm_tune_batch"`
+	// SpeedupReplanIncremental is replan-after-fault full ns/op over the
+	// incremental engine replan of a novel fault (engine warm on the
+	// pristine array only): the dependency-tracked memo's win when a
+	// never-seen degradation arrives.
+	SpeedupReplanIncremental float64 `json:"speedup_replan_incremental"`
+	// SpeedupReplanWarm is the same ratio against a recurrent fault (the
+	// degraded array already in the engine's working set) — the
+	// sub-millisecond fault-response path.
+	SpeedupReplanWarm float64 `json:"speedup_replan_warm"`
 	// WarmStartEntries is the number of subproblems restored from the
 	// -cache-file snapshot (0 on a cold start or without the flag).
 	WarmStartEntries int          `json:"warm_start_entries,omitempty"`
@@ -162,6 +173,106 @@ func benchSolveRatio(model string, batch, homSize int) (closed, reference testin
 		}
 	})
 	return closed, reference, benchErr
+}
+
+// benchReplanAfterFault measures the fault-response path three ways on
+// one model over the paper array: a full cold replan (fresh planner, no
+// retained state — the pre-engine baseline), an incremental replan of a
+// novel fault on an engine warm on the pristine array only (the
+// dependency-tracked memo reuses every subtree the fault left
+// untouched), and a recurrent replan of an already-seen fault (served
+// from the engine's working set — the sub-millisecond path).
+func benchReplanAfterFault(model string, batch, perKind int) (full, incremental, recurrent testing.BenchmarkResult, err error) {
+	net, err := models.BuildNetwork(model, batch)
+	if err != nil {
+		return full, incremental, recurrent, err
+	}
+	groups := []hardware.GroupSpec{
+		{Spec: hardware.TPUv2(), Count: perKind},
+		{Spec: hardware.TPUv3(), Count: perKind},
+	}
+	pristine, err := eval.HeterogeneousTree(perKind)
+	if err != nil {
+		return full, incremental, recurrent, err
+	}
+	degradedTree := func(factor float64) (*hardware.Tree, error) {
+		dg, err := hardware.DegradeGroups(groups, map[int]hardware.Degradation{
+			1: {Compute: factor, MemBW: 1, NetBW: 1},
+		})
+		if err != nil {
+			return nil, err
+		}
+		darr, err := hardware.NewHeterogeneous(dg...)
+		if err != nil {
+			return nil, err
+		}
+		return hardware.BuildTree(darr, 64)
+	}
+	degraded, err := degradedTree(2)
+	if err != nil {
+		return full, incremental, recurrent, err
+	}
+
+	var benchErr error
+	full = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Replan(net, pristine, degraded, core.AccPar()); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return full, incremental, recurrent, benchErr
+	}
+
+	engine, err := core.NewReplanEngine(net, core.AccPar())
+	if err != nil {
+		return full, incremental, recurrent, err
+	}
+	// Warm the engine on the pristine array only; each iteration then
+	// replans a degradation factor it has never seen.
+	if _, _, err := engine.PlanCtx(context.Background(), pristine); err != nil {
+		return full, incremental, recurrent, err
+	}
+	incremental = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			novel, err := degradedTree(1.5 + 0.001*float64(i%500))
+			if err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, _, err := engine.ReplanCtx(context.Background(), pristine, novel); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return full, incremental, recurrent, benchErr
+	}
+
+	warmEngine, err := core.NewReplanEngine(net, core.AccPar())
+	if err != nil {
+		return full, incremental, recurrent, err
+	}
+	if _, _, err := warmEngine.ReplanCtx(context.Background(), pristine, degraded); err != nil {
+		return full, incremental, recurrent, err
+	}
+	recurrent = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := warmEngine.ReplanCtx(context.Background(), pristine, degraded); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	return full, incremental, recurrent, benchErr
 }
 
 // cacheEntry builds a cache-backed BenchEntry from a benchmark result and
@@ -280,6 +391,25 @@ func runPerf(cfg eval.Config, jsonPath, cacheFile, cpuProfile, memProfile string
 		report.SpeedupSolveRatioClosedForm = float64(reference.T.Nanoseconds()) / float64(reference.N) / closedNs
 	}
 
+	// Replan after fault: the full-search baseline vs the retained
+	// ReplanEngine, for both a never-seen degradation (incremental) and a
+	// recurrent one (warm working set).
+	replanFull, replanInc, replanWarm, err := benchReplanAfterFault("resnet50", batch, perKind)
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks,
+		entry("ReplanAfterFault/resnet50/full", replanFull),
+		entry("ReplanAfterFault/resnet50/incremental", replanInc),
+		entry("ReplanAfterFault/resnet50/warm", replanWarm))
+	fullNs := float64(replanFull.T.Nanoseconds()) / float64(replanFull.N)
+	if incNs := float64(replanInc.T.Nanoseconds()) / float64(replanInc.N); incNs > 0 {
+		report.SpeedupReplanIncremental = fullNs / incNs
+	}
+	if warmNs := float64(replanWarm.T.Nanoseconds()) / float64(replanWarm.N); warmNs > 0 {
+		report.SpeedupReplanWarm = fullNs / warmNs
+	}
+
 	// Cross-run plan cache: the same workload cold (fresh cache) and warm
 	// (cache populated by a prior identical run).
 	tree, err := eval.HeterogeneousTree(perKind)
@@ -370,6 +500,8 @@ func runPerf(cfg eval.Config, jsonPath, cacheFile, cpuProfile, memProfile string
 		fmt.Println()
 	}
 	fmt.Printf("warm speedups: sweep %.1fx  tune-batch %.1fx\n", report.SpeedupWarmSweep, report.SpeedupWarmTuneBatch)
+	fmt.Printf("replan speedups vs full search: novel fault %.1fx  recurrent fault %.1fx\n",
+		report.SpeedupReplanIncremental, report.SpeedupReplanWarm)
 	return nil
 }
 

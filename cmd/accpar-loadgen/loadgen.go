@@ -35,16 +35,29 @@ type config struct {
 	ClientTimeout time.Duration
 	MaxRetries    int
 	Seed          int64
+	Distinct      int
 	JSONOut       string
 }
 
-// endpoint is one /v1 target with its request body and mix weight.
+// endpoint is one /v1 target with its request bodies and mix weight.
+// With -distinct > 1 the bodies differ only in their opaque tag, so the
+// server treats each as its own coalescing flight; requests rotate
+// through them round-robin.
 type endpoint struct {
 	name   string
 	path   string
-	body   []byte
+	bodies [][]byte
+	next   atomic.Int64
 	weight int
 	stats  *endpointStats
+}
+
+// body returns the next request body in rotation.
+func (ep *endpoint) body() []byte {
+	if len(ep.bodies) == 1 {
+		return ep.bodies[0]
+	}
+	return ep.bodies[int(ep.next.Add(1))%len(ep.bodies)]
 }
 
 // endpointStats is one endpoint's outcome tally. The latency timer only
@@ -100,6 +113,7 @@ type report struct {
 		TimeoutMs   int     `json:"timeout_ms,omitempty"`
 		MaxRetries  int     `json:"max_retries"`
 		Seed        int64   `json:"seed"`
+		Distinct    int     `json:"distinct,omitempty"`
 	} `json:"config"`
 	ElapsedSeconds float64                   `json:"elapsed_seconds"`
 	Endpoints      map[string]endpointReport `json:"endpoints"`
@@ -175,13 +189,31 @@ func buildEndpoints(cfg config, reg *obs.Registry) ([]*endpoint, error) {
 		}
 		return b
 	}
+	// With -distinct > 1 each endpoint gets that many body variants
+	// differing only in their opaque tag. The server coalesces requests
+	// by canonical body, so identical bodies measure the coalescer and
+	// tagged ones measure admission control under genuine concurrency.
+	variants := func(extra map[string]any) [][]byte {
+		if cfg.Distinct <= 1 {
+			return [][]byte{body(extra)}
+		}
+		out := make([][]byte, cfg.Distinct)
+		for i := range out {
+			m := map[string]any{"tag": fmt.Sprintf("lg-%d", i)}
+			for k, v := range extra {
+				m[k] = v
+			}
+			out[i] = body(m)
+		}
+		return out
+	}
 	bodies := map[string]struct {
-		path string
-		body []byte
+		path   string
+		bodies [][]byte
 	}{
-		"plan":       {"/v1/plan", body(nil)},
-		"compare":    {"/v1/compare", body(nil)},
-		"resilience": {"/v1/resilience", body(map[string]any{"faults": "slowdown:0=2.0", "seed": 7})},
+		"plan":       {"/v1/plan", variants(nil)},
+		"compare":    {"/v1/compare", variants(nil)},
+		"resilience": {"/v1/resilience", variants(map[string]any{"faults": "slowdown:0=2.0", "seed": 7})},
 	}
 	var eps []*endpoint
 	for _, part := range strings.Split(cfg.Mix, ",") {
@@ -206,7 +238,7 @@ func buildEndpoints(cfg config, reg *obs.Registry) ([]*endpoint, error) {
 			continue
 		}
 		eps = append(eps, &endpoint{
-			name: name, path: spec.path, body: spec.body, weight: weight,
+			name: name, path: spec.path, bodies: spec.bodies, weight: weight,
 			stats: &endpointStats{timer: reg.NewTimer("loadgen." + name + ".seconds")},
 		})
 	}
@@ -256,7 +288,7 @@ func fire(client *http.Client, cfg config, ep *endpoint, rng *rand.Rand, deadlin
 	ep.stats.sent.Add(1)
 	for attempt := 0; ; attempt++ {
 		start := time.Now()
-		resp, err := client.Post(cfg.URL+ep.path, "application/json", bytes.NewReader(ep.body))
+		resp, err := client.Post(cfg.URL+ep.path, "application/json", bytes.NewReader(ep.body()))
 		if err != nil {
 			ep.stats.transportErrs.Add(1)
 			if attempt >= cfg.MaxRetries || time.Now().After(deadline) {
@@ -372,6 +404,7 @@ func runLoad(cfg config) (*report, error) {
 	rep.Config.TimeoutMs = cfg.TimeoutMs
 	rep.Config.MaxRetries = cfg.MaxRetries
 	rep.Config.Seed = cfg.Seed
+	rep.Config.Distinct = cfg.Distinct
 	rep.ElapsedSeconds = elapsed.Seconds()
 	for _, ep := range eps {
 		er := ep.stats.report()

@@ -4,9 +4,12 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"accpar/internal/obs"
 )
 
 // stubServe imitates accpar-serve's overload behaviour: at most cap
@@ -113,6 +116,46 @@ func TestRunLoadOpenLoop(t *testing.T) {
 	}
 	if rep.Totals.Server5xx != 0 {
 		t.Errorf("unexpected 5xx: %d", rep.Totals.Server5xx)
+	}
+}
+
+func TestDistinctBodiesRotate(t *testing.T) {
+	reg := obs.NewRegistry()
+	eps, err := buildEndpoints(config{
+		Mix: "plan=1", Model: "lenet", Batch: 32, V2: 2, V3: 2, Levels: 4,
+		Distinct: 3,
+	}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := eps[0]
+	if len(ep.bodies) != 3 {
+		t.Fatalf("got %d body variants, want 3", len(ep.bodies))
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 6; i++ {
+		seen[string(ep.body())] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("rotation visited %d distinct bodies, want 3", len(seen))
+	}
+	for b := range seen {
+		if !strings.Contains(b, `"tag":"lg-`) {
+			t.Errorf("variant missing tag: %s", b)
+		}
+	}
+	// Without -distinct the body carries no tag and stays singular.
+	plain, err := buildEndpoints(config{
+		Mix: "plan=1", Model: "lenet", Batch: 32, V2: 2, V3: 2, Levels: 4,
+	}, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(plain[0].bodies); n != 1 {
+		t.Errorf("got %d bodies without -distinct, want 1", n)
+	}
+	if strings.Contains(string(plain[0].body()), "tag") {
+		t.Errorf("untagged body grew a tag: %s", plain[0].body())
 	}
 }
 

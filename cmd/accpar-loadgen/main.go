@@ -50,6 +50,7 @@ func main() {
 	flag.DurationVar(&cfg.ClientTimeout, "client-timeout", 60_000_000_000, "HTTP client timeout per attempt")
 	flag.IntVar(&cfg.MaxRetries, "max-retries", 3, "retry budget per request for 429s and transport errors")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "PRNG seed for the mix and the backoff jitter")
+	flag.IntVar(&cfg.Distinct, "distinct", 1, "distinct tagged body variants per endpoint; >1 defeats the server's request coalescing so offered load lands on admission control")
 	flag.StringVar(&cfg.JSONOut, "json-out", "", "write the JSON report here (e.g. BENCH_SERVE.json)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()

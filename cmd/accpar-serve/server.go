@@ -63,6 +63,7 @@ type server struct {
 	sess *accpar.Session
 	cfg  serveConfig
 	adm  *admission.Controller
+	coal *coalescer
 	// draining flips when shutdown begins; /readyz turns 503 so load
 	// balancers stop routing here while in-flight requests finish.
 	draining atomic.Bool
@@ -74,21 +75,26 @@ func newServer(sess *accpar.Session, cfg serveConfig) *server {
 		sess: sess,
 		cfg:  cfg,
 		adm:  admission.NewController(cfg.MaxConcurrent, cfg.MaxQueue, cfg.RetryAfter),
+		coal: newCoalescer(),
 	}
 }
 
 // routes registers the /v1 planning endpoints. Each handler is wrapped
-// inside-out as guard → instrument → recover: the admission guard sheds
-// or queues, instrument times the admitted work and counts 429s as
-// errors, and the panic recovery is outermost so a panic anywhere in the
-// stack still becomes a 500 instead of a torn connection.
+// inside-out as guard → coalesce → instrument → recover: the admission
+// guard sheds or queues, the coalescer lets byte-equivalent concurrent
+// requests share one execution (followers never enter admission, so a
+// thundering herd holds one weight unit), instrument times the work and
+// counts 429s as errors, and the panic recovery is outermost so a panic
+// anywhere in the stack still becomes a 500 instead of a torn
+// connection.
 func (s *server) routes(mux *http.ServeMux) {
-	wrap := func(weight int64, m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
-		return admission.Recover(instrument(m, s.adm.Guard(weight, m.shed, h)))
+	wrap := func(name string, weight int64, m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+		guarded := s.adm.Guard(weight, m.shed, h)
+		return admission.Recover(instrument(m, s.coal.coalesce(name, s.cfg.MaxBodyBytes, guarded)))
 	}
-	mux.HandleFunc("POST /v1/plan", wrap(weightPlan, planMetrics, s.plan))
-	mux.HandleFunc("POST /v1/compare", wrap(weightCompare, compareMetrics, s.compare))
-	mux.HandleFunc("POST /v1/resilience", wrap(weightResilience, resilienceMetrics, s.resilience))
+	mux.HandleFunc("POST /v1/plan", wrap("plan", weightPlan, planMetrics, s.plan))
+	mux.HandleFunc("POST /v1/compare", wrap("compare", weightCompare, compareMetrics, s.compare))
+	mux.HandleFunc("POST /v1/resilience", wrap("resilience", weightResilience, resilienceMetrics, s.resilience))
 }
 
 // readyChecks are the readiness probes: serving (not draining) and the
@@ -197,6 +203,11 @@ type planRequest struct {
 	// overriding the server's -default-deadline. An expired deadline
 	// aborts the search mid-recursion and answers 504.
 	TimeoutMs int `json:"timeout_ms"`
+	// Tag is an opaque client label with no effect on planning. Requests
+	// are coalesced by canonical body, so distinct tags keep otherwise
+	// identical requests on separate flights — load generators use this
+	// to measure admission control rather than the coalescer.
+	Tag string `json:"tag"`
 }
 
 // defaults fills zero-valued fields with the accpar CLI's flag defaults,
@@ -476,6 +487,14 @@ func (s *server) resilience(w http.ResponseWriter, r *http.Request) {
 		Recovery         float64   `json:"recovery"`
 		Adopted          bool      `json:"adopted"`
 		Retries          int       `json:"retries"`
+		// The incremental-replanning economics of this request's two
+		// partition searches: subproblems served from retained engine
+		// state, entries dropped by dependency invalidation, subproblems
+		// re-solved, and planning wall-clock seconds.
+		ReplanIncrementalHits int64   `json:"replan_incremental_hits"`
+		ReplanInvalidated     int64   `json:"replan_invalidated"`
+		ReplanExpanded        int64   `json:"replan_expanded"`
+		ReplanSeconds         float64 `json:"replan_seconds"`
 	}{
 		Faults:           rep.Scenario.String(),
 		Seed:             rep.Scenario.Seed,
@@ -487,6 +506,11 @@ func (s *server) resilience(w http.ResponseWriter, r *http.Request) {
 		Recovery:         rep.Recovery(),
 		Adopted:          rep.Adopted,
 		Retries:          rep.Stale.Retries[0] + rep.Stale.Retries[1],
+
+		ReplanIncrementalHits: rep.Replan.IncrementalHits,
+		ReplanInvalidated:     rep.Replan.Invalidated,
+		ReplanExpanded:        rep.Replan.Expanded,
+		ReplanSeconds:         rep.Replan.Seconds,
 	})
 }
 

@@ -31,10 +31,12 @@ import (
 // plan solved serially may warm a parallel search and vice versa.
 
 // cacheSchema tags the snapshot value encoding AND the cost-model
-// generation. Bump it whenever PlanNode's serialized form or any cost
-// the planner bakes into cached nodes changes, so stale snapshots are
-// rejected instead of silently replaying outdated solutions.
-const cacheSchema = "accpar-plan-node-v1"
+// generation. Bump it whenever PlanNode's serialized form, any cost the
+// planner bakes into cached nodes, or the subproblem key scheme changes,
+// so stale snapshots are rejected instead of silently replaying outdated
+// solutions (or, for a key-scheme change, carrying entries no search can
+// ever hit again). v2: digest-based subproblem keys (hwIndex).
+const cacheSchema = "accpar-plan-node-v2"
 
 // SharedCache is a concurrency-safe, bounded, persistent cache of solved
 // hierarchical subproblems, shared across Partition, Replan, Compare,

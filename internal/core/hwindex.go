@@ -1,0 +1,201 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"accpar/internal/hardware"
+)
+
+// hwInfo is the indexed identity of one hardware subtree: a Merkle-style
+// content digest (two subtrees digest equally iff their levels, spec
+// lists and shapes are identical) and the sorted distinct spec
+// fingerprints the subtree is built from. The digest turns the per-node
+// subproblem key from an O(subtree) hash into an O(1) lookup; the spec
+// set is the dependency record a retained memo tracks invalidation by —
+// a cached subproblem is current exactly as long as every spec it was
+// solved against is still part of some hierarchy the planner serves.
+type hwInfo struct {
+	digest [16]byte
+	specs  []uint64
+}
+
+// hwIndex maps hardware-tree nodes to their hwInfo. Lookups are
+// lock-free (copy-on-write map behind an atomic pointer) because they
+// sit on the per-subproblem hot path of concurrent searches; indexing a
+// new tree takes the mutex and publishes a fresh map. A node missing
+// from the map — a tree never announced via ensure — is indexed on
+// demand, so lookups never fail, only slow down.
+type hwIndex struct {
+	mu sync.Mutex
+	m  atomic.Pointer[map[*hardware.Tree]hwInfo]
+}
+
+func newHWIndex() *hwIndex {
+	x := &hwIndex{}
+	empty := make(map[*hardware.Tree]hwInfo)
+	x.m.Store(&empty)
+	return x
+}
+
+// ensure returns root's hwInfo, indexing its whole subtree first if it
+// is not yet known.
+func (x *hwIndex) ensure(root *hardware.Tree) hwInfo {
+	if m := x.m.Load(); m != nil {
+		if info, ok := (*m)[root]; ok {
+			return info
+		}
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	old := *x.m.Load()
+	if info, ok := old[root]; ok {
+		return info
+	}
+	next := make(map[*hardware.Tree]hwInfo, len(old)+treeNodes(root))
+	for k, v := range old {
+		next[k] = v
+	}
+	info := indexTree(root, next)
+	x.m.Store(&next)
+	return info
+}
+
+// rebuild drops every indexed node not under one of roots, bounding the
+// index to the trees a retention policy still cares about. Concurrent
+// searches over an evicted tree re-index it on demand via ensure.
+func (x *hwIndex) rebuild(roots []*hardware.Tree) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	next := make(map[*hardware.Tree]hwInfo)
+	for _, r := range roots {
+		if r != nil {
+			indexTree(r, next)
+		}
+	}
+	x.m.Store(&next)
+}
+
+// size returns the indexed node count.
+func (x *hwIndex) size() int {
+	return len(*x.m.Load())
+}
+
+func treeNodes(t *hardware.Tree) int {
+	if t == nil {
+		return 0
+	}
+	return 1 + treeNodes(t.Left) + treeNodes(t.Right)
+}
+
+// indexTree computes hwInfo for every node of t bottom-up into m and
+// returns the root's. The digest folds the node's level, its own spec
+// list (in group order — member order is observable through
+// Group.String) and the children's digests, so content-identical
+// subtrees — the two halves of a homogeneous group, or the untouched
+// subtrees of a pristine and a degraded hierarchy — digest identically
+// even across distinct tree objects.
+func indexTree(t *hardware.Tree, m map[*hardware.Tree]hwInfo) hwInfo {
+	if info, ok := m[t]; ok {
+		return info
+	}
+	h := fnv.New128a()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wInt(int64(t.Level))
+	wInt(int64(t.Group.Size()))
+	for _, s := range t.Group.Accel {
+		wInt(int64(s.Fingerprint()))
+	}
+	var info hwInfo
+	if t.IsLeaf() {
+		wInt(-1)
+		info.specs = distinctSpecs(t.Group.Accel)
+	} else {
+		wInt(-2)
+		l := indexTree(t.Left, m)
+		r := indexTree(t.Right, m)
+		h.Write(l.digest[:])
+		h.Write(r.digest[:])
+		info.specs = mergeSpecs(l.specs, r.specs)
+	}
+	h.Sum(info.digest[:0])
+	m[t] = info
+	return info
+}
+
+// distinctSpecs returns the sorted distinct fingerprints of a spec list.
+func distinctSpecs(accel []hardware.Spec) []uint64 {
+	out := make([]uint64, 0, 2)
+	for _, s := range accel {
+		fp := s.Fingerprint()
+		seen := false
+		for _, v := range out {
+			if v == fp {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, fp)
+		}
+	}
+	// Insertion sort: group spec lists hold a handful of distinct models.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// mergeSpecs unions two sorted distinct fingerprint slices. When one
+// side covers the other — the overwhelmingly common case, since a
+// parent's children usually share spec models — the covering slice is
+// returned as-is, so a whole subtree shares one allocation.
+func mergeSpecs(a, b []uint64) []uint64 {
+	if covers(a, b) {
+		return a
+	}
+	if covers(b, a) {
+		return b
+	}
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// covers reports whether sorted slice a contains every element of b.
+func covers(a, b []uint64) bool {
+	i := 0
+	for _, v := range b {
+		for i < len(a) && a[i] < v {
+			i++
+		}
+		if i >= len(a) || a[i] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,753 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accpar/internal/cost"
+	"accpar/internal/dnn"
+	"accpar/internal/hardware"
+	"accpar/internal/obs"
+	"accpar/internal/parallel"
+	"accpar/internal/tensor"
+)
+
+// This file implements incremental replanning: a ReplanEngine retains
+// one planner's dependency-tracked search state — the subproblem memo,
+// the hardware digest index, a stale-re-costing memo and whole plans
+// keyed by tree digest — across fault events, so responding to a
+// degradation re-solves only the subproblems the fault actually
+// touched. Everything is content-addressed, which splits correctness
+// from retention cleanly:
+//
+//   - correctness: a retained entry can only be hit by a subproblem with
+//     byte-identical inputs, so incremental replans are byte-identical
+//     to a cold full search on the degraded spec, no matter what the
+//     retention policy kept or dropped — including after aborted calls,
+//     which never publish partial entries;
+//   - retention: each entry's recorded dependency set (the spec
+//     fingerprints of its hardware subtree) is walked when degraded
+//     hardware leaves the recent working set, invalidating exactly the
+//     dependent subtree of subproblems; an epoch backstop bounds what
+//     reachable hardware can accumulate.
+
+const (
+	// defaultRecentTrees bounds the hardware trees (by content digest) an
+	// engine keeps warm: retained whole plans and the reachable-spec set
+	// for dependency invalidation both follow this working set.
+	defaultRecentTrees = 32
+	// defaultMemoCap is the entry-count watermark above which the epoch
+	// backstop prunes memo entries not served recently.
+	defaultMemoCap = 1 << 15
+	// epochKeepWindow is how many engine calls back the backstop keeps.
+	epochKeepWindow = 8
+)
+
+// ReplanStats reports what one incremental replanning call did: how
+// much retained state it served, how much it invalidated, and how much
+// it genuinely re-solved.
+type ReplanStats struct {
+	// IncrementalHits counts subproblems served from retained state: the
+	// dependency-tracked memo, the stale-re-costing memo, the shared
+	// cross-run cache, whole retained plans, and untouched-hardware
+	// subtree reuse.
+	IncrementalHits int64 `json:"incremental_hits"`
+	// Invalidated counts retained entries dropped before this call by the
+	// dependency walk (hardware left the working set) or the epoch
+	// backstop.
+	Invalidated int64 `json:"invalidated"`
+	// Expanded counts subproblems solved from scratch.
+	Expanded int64 `json:"expanded"`
+	// StaleReused counts stale-pass nodes cloned directly from the
+	// pristine plan because the fault did not touch their hardware.
+	StaleReused int64 `json:"stale_reused"`
+	// Seconds is the call's wall-clock duration.
+	Seconds float64 `json:"seconds"`
+}
+
+// Add accumulates other into s (Seconds sums; portfolio callers report
+// the aggregate).
+func (s *ReplanStats) Add(other ReplanStats) {
+	s.IncrementalHits += other.IncrementalHits
+	s.Invalidated += other.Invalidated
+	s.Expanded += other.Expanded
+	s.StaleReused += other.StaleReused
+	s.Seconds += other.Seconds
+}
+
+// replanStats is the per-call atomic collector behind ReplanStats;
+// concurrent search workers of one call share it.
+type replanStats struct {
+	hits        atomic.Int64
+	expanded    atomic.Int64
+	staleReused atomic.Int64
+}
+
+func (rs *replanStats) snapshot(invalidated int64, d time.Duration) ReplanStats {
+	return ReplanStats{
+		IncrementalHits: rs.hits.Load(),
+		Invalidated:     invalidated,
+		Expanded:        rs.expanded.Load(),
+		StaleReused:     rs.staleReused.Load(),
+		Seconds:         d.Seconds(),
+	}
+}
+
+// noteStaleReuse records an untouched-hardware stale-pass reuse.
+func (p *planner) noteStaleReuse() {
+	if p.rs != nil {
+		p.rs.staleReused.Add(1)
+		obsReplanHits.Inc()
+	}
+}
+
+// retainedPlan is a fully solved plan kept by digest, with the decision
+// digests its stale re-costings are memoized under.
+type retainedPlan struct {
+	plan *Plan
+	tree *hardware.Tree
+	// decisions maps each plan node to a digest of its decision context:
+	// the path of (side, α, types) choices from the root — which pins the
+	// node's effective dims, since the root dims are fixed per engine —
+	// plus the decision subtree below it. Two nodes with equal digests
+	// re-cost identically on equal hardware.
+	decisions map[*PlanNode]uint64
+}
+
+type recentTree struct {
+	digest [16]byte
+	specs  []uint64
+	root   *hardware.Tree
+}
+
+// ReplanEngine retains one search's dependency-tracked state across
+// fault events for a fixed (network, options) pair. It is safe for
+// concurrent use; every call is byte-identical to the equivalent cold
+// search, so the engine affects latency only, never plans.
+type ReplanEngine struct {
+	mu   sync.Mutex
+	base *planner
+	// epoch numbers engine calls; memo entries are stamped with the epoch
+	// that last served them (the retention backstop's clock).
+	epoch atomic.Int64
+	// stale memoizes stale re-costings under (hardware digest, decision
+	// digest) keys; see staleNodeInc.
+	stale *planMemo
+	// plans retains whole solved plans by tree digest; recent is the
+	// MRU-first working set of tree digests that bounds both plans and
+	// the reachable-spec set for dependency invalidation.
+	plans     map[[16]byte]*retainedPlan
+	recent    []recentTree
+	recentCap int
+	memoCap   int
+	gcNeeded  bool
+}
+
+// NewReplanEngine returns an engine for the network and options. The
+// options' Cache, if set, is consulted and fed as usual — the engine's
+// retained memo sits in front of it, the dependency graph under the
+// existing plan cache.
+func NewReplanEngine(net *dnn.Network, opt Options) (*ReplanEngine, error) {
+	p, err := newPlanner(nil, net, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplanEngine{
+		base:      p,
+		stale:     newPlanMemo(),
+		plans:     make(map[[16]byte]*retainedPlan),
+		recentCap: defaultRecentTrees,
+		memoCap:   defaultMemoCap,
+	}, nil
+}
+
+// admit indexes tree, moves it to the front of the recent working set
+// and evicts beyond capacity. Caller holds e.mu.
+func (e *ReplanEngine) admit(tree *hardware.Tree) hwInfo {
+	info := e.base.hw.ensure(tree)
+	for i := range e.recent {
+		if e.recent[i].digest == info.digest {
+			r := e.recent[i]
+			if r.root != tree {
+				// Same content, new tree object (servers rebuild trees per
+				// request): track the latest pointer and let gc prune index
+				// entries of abandoned ones.
+				r.root = tree
+				e.gcNeeded = true
+			}
+			copy(e.recent[1:i+1], e.recent[:i])
+			e.recent[0] = r
+			return info
+		}
+	}
+	e.recent = append(e.recent, recentTree{})
+	copy(e.recent[1:], e.recent)
+	e.recent[0] = recentTree{digest: info.digest, specs: info.specs, root: tree}
+	for len(e.recent) > e.recentCap {
+		last := e.recent[len(e.recent)-1]
+		e.recent = e.recent[:len(e.recent)-1]
+		delete(e.plans, last.digest)
+		e.gcNeeded = true
+	}
+	return info
+}
+
+// maybeGC runs the retention policy and returns how many entries were
+// invalidated. The dependency walk drops entries whose hardware left the
+// recent working set; the epoch backstop bounds entries on reachable
+// hardware whose dims no future search will ask for. Caller holds e.mu;
+// invalidation is safe against in-flight calls — a dropped entry is
+// re-solved, never wrongly hit.
+func (e *ReplanEngine) maybeGC(epoch int64) int64 {
+	var removed int64
+	if e.gcNeeded {
+		reachable := make(map[uint64]bool, 8)
+		roots := make([]*hardware.Tree, 0, len(e.recent))
+		for _, r := range e.recent {
+			for _, fp := range r.specs {
+				reachable[fp] = true
+			}
+			roots = append(roots, r.root)
+		}
+		removed += int64(e.base.memo.invalidate(reachable))
+		removed += int64(e.stale.invalidate(reachable))
+		e.base.hw.rebuild(roots)
+		e.gcNeeded = false
+	}
+	if e.base.memo.len() > e.memoCap {
+		removed += int64(e.base.memo.evictBefore(epoch - epochKeepWindow))
+	}
+	if e.stale.len() > e.memoCap {
+		removed += int64(e.stale.evictBefore(epoch - epochKeepWindow))
+	}
+	if removed > 0 {
+		obsReplanInvalidated.Add(removed)
+	}
+	return removed
+}
+
+// retain stores a freshly solved plan under its tree digest if its tree
+// is still in the working set, and returns the retained record.
+func (e *ReplanEngine) retain(info hwInfo, tree *hardware.Tree, plan *Plan) *retainedPlan {
+	rp := &retainedPlan{plan: plan, tree: tree, decisions: planDecisionDigests(plan)}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if existing, ok := e.plans[info.digest]; ok {
+		return existing
+	}
+	for _, r := range e.recent {
+		if r.digest == info.digest {
+			e.plans[info.digest] = rp
+			break
+		}
+	}
+	return rp
+}
+
+// PlanCtx partitions one tree through the engine's retained state: a
+// tree already in the working set returns its retained plan as a clone;
+// otherwise the search runs with every untouched subproblem served from
+// the retained memo. Byte-identical to PartitionCtx with the same
+// (network, options) on the same tree.
+func (e *ReplanEngine) PlanCtx(ctx context.Context, tree *hardware.Tree) (*Plan, ReplanStats, error) {
+	start := time.Now()
+	rs := &replanStats{}
+	ep := e.epoch.Add(1)
+	e.mu.Lock()
+	info := e.admit(tree)
+	invalidated := e.maybeGC(ep)
+	if rp, ok := e.plans[info.digest]; ok {
+		e.mu.Unlock()
+		rs.hits.Add(1)
+		obsReplanHits.Inc()
+		return clonePlan(rp.plan), rs.snapshot(invalidated, time.Since(start)), nil
+	}
+	pc := e.base.forCall(ctx, ep, rs)
+	e.mu.Unlock()
+	plan, err := pc.plan(tree)
+	if err != nil {
+		return nil, rs.snapshot(invalidated, time.Since(start)), err
+	}
+	e.retain(info, tree, plan)
+	return clonePlan(plan), rs.snapshot(invalidated, time.Since(start)), nil
+}
+
+// ReplanCtx is the incremental replanning pipeline: resolve the pristine
+// plan (usually a retained-plan hit), re-cost its decisions on the
+// degraded tree (cloning every subtree the fault did not touch and
+// memoizing what it did), partition the degraded tree through the
+// retained memo, and adopt the better post-fault plan. The report is
+// byte-identical to core.ReplanCtx on the same inputs; the engine only
+// changes how much of it was re-computed. Aborted calls publish nothing
+// and leave the retained state exactly as consistent as before — the
+// next call re-solves whatever the aborted one did not finish.
+func (e *ReplanEngine) ReplanCtx(ctx context.Context, pristine, degraded *hardware.Tree) (*ReplanReport, ReplanStats, error) {
+	start := time.Now()
+	rs := &replanStats{}
+	ep := e.epoch.Add(1)
+	e.mu.Lock()
+	pinfo := e.admit(pristine)
+	dinfo := e.admit(degraded)
+	invalidated := e.maybeGC(ep)
+	prp := e.plans[pinfo.digest]
+	drp := e.plans[dinfo.digest]
+	pc := e.base.forCall(ctx, ep, rs)
+	e.mu.Unlock()
+
+	if prp != nil {
+		rs.hits.Add(1)
+		obsReplanHits.Inc()
+	} else {
+		faultFree, err := pc.plan(pristine)
+		if err != nil {
+			return nil, rs.snapshot(invalidated, time.Since(start)), err
+		}
+		prp = e.retain(pinfo, pristine, faultFree)
+	}
+
+	// The stale re-costing and the fresh degraded partition are
+	// independent given the pristine plan; both consult the retained memo.
+	var stale, fresh *Plan
+	g := parallel.NewGroup(min(2, parallel.Workers(e.base.opt.Parallelism)))
+	g.Go(func() error {
+		var serr error
+		stale, serr = e.stalePlanInc(pc, prp, pristine, degraded)
+		return serr
+	})
+	g.Go(func() error {
+		if drp != nil {
+			rs.hits.Add(1)
+			obsReplanHits.Inc()
+			fresh = clonePlan(drp.plan)
+			return nil
+		}
+		f, ferr := pc.plan(degraded)
+		if ferr != nil {
+			return ferr
+		}
+		e.retain(dinfo, degraded, f)
+		fresh = f
+		return nil
+	})
+	if err := g.Wait(); err != nil {
+		return nil, rs.snapshot(invalidated, time.Since(start)), err
+	}
+
+	rep := &ReplanReport{
+		FaultFree: clonePlan(prp.plan),
+		Stale:     stale,
+		Fresh:     fresh,
+		Replanned: fresh,
+		Adopted:   fresh.Time() < stale.Time(),
+	}
+	if !rep.Adopted {
+		rep.Replanned = stale
+	}
+	elapsed := time.Since(start)
+	obsReplanTimer.Observe(elapsed)
+	rep.Stats = rs.snapshot(invalidated, elapsed)
+	obs.Log().Info("core.replan",
+		"adopted", rep.Adopted,
+		"fault_free_seconds", rep.FaultFree.Time(),
+		"stale_seconds", stale.Time(),
+		"fresh_seconds", fresh.Time())
+	return rep, rep.Stats, nil
+}
+
+// stalePlanInc re-costs the retained pristine plan's decisions on the
+// degraded tree, incrementally: subtrees whose hardware digest matches
+// their pristine counterpart are the pristine plan verbatim (same specs,
+// same decisions, same dims — see the invariant on staleNodeInc), and
+// re-costings of touched subtrees are memoized under (hardware digest,
+// decision digest) so recurrent faults re-cost nothing.
+func (e *ReplanEngine) stalePlanInc(pc *planner, prp *retainedPlan, pristine, degraded *hardware.Tree) (*Plan, error) {
+	if prp == nil || prp.plan == nil || prp.plan.Root == nil {
+		return nil, fmt.Errorf("core: stale evaluation needs a plan")
+	}
+	root, err := e.staleNodeInc(pc, degraded, pristine, prp.plan.Root, prp.decisions, pc.rootDims())
+	if err != nil {
+		return nil, err
+	}
+	out := &Plan{Network: pc.net, Strategy: prp.plan.Strategy + " (stale)", Root: root}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("core: internal stale-plan inconsistency: %w", err)
+	}
+	return out, nil
+}
+
+// staleNodeInc applies one stale decision to one (possibly degraded)
+// hierarchy node, mirroring staleNode byte-for-byte with three retained
+// shortcuts. It relies on an invariant of the stale walk: at every node
+// where the degraded structure still aligns with the plan's, the
+// effective dims equal old.Dims exactly, because they are computed by
+// the same scaleUnitDims chain from the same root dims with the same
+// (α, types) decisions (ClampRatio is idempotent on stored ratios). The
+// decision digest therefore pins the dims, and (hardware digest,
+// decision digest) fully addresses a stale re-costing.
+func (e *ReplanEngine) staleNodeInc(pc *planner, node, pristNode *hardware.Tree, old *PlanNode, decisions map[*PlanNode]uint64, dims []tensor.LayerDims) (*PlanNode, error) {
+	if err := pc.checkCtx(); err != nil {
+		return nil, err
+	}
+	if old == nil || node.IsLeaf() != old.IsLeaf() {
+		// Structure diverged: no stale decision for this subtree. The fresh
+		// partition goes through the retained memo, so a subtree already
+		// solved for any fresh pass (or a symmetric sibling) is reused.
+		return pc.partitionNode(node, dims)
+	}
+	ninfo := pc.hw.ensure(node)
+	if pristNode != nil && pc.hw.ensure(pristNode).digest == ninfo.digest {
+		// The fault did not touch this subtree's hardware: re-costing the
+		// plan's own decisions on the plan's own hardware reproduces the
+		// plan.
+		pc.noteStaleReuse()
+		return clonePlanNode(old), nil
+	}
+	dec, ok := decisions[old]
+	if !ok {
+		// Defensive: a node outside the retained plan's digest map (cannot
+		// happen for walks rooted at prp.plan.Root) falls back to the
+		// unmemoized re-costing path.
+		return pc.staleNode(node, old, dims)
+	}
+	key := staleKey(ninfo.digest, dec)
+	if cached, okc := e.stale.get(key, pc.epoch); okc {
+		pc.noteHit()
+		return clonePlanNode(cached), nil
+	}
+	if node.IsLeaf() {
+		n, err := leafNode(node, pc.units, dims, pc.opt)
+		if err != nil {
+			return nil, err
+		}
+		e.stale.put(key, n, ninfo.specs, pc.epoch)
+		return clonePlanNode(n), nil
+	}
+	sideI := Side{Compute: node.Left.Group.ComputeDensity(), Net: pc.opt.Topology.BisectionBandwidth(node.Left.Group)}
+	sideJ := Side{Compute: node.Right.Group.ComputeDensity(), Net: pc.opt.Topology.BisectionBandwidth(node.Right.Group)}
+	if err := checkSides(node.Level, sideI, sideJ); err != nil {
+		return nil, err
+	}
+	if len(old.Types) != len(pc.units) {
+		return nil, fmt.Errorf("core: stale plan has %d types for %d units", len(old.Types), len(pc.units))
+	}
+	ctx := newLevelCtx(pc.units, dims, pc.segs, pc.planSegs, sideI, sideJ, pc.opt)
+	ctx.alpha = cost.ClampRatio(old.Alpha)
+	types := old.Types
+	ev := ctx.evalLevel(types)
+
+	var pl, pr *hardware.Tree
+	if pristNode != nil && !pristNode.IsLeaf() {
+		pl, pr = pristNode.Left, pristNode.Right
+	}
+	left, err := e.staleNodeInc(pc, node.Left, pl, old.Left, decisions, scaleUnitDims(pc.units, dims, types, ctx.alpha))
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.staleNodeInc(pc, node.Right, pr, old.Right, decisions, scaleUnitDims(pc.units, dims, types, ctx.beta()))
+	if err != nil {
+		return nil, err
+	}
+	n := &PlanNode{
+		Level:     node.Level,
+		GroupDesc: node.Group.String(),
+		Alpha:     ctx.alpha,
+		Types:     types,
+		Eval:      ev,
+		SideI:     ctx.sideI,
+		SideJ:     ctx.sideJ,
+		Dims:      dims,
+		Left:      left,
+		Right:     right,
+	}
+	e.stale.put(key, n, ninfo.specs, pc.epoch)
+	return clonePlanNode(n), nil
+}
+
+func staleKey(digest [16]byte, dec uint64) string {
+	var b [24]byte
+	copy(b[:16], digest[:])
+	binary.LittleEndian.PutUint64(b[16:], dec)
+	return string(b[:])
+}
+
+// planDecisionDigests digests every node's decision context: the (side,
+// α, types) path from the root — which, with the engine's fixed root
+// dims, pins the node's effective dims — combined with the decision
+// subtree below it. Symmetric siblings (identical decisions under
+// identical paths) share digests, so their stale re-costings share memo
+// entries.
+func planDecisionDigests(p *Plan) map[*PlanNode]uint64 {
+	m := make(map[*PlanNode]uint64, 512)
+	var buf [8]byte
+	var walk func(n *PlanNode, path, side uint64) uint64
+	walk = func(n *PlanNode, path, side uint64) uint64 {
+		if n == nil {
+			return 0
+		}
+		h := fnv.New64a()
+		w := func(v uint64) {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			h.Write(buf[:])
+		}
+		w(side)
+		if n.IsLeaf() {
+			w(1)
+		} else {
+			w(2)
+		}
+		w(math.Float64bits(n.Alpha))
+		w(uint64(len(n.Types)))
+		for _, t := range n.Types {
+			w(uint64(t))
+		}
+		own := h.Sum64()
+		p2 := mix64(path, own)
+		ls := walk(n.Left, p2, 1)
+		rsub := walk(n.Right, p2, 2)
+		sub := mix64(mix64(own, ls), rsub)
+		m[n] = mix64(p2, sub)
+		return sub
+	}
+	walk(p.Root, 0, 0)
+	return m
+}
+
+// mix64 combines two 64-bit hashes (splitmix-style finalizer).
+func mix64(a, b uint64) uint64 {
+	x := a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// ReplanEngines is a bounded LRU registry of ReplanEngines keyed by
+// (network structure, root dims, decision-relevant options), so a
+// serving session holds one engine per distinct search it has replanned
+// — including one per portfolio variant — without unbounded growth. It
+// also interns hardware trees by content (see InternTree), so callers
+// that rebuild their array per request keep presenting the engines with
+// stable tree pointers.
+type ReplanEngines struct {
+	mu       sync.Mutex
+	capacity int
+	m        map[string]*ReplanEngine
+	order    []string // MRU-first
+	trees    map[string]*hardware.Tree
+	treeMRU  []string
+}
+
+// treeInternCap bounds the interned trees per registry: enough for a
+// pristine fleet plus a working set of recurrent degradations.
+const treeInternCap = 64
+
+// NewReplanEngines returns a registry bounded to capacity engines (≤ 0
+// selects 16).
+func NewReplanEngines(capacity int) *ReplanEngines {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &ReplanEngines{
+		capacity: capacity,
+		m:        make(map[string]*ReplanEngine),
+		trees:    make(map[string]*hardware.Tree),
+	}
+}
+
+// InternTree returns a hardware tree for the array, reusing the
+// registry's retained tree when one with identical content (same
+// ordered spec list, same level budget) exists. Servers rebuild the
+// array object on every request; without interning each request's fresh
+// tree pointer forces the engines' hardware index to re-digest the
+// whole hierarchy (O(fleet) hashing) before a single retained entry can
+// be consulted. With it, a recurrent request presents the exact pointer
+// the index already knows and the digest lookup is O(1). Interning
+// never changes plans — trees with equal content plan identically — it
+// only makes the recurrent case cheap.
+func (s *ReplanEngines) InternTree(arr *hardware.Array, maxLevels int) (*hardware.Tree, error) {
+	key := arrayKey(arr, maxLevels)
+	s.mu.Lock()
+	if t, ok := s.trees[key]; ok {
+		s.treeTouch(key)
+		s.mu.Unlock()
+		return t, nil
+	}
+	s.mu.Unlock()
+	// Build outside the lock; a racing builder of the same content loses
+	// to whichever registered first, keeping the pointer stable.
+	t, err := hardware.BuildTree(arr, maxLevels)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.trees[key]; ok {
+		s.treeTouch(key)
+		return existing, nil
+	}
+	s.trees[key] = t
+	s.treeMRU = append([]string{key}, s.treeMRU...)
+	for len(s.treeMRU) > treeInternCap {
+		last := s.treeMRU[len(s.treeMRU)-1]
+		s.treeMRU = s.treeMRU[:len(s.treeMRU)-1]
+		delete(s.trees, last)
+	}
+	return t, nil
+}
+
+func (s *ReplanEngines) treeTouch(key string) {
+	for i, k := range s.treeMRU {
+		if k == key {
+			copy(s.treeMRU[1:i+1], s.treeMRU[:i])
+			s.treeMRU[0] = key
+			return
+		}
+	}
+}
+
+// arrayKey fingerprints an array's content plus the tree level budget.
+func arrayKey(arr *hardware.Array, maxLevels int) string {
+	h := fnv.New128a()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wInt(int64(maxLevels))
+	wInt(int64(len(arr.Name)))
+	h.Write([]byte(arr.Name))
+	wInt(int64(len(arr.Accel)))
+	for _, s := range arr.Accel {
+		wInt(int64(s.Fingerprint()))
+	}
+	return string(h.Sum(nil))
+}
+
+// Engine returns the registry's engine for (net, opt), creating and
+// admitting one on first use. Networks are matched by content (structure
+// and dims), not pointer, so servers that rebuild the network per
+// request keep hitting the same engine.
+func (s *ReplanEngines) Engine(net *dnn.Network, opt Options) (*ReplanEngine, error) {
+	e, err := NewReplanEngine(net, opt)
+	if err != nil {
+		return nil, err
+	}
+	key := engineKey(e.base)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.m[key]; ok {
+		s.touch(key)
+		return existing, nil
+	}
+	s.m[key] = e
+	s.order = append([]string{key}, s.order...)
+	for len(s.order) > s.capacity {
+		last := s.order[len(s.order)-1]
+		s.order = s.order[:len(s.order)-1]
+		delete(s.m, last)
+	}
+	return e, nil
+}
+
+func (s *ReplanEngines) touch(key string) {
+	for i, k := range s.order {
+		if k == key {
+			copy(s.order[1:i+1], s.order[:i])
+			s.order[0] = key
+			return
+		}
+	}
+}
+
+// Len returns the resident engine count.
+func (s *ReplanEngines) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// engineKey fingerprints everything fixed per engine: the search
+// fingerprint (network structure + decision-relevant options) plus the
+// root dims, which the search fingerprint deliberately excludes (dims
+// travel in subproblem keys there, but an engine's retained plans are
+// bound to one batch geometry).
+func engineKey(p *planner) string {
+	h := fnv.New128a()
+	h.Write([]byte(searchFingerprint(p.units, p.segs, p.planSegs, p.opt)))
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, u := range p.units {
+		d := u.Dims
+		wInt(int64(d.B))
+		wInt(int64(d.Di))
+		wInt(int64(d.Do))
+		wInt(int64(d.HIn))
+		wInt(int64(d.WIn))
+		wInt(int64(d.HOut))
+		wInt(int64(d.WOut))
+		wInt(int64(d.KH))
+		wInt(int64(d.KW))
+	}
+	return string(h.Sum(nil))
+}
+
+// PartitionBestCtx is PartitionBestCtx through the registry's engines:
+// each option set plans through its retained engine, and the winner scan
+// matches the one-shot portfolio exactly (lowest time, earliest option
+// set on ties), so the result is byte-identical to core.PartitionBestCtx
+// while recurrent trees are served from retained plans. The returned
+// stats aggregate all variants.
+func (s *ReplanEngines) PartitionBestCtx(ctx context.Context, net *dnn.Network, tree *hardware.Tree, opts ...Options) (*Plan, ReplanStats, error) {
+	var total ReplanStats
+	if len(opts) == 0 {
+		return nil, total, fmt.Errorf("core: PartitionBest needs at least one option set")
+	}
+	engines := make([]*ReplanEngine, len(opts))
+	for i := range opts {
+		e, err := s.Engine(net, opts[i])
+		if err != nil {
+			return nil, total, err
+		}
+		engines[i] = e
+	}
+	workers := 1
+	for _, opt := range opts {
+		if opt.Parallelism != 1 {
+			workers = 0 // at least one search wants concurrency: use the pool
+			break
+		}
+	}
+	plans := make([]*Plan, len(opts))
+	stats := make([]ReplanStats, len(opts))
+	err := parallel.ForEachCtx(ctx, len(opts), workers, func(i int) error {
+		plan, st, perr := engines[i].PlanCtx(ctx, tree)
+		if perr != nil {
+			return perr
+		}
+		plans[i] = plan
+		stats[i] = st
+		return nil
+	})
+	for _, st := range stats {
+		total.Add(st)
+	}
+	if err != nil {
+		return nil, total, wrapCtxErr(err)
+	}
+	var best *Plan
+	for _, plan := range plans {
+		if best == nil || plan.Time() < best.Time() {
+			best = plan
+		}
+	}
+	return best, total, nil
+}

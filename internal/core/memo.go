@@ -3,8 +3,8 @@ package core
 import (
 	"encoding/binary"
 	"hash/fnv"
-	"math"
 	"sync"
+	"sync/atomic"
 
 	"accpar/internal/hardware"
 	"accpar/internal/tensor"
@@ -22,23 +22,45 @@ import (
 // α = 0.5 hands both children identical (subtree, dims) subproblems, so a
 // depth-h homogeneous hierarchy costs O(h) DP runs instead of O(2^h).
 //
+// Each entry additionally records its dependency set — the distinct
+// hardware-spec fingerprints of the subtree it was solved against — and
+// the epoch (replan generation) it was last served in. A memo that dies
+// with one search never reads either; a memo retained across faults by a
+// ReplanEngine uses the dependency sets to invalidate exactly the
+// entries whose hardware has left the fleet, and the epochs to bound the
+// entries kept for hardware that is still present but whose dims no
+// future search will ask for. Invalidation is a liveness policy, never a
+// correctness mechanism: content addressing already guarantees a stale
+// entry can only be missed, not wrongly hit.
+//
 // The memo is sharded to keep concurrent planner workers from serializing
 // on one lock.
 type planMemo struct {
 	shards [memoShards]memoShard
+	count  atomic.Int64
 }
 
 const memoShards = 16
 
 type memoShard struct {
 	mu sync.RWMutex
-	m  map[string]*PlanNode
+	m  map[string]*memoEntry
+}
+
+type memoEntry struct {
+	node *PlanNode
+	// deps holds the sorted distinct spec fingerprints of the hardware
+	// subtree this solution depends on (shared with the hwIndex — read
+	// only).
+	deps []uint64
+	// epoch is the replan generation that last hit or stored the entry.
+	epoch atomic.Int64
 }
 
 func newPlanMemo() *planMemo {
 	p := &planMemo{}
 	for i := range p.shards {
-		p.shards[i].m = make(map[string]*PlanNode)
+		p.shards[i].m = make(map[string]*memoEntry)
 	}
 	return p
 }
@@ -50,58 +72,102 @@ func (p *planMemo) shard(key string) *memoShard {
 	return &p.shards[key[0]&(memoShards-1)]
 }
 
-// get returns the cached solution for key. The caller must clone the
-// returned node before linking it into a plan: plan consumers (the array
-// simulator's leaf-range index in particular) key maps by *PlanNode, so a
-// subtree shared between two parents would silently alias.
-func (p *planMemo) get(key string) (*PlanNode, bool) {
+// get returns the cached solution for key, stamping the entry with the
+// serving epoch. The caller must clone the returned node before linking
+// it into a plan: plan consumers (the array simulator's leaf-range index
+// in particular) key maps by *PlanNode, so a subtree shared between two
+// parents would silently alias.
+func (p *planMemo) get(key string, epoch int64) (*PlanNode, bool) {
 	s := p.shard(key)
 	s.mu.RLock()
-	n, ok := s.m[key]
+	e, ok := s.m[key]
 	s.mu.RUnlock()
-	return n, ok
+	if !ok {
+		return nil, false
+	}
+	if epoch > e.epoch.Load() {
+		e.epoch.Store(epoch)
+	}
+	return e.node, true
 }
 
-func (p *planMemo) put(key string, n *PlanNode) {
+func (p *planMemo) put(key string, n *PlanNode, deps []uint64, epoch int64) {
+	e := &memoEntry{node: n, deps: deps}
+	e.epoch.Store(epoch)
 	s := p.shard(key)
 	s.mu.Lock()
-	s.m[key] = n
+	if _, exists := s.m[key]; !exists {
+		p.count.Add(1)
+	}
+	s.m[key] = e
 	s.mu.Unlock()
 }
 
-// subproblemKey hashes (hardware subtree, effective dims) into a memo key.
-func subproblemKey(node *hardware.Tree, dims []tensor.LayerDims) string {
+// len returns the resident entry count.
+func (p *planMemo) len() int {
+	return int(p.count.Load())
+}
+
+// invalidate removes every entry depending on a spec fingerprint absent
+// from reachable and returns the number removed. This is the dependency
+// walk of incremental replanning: after a Degrade/DegradeGroups the
+// fingerprints of the touched group change, so precisely the subproblems
+// whose hardware subtree contained that group fall out, and everything
+// else stays resident for the next search.
+func (p *planMemo) invalidate(reachable map[uint64]bool) int {
+	removed := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for k, e := range s.m {
+			for _, fp := range e.deps {
+				if !reachable[fp] {
+					delete(s.m, k)
+					removed++
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	p.count.Add(int64(-removed))
+	return removed
+}
+
+// evictBefore removes entries whose last-served epoch predates cutoff
+// and returns the number removed — the size backstop for entries whose
+// hardware is still reachable but whose dims (a one-off fault ratio's
+// scaling chain) no future search will ask for.
+func (p *planMemo) evictBefore(cutoff int64) int {
+	removed := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for k, e := range s.m {
+			if e.epoch.Load() < cutoff {
+				delete(s.m, k)
+				removed++
+			}
+		}
+		s.mu.Unlock()
+	}
+	p.count.Add(int64(-removed))
+	return removed
+}
+
+// subproblemKey hashes (hardware subtree, effective dims) into a memo
+// key, resolving the subtree through the planner's hardware index: the
+// digest replaces the former O(subtree) spec walk, so keying a node is
+// O(dims) regardless of how much hardware hangs below it.
+func (p *planner) subproblemKey(node *hardware.Tree, dims []tensor.LayerDims) (string, hwInfo) {
+	info := p.hw.ensure(node)
 	h := fnv.New128a()
+	h.Write(info.digest[:])
 	var buf [8]byte
 	wInt := func(v int64) {
 		binary.LittleEndian.PutUint64(buf[:], uint64(v))
 		h.Write(buf[:])
 	}
-	wFloat := func(v float64) {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		h.Write(buf[:])
-	}
-	var wTree func(t *hardware.Tree)
-	wTree = func(t *hardware.Tree) {
-		wInt(int64(t.Level))
-		wInt(int64(t.Group.Size()))
-		for _, s := range t.Group.Accel {
-			wInt(int64(len(s.Name)))
-			h.Write([]byte(s.Name))
-			wFloat(s.FLOPS)
-			wInt(s.HBMBytes)
-			wFloat(s.MemBandwidth)
-			wFloat(s.NetBandwidth)
-		}
-		if t.IsLeaf() {
-			wInt(-1)
-			return
-		}
-		wInt(-2)
-		wTree(t.Left)
-		wTree(t.Right)
-	}
-	wTree(node)
 	wInt(int64(len(dims)))
 	for _, d := range dims {
 		wInt(int64(d.B))
@@ -114,7 +180,7 @@ func subproblemKey(node *hardware.Tree, dims []tensor.LayerDims) string {
 		wInt(int64(d.KH))
 		wInt(int64(d.KW))
 	}
-	return string(h.Sum(nil))
+	return string(h.Sum(nil)), info
 }
 
 // clonePlanNode copies a memoized subtree so every parent links a
@@ -132,5 +198,16 @@ func clonePlanNode(n *PlanNode) *PlanNode {
 	// maps by *PlanNode — and it does.
 	c.Left = clonePlanNode(n.Left)
 	c.Right = clonePlanNode(n.Right)
+	return &c
+}
+
+// clonePlan clones a whole plan; see clonePlanNode for the aliasing
+// contract.
+func clonePlan(p *Plan) *Plan {
+	if p == nil {
+		return nil
+	}
+	c := *p
+	c.Root = clonePlanNode(p.Root)
 	return &c
 }

@@ -1,6 +1,10 @@
 package core
 
-import "accpar/internal/obs"
+import (
+	"time"
+
+	"accpar/internal/obs"
+)
 
 // Process-wide planner metrics. Updates sit on search-level paths (one per
 // subproblem, fork or bisection run, never per DP cell), so the counters
@@ -18,4 +22,22 @@ var (
 	obsBisectIters = obs.NewCounter("core.bisection_iterations")
 	// obsForks counts child subproblems forked onto pooled workers.
 	obsForks = obs.NewCounter("core.parallel_forks")
+	// obsReplanHits counts subproblems an engine-driven incremental
+	// replan served from retained state (memo, stale memo, shared cache
+	// or a whole retained plan) instead of re-solving.
+	obsReplanHits = obs.NewCounter("core.replan_incremental_hits")
+	// obsReplanInvalidated counts retained memo entries dropped by
+	// dependency invalidation after degraded hardware left the recent
+	// working set, plus epoch-backstop evictions.
+	obsReplanInvalidated = obs.NewCounter("core.replan_invalidated")
+	// obsReplanTimer is the replan-latency histogram (p50/p95/p99 via the
+	// log2-bucketed obs.Timer): one observation per ReplanEngine.ReplanCtx
+	// and per resilience degraded-replanning phase.
+	obsReplanTimer = obs.NewTimer("core.replan.seconds")
 )
+
+// ObserveReplanLatency records one replan-latency observation in the
+// core.replan.seconds histogram. The facade's resilience pipeline calls
+// it around its degraded-replanning phase so serving metrics report one
+// latency distribution no matter which entry point triggered the replan.
+func ObserveReplanLatency(d time.Duration) { obsReplanTimer.Observe(d) }

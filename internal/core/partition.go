@@ -32,11 +32,47 @@ type planner struct {
 	// namespaces this planner's subproblem keys inside it.
 	shared   *SharedCache
 	searchFP string
+	// hw indexes every hardware tree this planner has planned: content
+	// digests (the subproblem-key prefix) and per-subtree spec
+	// fingerprint sets (the memo's dependency records).
+	hw *hwIndex
 	// ctx aborts the search; done caches its Done channel so the
 	// per-subproblem cancellation probe (checkCtx) is one nil comparison
 	// when no context was supplied.
 	ctx  context.Context
 	done <-chan struct{}
+	// epoch and rs are per-call replan bookkeeping, set by forCall when a
+	// ReplanEngine drives the search: epoch stamps memo entries for the
+	// retention backstop, rs collects this call's incremental-hit and
+	// expansion counts. Both are inert (zero/nil) for one-shot searches.
+	epoch int64
+	rs    *replanStats
+}
+
+// forCall returns a shallow copy of the planner rebound to one engine
+// call: same memo, hardware index, semaphore and shared cache — the
+// retained state incremental replanning exists for — but a per-call
+// context, epoch and stats collector. The copy is what lets one retained
+// planner serve concurrent calls with different deadlines.
+func (p *planner) forCall(ctx context.Context, epoch int64, rs *replanStats) *planner {
+	pc := *p
+	pc.ctx = ctx
+	pc.done = nil
+	if ctx != nil {
+		pc.done = ctx.Done()
+	}
+	pc.epoch = epoch
+	pc.rs = rs
+	return &pc
+}
+
+// noteHit records an incremental replan hit when an engine drives the
+// search; one-shot searches skip the replan counters.
+func (p *planner) noteHit() {
+	if p.rs != nil {
+		p.rs.hits.Add(1)
+		obsReplanHits.Inc()
+	}
 }
 
 // newPlanner validates the inputs and builds the shared search state.
@@ -66,6 +102,7 @@ func newPlanner(ctx context.Context, net *dnn.Network, opt Options) (*planner, e
 		memo:     newPlanMemo(),
 		sem:      parallel.NewSem(opt.Parallelism),
 		shared:   opt.Cache,
+		hw:       newHWIndex(),
 		ctx:      ctx,
 	}
 	if ctx != nil {
@@ -90,6 +127,7 @@ func (p *planner) rootDims() []tensor.LayerDims {
 func (p *planner) plan(tree *hardware.Tree) (*Plan, error) {
 	sp := obs.StartSpan("planner", "plan")
 	defer sp.End()
+	p.hw.ensure(tree)
 	root, err := p.partitionNode(tree, p.rootDims())
 	if err != nil {
 		return nil, err
@@ -141,9 +179,10 @@ func (p *planner) partitionNode(node *hardware.Tree, dims []tensor.LayerDims) (*
 	if err := p.checkCtx(); err != nil {
 		return nil, err
 	}
-	key := subproblemKey(node, dims)
-	if cached, ok := p.memo.get(key); ok {
+	key, info := p.subproblemKey(node, dims)
+	if cached, ok := p.memo.get(key, p.epoch); ok {
 		obsMemoHits.Inc()
+		p.noteHit()
 		return clonePlanNode(cached), nil
 	}
 	if p.shared != nil {
@@ -170,8 +209,9 @@ func (p *planner) partitionNode(node *hardware.Tree, dims []tensor.LayerDims) (*
 			}
 			if hit {
 				obsSharedHits.Inc()
+				p.noteHit()
 			}
-			p.memo.put(key, n)
+			p.memo.put(key, n, info.specs, p.epoch)
 			return clonePlanNode(n), nil
 		}
 	}
@@ -181,13 +221,16 @@ func (p *planner) partitionNode(node *hardware.Tree, dims []tensor.LayerDims) (*
 		// usually carry tree-specific context (degenerate specs).
 		return nil, err
 	}
-	p.memo.put(key, n)
+	p.memo.put(key, n, info.specs, p.epoch)
 	return n, nil
 }
 
 // computeNode solves one hierarchy node from scratch.
 func (p *planner) computeNode(node *hardware.Tree, dims []tensor.LayerDims) (*PlanNode, error) {
 	obsSubproblems.Inc()
+	if p.rs != nil {
+		p.rs.expanded.Add(1)
+	}
 	if obs.Tracing() {
 		// Span names render a Sprintf; the Tracing guard keeps the disabled
 		// path free of it (the zero Span from StartSpan would be inert, but

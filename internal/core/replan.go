@@ -7,8 +7,6 @@ import (
 	"accpar/internal/cost"
 	"accpar/internal/dnn"
 	"accpar/internal/hardware"
-	"accpar/internal/obs"
-	"accpar/internal/parallel"
 	"accpar/internal/tensor"
 )
 
@@ -35,6 +33,7 @@ func (p *planner) stalePlan(plan *Plan, tree *hardware.Tree) (*Plan, error) {
 	if plan == nil || plan.Root == nil {
 		return nil, fmt.Errorf("core: stale evaluation needs a plan")
 	}
+	p.hw.ensure(tree)
 	root, err := p.staleNode(tree, plan.Root, p.rootDims())
 	if err != nil {
 		return nil, err
@@ -114,6 +113,9 @@ type ReplanReport struct {
 	Fresh *Plan
 	// Adopted reports whether the fresh plan improved on the stale one.
 	Adopted bool
+	// Stats reports how much of the replan was served incrementally from
+	// retained state versus re-solved; see ReplanStats.
+	Stats ReplanStats
 }
 
 // Recovery returns the fraction of the degradation-induced slowdown the
@@ -142,47 +144,15 @@ func Replan(net *dnn.Network, pristine, degraded *hardware.Tree, opt Options) (*
 
 // ReplanCtx is Replan bound to a context: all three passes (pristine,
 // stale, fresh) poll ctx and the pipeline aborts with ErrCanceled or
-// ErrDeadlineExceeded without publishing a report.
+// ErrDeadlineExceeded without publishing a report. It runs through a
+// one-shot ReplanEngine, so its mechanics — including the stale pass's
+// untouched-subtree reuse — are exactly the incremental path's, just
+// without retained state from earlier calls.
 func ReplanCtx(ctx context.Context, net *dnn.Network, pristine, degraded *hardware.Tree, opt Options) (*ReplanReport, error) {
-	p, err := newPlanner(ctx, net, opt)
+	e, err := NewReplanEngine(net, opt)
 	if err != nil {
 		return nil, err
 	}
-	faultFree, err := p.plan(pristine)
-	if err != nil {
-		return nil, err
-	}
-	// The stale re-costing and the fresh degraded partition are independent
-	// given faultFree; both consult the shared memo.
-	var stale, fresh *Plan
-	g := parallel.NewGroup(min(2, parallel.Workers(p.opt.Parallelism)))
-	g.Go(func() error {
-		var serr error
-		stale, serr = p.stalePlan(faultFree, degraded)
-		return serr
-	})
-	g.Go(func() error {
-		var ferr error
-		fresh, ferr = p.plan(degraded)
-		return ferr
-	})
-	if err := g.Wait(); err != nil {
-		return nil, err
-	}
-	rep := &ReplanReport{
-		FaultFree: faultFree,
-		Stale:     stale,
-		Fresh:     fresh,
-		Replanned: fresh,
-		Adopted:   fresh.Time() < stale.Time(),
-	}
-	if !rep.Adopted {
-		rep.Replanned = stale
-	}
-	obs.Log().Info("core.replan",
-		"adopted", rep.Adopted,
-		"fault_free_seconds", faultFree.Time(),
-		"stale_seconds", stale.Time(),
-		"fresh_seconds", fresh.Time())
-	return rep, nil
+	rep, _, err := e.ReplanCtx(ctx, pristine, degraded)
+	return rep, err
 }

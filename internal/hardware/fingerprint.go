@@ -1,0 +1,30 @@
+package hardware
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a content hash of the spec: two specs fingerprint
+// equally iff every field the cost model reads is identical. Degradation
+// renames the spec (see Degrade), so a degraded group's fingerprint never
+// collides with its pristine ancestor's — which is exactly what lets a
+// dependency-tracked planner memo tell "this cached subproblem was solved
+// against hardware that no longer exists" apart from "this subproblem is
+// still current".
+func (s Spec) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wInt(int64(len(s.Name)))
+	h.Write([]byte(s.Name))
+	wInt(int64(math.Float64bits(s.FLOPS)))
+	wInt(s.HBMBytes)
+	wInt(int64(math.Float64bits(s.MemBandwidth)))
+	wInt(int64(math.Float64bits(s.NetBandwidth)))
+	return h.Sum64()
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"accpar/internal/core"
 	"accpar/internal/faults"
@@ -29,6 +30,9 @@ type (
 	Degradation = hardware.Degradation
 	// ReplanReport is the analytic three-way replanning comparison.
 	ReplanReport = core.ReplanReport
+	// ReplanStats reports how much of a replan was served incrementally
+	// from retained state versus re-solved.
+	ReplanStats = core.ReplanStats
 )
 
 // The fault kinds.
@@ -84,19 +88,21 @@ func ctxSentinel(err error) error {
 // replanAnalytic is the options-level replanning pipeline shared by
 // ReplanAnalytic and Session.Replan.
 func replanAnalytic(net *Network, groups []ArrayGroup, opt Options, sc *FaultScenario) (*ReplanReport, error) {
-	return replanAnalyticCtx(context.Background(), net, groups, opt, sc)
+	return replanAnalyticCtx(context.Background(), nil, net, groups, opt, sc)
 }
 
-// replanAnalyticCtx is replanAnalytic bound to a context.
-func replanAnalyticCtx(ctx context.Context, net *Network, groups []ArrayGroup, opt Options, sc *FaultScenario) (*ReplanReport, error) {
+// replanAnalyticCtx is replanAnalytic bound to a context and an optional
+// engine registry. With a registry (Session calls) the replan runs
+// through a retained ReplanEngine, so a recurrent fault — the same
+// (network, options, degraded hardware) seen again — is served from the
+// dependency-tracked memo in well under a millisecond instead of a full
+// search; without one (package-level calls) a one-shot engine gives the
+// same bytes with no retained state.
+func replanAnalyticCtx(ctx context.Context, engines *core.ReplanEngines, net *Network, groups []ArrayGroup, opt Options, sc *FaultScenario) (*ReplanReport, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
 	arr, err := HeterogeneousArray(groups...)
-	if err != nil {
-		return nil, err
-	}
-	pristine, err := hardware.BuildTree(arr, 64)
 	if err != nil {
 		return nil, err
 	}
@@ -108,11 +114,29 @@ func replanAnalyticCtx(ctx context.Context, net *Network, groups []ArrayGroup, o
 	if err != nil {
 		return nil, err
 	}
-	degraded, err := hardware.BuildTree(darr, 64)
+	// Session calls intern both trees so a recurrent scenario hands the
+	// engine pointers its hardware index already knows.
+	buildTree := hardware.BuildTree
+	if engines != nil {
+		buildTree = engines.InternTree
+	}
+	pristine, err := buildTree(arr, 64)
 	if err != nil {
 		return nil, err
 	}
-	return core.ReplanCtx(ctx, net, pristine, degraded, opt)
+	degraded, err := buildTree(darr, 64)
+	if err != nil {
+		return nil, err
+	}
+	if engines == nil {
+		return core.ReplanCtx(ctx, net, pristine, degraded, opt)
+	}
+	eng, err := engines.Engine(net, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep, _, err := eng.ReplanCtx(ctx, pristine, degraded)
+	return rep, err
 }
 
 // ResilienceReport is the simulated three-way comparison of a fault
@@ -135,6 +159,10 @@ type ResilienceReport struct {
 	Adopted bool
 	// MachineNames labels the two groups in reports.
 	MachineNames [2]string
+	// Replan reports how much of the experiment's two partition searches
+	// was served incrementally from retained engine state (Session runs;
+	// zero-valued for the engineless package-level entry point).
+	Replan ReplanStats
 }
 
 // Impact returns the fractional makespan increase the faults inflict on
@@ -186,7 +214,39 @@ func (r *ResilienceReport) String() string {
 // replanned result is adopted only if its simulated makespan beats the
 // stale run, so Replanned.Time ≤ Stale.Time always holds.
 func Resilience(net *Network, groups []ArrayGroup, strategy Strategy, sc FaultScenario, cfg SimConfig) (*ResilienceReport, error) {
-	return resilienceCachedCtx(context.Background(), net, groups, strategy, sc, cfg, nil)
+	return resilienceCachedCtx(context.Background(), nil, net, groups, strategy, sc, cfg, nil)
+}
+
+// partitionEnginesCtx is partitionCachedCtx through an optional
+// ReplanEngines registry: with a registry the search runs on a retained
+// ReplanEngine (dependency-tracked memo, retained whole plans), so a
+// hardware tree the engine has already solved — the pristine array on
+// every resilience call after the first, or a recurrent degraded array —
+// is answered from retained state. Plans are byte-identical to the
+// engineless path; only the work performed differs.
+func partitionEnginesCtx(ctx context.Context, engines *core.ReplanEngines, net *Network, arr *Array, strategy Strategy, cache *PlanCache) (*Plan, ReplanStats, error) {
+	if engines == nil {
+		plan, err := partitionCachedCtx(ctx, net, arr, strategy, cache)
+		return plan, ReplanStats{}, err
+	}
+	tree, err := engines.InternTree(arr, 64)
+	if err != nil {
+		return nil, ReplanStats{}, err
+	}
+	if strategy == StrategyAccPar {
+		variants := core.AccParVariants()
+		for i := range variants {
+			variants[i].Cache = cache
+		}
+		return engines.PartitionBestCtx(ctx, net, tree, variants...)
+	}
+	opt := strategy.Options()
+	opt.Cache = cache
+	eng, err := engines.Engine(net, opt)
+	if err != nil {
+		return nil, ReplanStats{}, err
+	}
+	return eng.PlanCtx(ctx, tree)
 }
 
 // resilienceCachedCtx is Resilience through an optional shared plan
@@ -195,7 +255,7 @@ func Resilience(net *Network, groups []ArrayGroup, strategy Strategy, sc FaultSc
 // ctx themselves; the simulation phases are not cancellation-aware, so
 // the pipeline re-checks ctx between phases — an abort is observed
 // within one phase.
-func resilienceCachedCtx(ctx context.Context, net *Network, groups []ArrayGroup, strategy Strategy, sc FaultScenario, cfg SimConfig, cache *PlanCache) (*ResilienceReport, error) {
+func resilienceCachedCtx(ctx context.Context, engines *core.ReplanEngines, net *Network, groups []ArrayGroup, strategy Strategy, sc FaultScenario, cfg SimConfig, cache *PlanCache) (*ResilienceReport, error) {
 	if len(groups) != 2 {
 		return nil, fmt.Errorf("accpar: resilience needs exactly 2 accelerator groups, got %d", len(groups))
 	}
@@ -212,7 +272,7 @@ func resilienceCachedCtx(ctx context.Context, net *Network, groups []ArrayGroup,
 	// The experiment's phases carry spans so a trace of a resilience run
 	// reads as its pipeline: plan, three simulations, replan.
 	sp := obs.StartSpan("resilience", "plan-pristine")
-	plan, err := partitionCachedCtx(ctx, net, arr, strategy, cache)
+	plan, pst, err := partitionEnginesCtx(ctx, engines, net, arr, strategy, cache)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -253,12 +313,18 @@ func resilienceCachedCtx(ctx context.Context, net *Network, groups []ArrayGroup,
 	if err != nil {
 		return nil, err
 	}
+	// The degraded search is the fault-response path: its wall-clock time
+	// feeds the process-wide replan-latency histogram so serving metrics
+	// report one latency distribution for replan-after-fault no matter
+	// which entry point triggered it.
 	sp = obs.StartSpan("resilience", "plan-degraded")
-	dplan, err := partitionCachedCtx(ctx, net, darr, strategy, cache)
+	replanStart := time.Now()
+	dplan, dst, err := partitionEnginesCtx(ctx, engines, net, darr, strategy, cache)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	core.ObserveReplanLatency(time.Since(replanStart))
 	if err := ctxSentinel(ctx.Err()); err != nil {
 		return nil, err
 	}
@@ -279,6 +345,8 @@ func resilienceCachedCtx(ctx context.Context, net *Network, groups []ArrayGroup,
 		Adopted:       replanned.Time < stale.Time,
 		MachineNames:  [2]string{a.Name, b.Name},
 	}
+	rep.Replan.Add(pst)
+	rep.Replan.Add(dst)
 	if !rep.Adopted {
 		rep.Replanned = stale
 		rep.ReplannedPlan = plan

@@ -39,12 +39,20 @@ func NewPlanCache(capacity int) *PlanCache { return core.NewSharedCache(capacity
 // previously seen subproblems without recomputation.
 type Session struct {
 	cache *PlanCache
+	// engines retains per-(network, options) ReplanEngine instances so
+	// Session.ReplanCtx and Session.ResilienceCtx replan incrementally:
+	// each engine keeps a dependency-tracked subproblem memo, retained
+	// whole plans and a recent-hardware working set, making a recurrent
+	// fault a sub-millisecond lookup instead of a fresh search. Every
+	// engine binds the session cache, so engine misses still warm — and
+	// are warmed by — all other session work.
+	engines *core.ReplanEngines
 }
 
 // NewSession returns a Session with a fresh cache bounded to capacity
 // entries (≤ 0 selects the default).
 func NewSession(capacity int) *Session {
-	return &Session{cache: NewPlanCache(capacity)}
+	return &Session{cache: NewPlanCache(capacity), engines: core.NewReplanEngines(0)}
 }
 
 // Cache returns the session's shared plan cache, for callers who want to
@@ -115,7 +123,7 @@ func (s *Session) Resilience(net *Network, groups []ArrayGroup, strategy Strateg
 // searches poll ctx, and the pipeline re-checks it between its plan and
 // simulation phases, so an abort is observed within one phase.
 func (s *Session) ResilienceCtx(ctx context.Context, net *Network, groups []ArrayGroup, strategy Strategy, sc FaultScenario, cfg SimConfig) (*ResilienceReport, error) {
-	return resilienceCachedCtx(ctx, net, groups, strategy, sc, cfg, s.cache)
+	return resilienceCachedCtx(ctx, s.engines, net, groups, strategy, sc, cfg, s.cache)
 }
 
 // PartitionWithOptions is the package-level PartitionWithOptions through
@@ -170,11 +178,15 @@ func (s *Session) Replan(net *Network, groups []ArrayGroup, strategy Strategy, s
 }
 
 // ReplanCtx is Replan bound to a context; all three planning passes poll
-// ctx and abort with ErrCanceled or ErrDeadlineExceeded.
+// ctx and abort with ErrCanceled or ErrDeadlineExceeded. The replan runs
+// on the session's retained ReplanEngine for (net, strategy): the
+// pristine plan and every untouched subtree come from retained state, and
+// a recurrent scenario is answered entirely from the dependency-tracked
+// memo. Reports stay byte-identical to a fresh session's.
 func (s *Session) ReplanCtx(ctx context.Context, net *Network, groups []ArrayGroup, strategy Strategy, sc *FaultScenario) (*ReplanReport, error) {
 	opt := strategy.Options()
 	opt.Cache = s.cache
-	return replanAnalyticCtx(ctx, net, groups, opt, sc)
+	return replanAnalyticCtx(ctx, s.engines, net, groups, opt, sc)
 }
 
 // TuneBatch is the package-level TuneBatch through the session cache.
