@@ -18,7 +18,7 @@ import (
 // reuse is exactly the kind of slowdown the gate exists to catch. Cache
 // cold/warm entries are excluded — their timings measure cache state,
 // not code speed, and the warm side is nanoseconds-scale noise.
-var gatePrefixes = []string{"PartitionHierarchical/", "Simulate/", "SolveRatio/", "ReplanAfterFault/"}
+var gatePrefixes = []string{"PartitionHierarchical/", "Simulate/", "SolveRatio/", "ReplanAfterFault/", "DSESweep/"}
 
 // gated reports whether the gate compares a benchmark entry.
 func gated(name string) bool {
@@ -45,6 +45,35 @@ type gateLine struct {
 // relative tolerance, so single-digit-alloc entries don't fail on one
 // incidental allocation.
 const allocSlack = 16
+
+// dseMinSpeedup is the amortization floor the shared design-space sweep
+// must hold over independent cold per-candidate searches. Unlike the
+// relative ns/op comparisons, this gates the fresh report against an
+// absolute target: losing the batch engine's cross-fleet memo or its
+// bound pruning is a regression even if both sweep entries slow down in
+// proportion.
+const dseMinSpeedup = 5.0
+
+// dseSpeedup extracts the fresh report's DSESweep cold/shared ns/op
+// ratio; ok is false when either entry is absent.
+func dseSpeedup(r *BenchReport) (ratio float64, ok bool) {
+	var coldNs, sharedNs float64
+	for _, e := range r.Benchmarks {
+		if !strings.HasPrefix(e.Name, "DSESweep/") {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(e.Name, "/cold"):
+			coldNs = e.NsPerOp
+		case strings.HasSuffix(e.Name, "/shared"):
+			sharedNs = e.NsPerOp
+		}
+	}
+	if coldNs <= 0 || sharedNs <= 0 {
+		return 0, false
+	}
+	return coldNs / sharedNs, true
+}
 
 // compareReports gates every baseline planner/simulator entry against the
 // fresh report. A fresh report missing a gated baseline entry fails — a
@@ -124,8 +153,25 @@ func runGate(freshPath, basePath string, tol float64) error {
 		}
 		fmt.Printf("%-44s %14.0f %14.0f %8.2f%s\n", l.name, l.baseNs, l.freshNs, l.ratio, status)
 	}
+	var failed []string
 	if !ok {
-		return fmt.Errorf("bench gate failed: planner/simulator performance regressed beyond %.0f%%", 100*tol)
+		// Enumerate every regressing entry: one run surfaces the full set,
+		// so a multi-entry regression doesn't take several CI round-trips
+		// to map out.
+		for _, l := range lines {
+			if l.fail {
+				failed = append(failed, fmt.Sprintf("%s (%s)", l.name, l.why))
+			}
+		}
+	}
+	if ratio, present := dseSpeedup(fresh); present {
+		fmt.Printf("\ndse sweep amortization: %.1fx (floor %.0fx)\n", ratio, dseMinSpeedup)
+		if ratio < dseMinSpeedup {
+			failed = append(failed, fmt.Sprintf("DSESweep shared speedup %.1fx below the %.0fx floor", ratio, dseMinSpeedup))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("bench gate failed: %d regressions: %s", len(failed), strings.Join(failed, "; "))
 	}
 	fmt.Println("\nbench gate passed")
 	return nil

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -112,6 +113,80 @@ func TestCompareReportsGatesReplan(t *testing.T) {
 	)
 	if _, ok := compareReports(dropped, base, 0.25); ok {
 		t.Error("dropped incremental replan entry must fail the gate")
+	}
+}
+
+// TestRunGateEnumeratesAllRegressions asserts the one-run contract: when
+// several gated entries regress at once, the gate's error names every one
+// of them, not just the first.
+func TestRunGateEnumeratesAllRegressions(t *testing.T) {
+	base := report(
+		BenchEntry{Name: "PartitionHierarchical/resnet50/parallel", NsPerOp: 1000, AllocsPerOp: 100},
+		BenchEntry{Name: "Simulate/vgg16", NsPerOp: 500, AllocsPerOp: 50},
+		BenchEntry{Name: "DSESweep/resnet50/shared", NsPerOp: 2000, AllocsPerOp: 200},
+		BenchEntry{Name: "SolveRatio/closed-form", NsPerOp: 100, AllocsPerOp: 2},
+	)
+	// Three entries regress: two on ns/op, one dropped entirely. SolveRatio
+	// holds steady and must stay out of the error.
+	fresh := report(
+		BenchEntry{Name: "PartitionHierarchical/resnet50/parallel", NsPerOp: 9000, AllocsPerOp: 100},
+		BenchEntry{Name: "Simulate/vgg16", NsPerOp: 5000, AllocsPerOp: 50},
+		BenchEntry{Name: "SolveRatio/closed-form", NsPerOp: 100, AllocsPerOp: 2},
+	)
+	err := runGate(writeReport(t, fresh), writeReport(t, base), 0.25)
+	if err == nil {
+		t.Fatal("multi-entry regression must error")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"PartitionHierarchical/resnet50/parallel",
+		"Simulate/vgg16",
+		"DSESweep/resnet50/shared",
+		"3 regressions",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("gate error missing %q:\n%s", want, msg)
+		}
+	}
+	if strings.Contains(msg, "SolveRatio/closed-form") {
+		t.Errorf("gate error names a passing entry:\n%s", msg)
+	}
+}
+
+// TestRunGateDSESpeedupFloor: the fresh report's DSESweep cold/shared
+// ratio is gated against an absolute floor, independent of the baseline.
+func TestRunGateDSESpeedupFloor(t *testing.T) {
+	base := report(
+		BenchEntry{Name: "Simulate/vgg16", NsPerOp: 500, AllocsPerOp: 50},
+		BenchEntry{Name: "DSESweep/resnet50/cold", NsPerOp: 10000, AllocsPerOp: 100},
+		BenchEntry{Name: "DSESweep/resnet50/shared", NsPerOp: 1000, AllocsPerOp: 100},
+	)
+	basePath := writeReport(t, base)
+
+	// 10x amortization passes.
+	good := report(
+		BenchEntry{Name: "Simulate/vgg16", NsPerOp: 500, AllocsPerOp: 50},
+		BenchEntry{Name: "DSESweep/resnet50/cold", NsPerOp: 10000, AllocsPerOp: 100},
+		BenchEntry{Name: "DSESweep/resnet50/shared", NsPerOp: 1000, AllocsPerOp: 100},
+	)
+	if err := runGate(writeReport(t, good), basePath, 0.25); err != nil {
+		t.Errorf("10x amortization must pass: %v", err)
+	}
+
+	// The shared sweep decaying to 2x — even with both entries inside the
+	// relative tolerance against a matching baseline — fails the floor.
+	decayed := report(
+		BenchEntry{Name: "Simulate/vgg16", NsPerOp: 500, AllocsPerOp: 50},
+		BenchEntry{Name: "DSESweep/resnet50/cold", NsPerOp: 10000, AllocsPerOp: 100},
+		BenchEntry{Name: "DSESweep/resnet50/shared", NsPerOp: 5000, AllocsPerOp: 100},
+	)
+	decayedBase := writeReport(t, decayed)
+	err := runGate(writeReport(t, decayed), decayedBase, 0.25)
+	if err == nil {
+		t.Fatal("2x amortization must fail the floor")
+	}
+	if !strings.Contains(err.Error(), "below the 5x floor") {
+		t.Errorf("floor failure not reported: %v", err)
 	}
 }
 

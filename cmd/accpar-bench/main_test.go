@@ -80,8 +80,8 @@ func TestRunPerfJSON(t *testing.T) {
 	if report.GoMaxProcs < 1 {
 		t.Errorf("gomaxprocs = %d", report.GoMaxProcs)
 	}
-	if len(report.Benchmarks) != 14 {
-		t.Fatalf("benchmarks = %d, want 14", len(report.Benchmarks))
+	if len(report.Benchmarks) != 16 {
+		t.Fatalf("benchmarks = %d, want 16", len(report.Benchmarks))
 	}
 	for _, e := range report.Benchmarks {
 		if e.NsPerOp <= 0 || e.Iterations <= 0 {

@@ -13,9 +13,12 @@ import (
 	"accpar"
 	"accpar/internal/autotune"
 	"accpar/internal/core"
+	"accpar/internal/dse"
 	"accpar/internal/eval"
+	"accpar/internal/faults"
 	"accpar/internal/hardware"
 	"accpar/internal/models"
+	"accpar/internal/parallel"
 )
 
 // BenchEntry is one measured benchmark in BENCH_PLANNER.json.
@@ -61,6 +64,11 @@ type BenchReport struct {
 	// degraded array already in the engine's working set) — the
 	// sub-millisecond fault-response path.
 	SpeedupReplanWarm float64 `json:"speedup_replan_warm"`
+	// SpeedupDSEShared is DSESweep cold ns/op over shared: the whole-sweep
+	// win of the batch engine's cross-fleet memo plus lower-bound pruning
+	// over independent per-candidate searches of the same fleet grid. The
+	// gate enforces a floor on it (dseMinSpeedup).
+	SpeedupDSEShared float64 `json:"speedup_dse_shared"`
 	// WarmStartEntries is the number of subproblems restored from the
 	// -cache-file snapshot (0 on a cold start or without the flag).
 	WarmStartEntries int          `json:"warm_start_entries,omitempty"`
@@ -275,6 +283,130 @@ func benchReplanAfterFault(model string, batch, perKind int) (full, incremental,
 	return full, incremental, recurrent, benchErr
 }
 
+// dseSpace builds the DSESweep benchmark's fleet grid, scaled to the
+// array size: the paper-scale grid enumerates ~1000 ResNet-50 candidate
+// fleets (capped exactly at 1000), the -small grid 150. The level axis
+// deliberately extends past the deepest fleet's natural depth — the
+// sweep cannot know each composition's depth a priori, so a real DSE
+// grid always carries caps that truncate to identical trees, and those
+// duplicates are a large part of what the shared sweep amortizes.
+func dseSpace(perKind int) *dse.Space {
+	s := &dse.Space{
+		Kinds: []dse.Kind{
+			{Name: "tpu-v2", Spec: hardware.TPUv2(), Price: 1.0},
+			{Name: "tpu-v3", Spec: hardware.TPUv3(), Price: 2.2},
+		},
+	}
+	if perKind >= 64 {
+		s.Counts = dedupCounts(0, perKind/8, perKind/4, perKind/2, 3*perKind/4, perKind)
+		s.Levels = []int{2, 8, 16, 32, 64, 128}
+		s.NetScales = []float64{0.5, 1, 2, 4, 8}
+		s.MaxCandidates = 1000
+		return s
+	}
+	s.Counts = dedupCounts(0, perKind/4, perKind/2, perKind)
+	s.Levels = []int{2, 8, 16, 32, 64}
+	s.NetScales = []float64{1, 2}
+	return s
+}
+
+// dedupCounts drops the duplicate board counts a small perKind's integer
+// divisions produce.
+func dedupCounts(counts ...int) []int {
+	var out []int
+	for _, c := range counts {
+		if n := len(out); n > 0 && out[n-1] == c {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// dseFault is the DSESweep resilience scenario: the TPU-v2 kind (space
+// index 0) slows to half speed wherever a candidate procures it.
+const dseFault = "slowdown:0=2.0"
+
+// benchDSESweep times the fleet design-space sweep two ways on one
+// model. Cold is the pre-batch-engine baseline of independent
+// per-candidate searches — the production entry points run per fleet
+// with no retained state: PartitionAccPar for the makespan, a stale
+// re-cost plus a fresh portfolio search of the degraded tree for the
+// resilience axis (without an engine there is no retained winner to
+// narrow the replan to). Shared is the shipped dse.Sweep: one
+// sweep-wide structural memo, duplicate-tree candidates evaluated once,
+// lower-bound pruning. Both fan out over the same worker pool and
+// produce the same frontier — pruning is proven safe and the memo never
+// changes decisions — so the ratio is pure amortization.
+func benchDSESweep(model string, batch, perKind int) (cold, shared testing.BenchmarkResult, err error) {
+	space := dseSpace(perKind)
+	net, err := models.BuildNetwork(model, batch)
+	if err != nil {
+		return cold, shared, err
+	}
+	cands, err := space.Enumerate()
+	if err != nil {
+		return cold, shared, err
+	}
+	fs, err := faults.Parse(dseFault)
+	if err != nil {
+		return cold, shared, err
+	}
+	scenario := &faults.Scenario{Faults: fs}
+
+	coldOnce := func() error {
+		return parallel.ForEachCtx(context.Background(), len(cands), 0, func(i int) error {
+			c := cands[i]
+			tree, err := c.Tree()
+			if err != nil {
+				return err
+			}
+			plan, err := core.PartitionAccPar(net, tree)
+			if err != nil {
+				return err
+			}
+			degraded, err := space.DegradedTree(&c, scenario)
+			if err != nil {
+				return err
+			}
+			if degraded == nil {
+				return nil
+			}
+			if _, err := core.StalePlan(net, plan, degraded, core.AccPar()); err != nil {
+				return err
+			}
+			_, err = core.PartitionAccPar(net, degraded)
+			return err
+		})
+	}
+	var benchErr error
+	cold = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := coldOnce(); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return cold, shared, benchErr
+	}
+
+	shared = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dse.Sweep(context.Background(), space, dse.Config{
+				Model: model, Batch: batch, Fault: dseFault,
+			}); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	return cold, shared, benchErr
+}
+
 // cacheEntry builds a cache-backed BenchEntry from a benchmark result and
 // the hit/miss counters accumulated over its measured iterations.
 func cacheEntry(name string, r testing.BenchmarkResult, hits, misses int64) BenchEntry {
@@ -410,6 +542,19 @@ func runPerf(cfg eval.Config, jsonPath, cacheFile, cpuProfile, memProfile string
 		report.SpeedupReplanWarm = fullNs / warmNs
 	}
 
+	// Fleet design-space sweep: independent cold per-candidate searches vs
+	// one shared batch sweep over the same grid.
+	dseCold, dseShared, err := benchDSESweep("resnet50", batch, perKind)
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks,
+		entry("DSESweep/resnet50/cold", dseCold),
+		entry("DSESweep/resnet50/shared", dseShared))
+	if sharedNs := float64(dseShared.T.Nanoseconds()) / float64(dseShared.N); sharedNs > 0 {
+		report.SpeedupDSEShared = float64(dseCold.T.Nanoseconds()) / float64(dseCold.N) / sharedNs
+	}
+
 	// Cross-run plan cache: the same workload cold (fresh cache) and warm
 	// (cache populated by a prior identical run).
 	tree, err := eval.HeterogeneousTree(perKind)
@@ -502,6 +647,7 @@ func runPerf(cfg eval.Config, jsonPath, cacheFile, cpuProfile, memProfile string
 	fmt.Printf("warm speedups: sweep %.1fx  tune-batch %.1fx\n", report.SpeedupWarmSweep, report.SpeedupWarmTuneBatch)
 	fmt.Printf("replan speedups vs full search: novel fault %.1fx  recurrent fault %.1fx\n",
 		report.SpeedupReplanIncremental, report.SpeedupReplanWarm)
+	fmt.Printf("dse sweep speedup vs independent cold searches: %.1fx\n", report.SpeedupDSEShared)
 	return nil
 }
 

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"accpar/internal/dnn"
+	"accpar/internal/hardware"
+)
+
+// BatchEngine plans many hardware trees against one (network, options)
+// pair while sharing a single structural memo across all of them. The
+// memo keys subproblems by (interned-subtree digest, effective dims), so
+// a subtree two candidate fleets have in common — the same accelerator
+// specs under the same link wiring, wherever it hangs in either tree,
+// at whatever depth (digests are level-independent) — is solved once
+// for the whole sweep. This is what makes fleet design-space exploration
+// cheap: candidates within a sweep differ in counts, mixes and
+// bandwidths but are assembled from the same few spec kinds, so their
+// hierarchies overlap enormously — the kind-pure halves of every mixed
+// fleet, and each fleet's pristine subtrees untouched by a modelled
+// fault, recur across the whole candidate grid.
+//
+// Unlike ReplanEngine, which serves a long-lived process and therefore
+// caps its retained state, a BatchEngine retains everything for the
+// duration of one sweep and is discarded with it. Every subproblem is
+// pure, so plans are byte-identical to a standalone PartitionCtx run
+// with the same options — caching and concurrency change wall-clock
+// only, never decisions — and the engine is safe for concurrent PlanCtx
+// calls across a worker pool.
+type BatchEngine struct {
+	base  *planner
+	bound boundModel
+	// epoch numbers candidates: each engine call stamps the memo entries
+	// it touches, so a hit on an entry last touched under a different
+	// epoch is cross-fleet amortization (core.memo_cross_fleet_hits).
+	epoch atomic.Int64
+}
+
+// NewBatchEngine builds a batch engine for one option set.
+func NewBatchEngine(net *dnn.Network, opt Options) (*BatchEngine, error) {
+	p, err := newPlanner(context.Background(), net, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchEngine{
+		base:  p,
+		bound: newBoundModel(p.units, p.rootDims(), p.opt),
+	}, nil
+}
+
+// forCandidate rebinds the retained planner to one candidate evaluation:
+// fresh epoch, per-call context, batch hit accounting.
+func (e *BatchEngine) forCandidate(ctx context.Context) *planner {
+	pc := e.base.forCall(ctx, e.epoch.Add(1), nil)
+	pc.batch = true
+	return pc
+}
+
+// PlanCtx partitions one candidate tree through the shared memo. The
+// produced plan is byte-identical to PartitionCtx with the engine's
+// options; an aborted call reports ErrCanceled or ErrDeadlineExceeded
+// and leaves the memo consistent (only completed subproblems publish).
+func (e *BatchEngine) PlanCtx(ctx context.Context, tree *hardware.Tree) (*Plan, error) {
+	return e.forCandidate(ctx).plan(tree)
+}
+
+// ReplanTimeCtx models the candidate's post-fault operating point: plan's
+// decisions re-costed on the degraded tree (stale) and a fresh
+// degradation-aware partition, adopting the faster — exactly Replan's
+// adoption rule, but through the sweep-shared memo, so degraded subtrees
+// common to many candidates are also solved once.
+func (e *BatchEngine) ReplanTimeCtx(ctx context.Context, plan *Plan, degraded *hardware.Tree) (float64, error) {
+	pc := e.forCandidate(ctx)
+	stale, err := pc.stalePlan(plan, degraded)
+	if err != nil {
+		return 0, err
+	}
+	fresh, err := pc.plan(degraded)
+	if err != nil {
+		return 0, err
+	}
+	if fresh.Time() < stale.Time() {
+		return fresh.Time(), nil
+	}
+	return stale.Time(), nil
+}
+
+// LowerBound returns an admissible lower bound on the makespan of any
+// plan for tree under the engine's options; see boundModel.
+func (e *BatchEngine) LowerBound(tree *hardware.Tree) float64 {
+	return e.bound.lower(tree)
+}
+
+// MemoLen reports the resident subproblem count, for tests and sweep
+// telemetry.
+func (e *BatchEngine) MemoLen() int { return e.base.memo.len() }
+
+// BatchSet is the portfolio counterpart of BatchEngine: one engine per
+// option set, the same winner rule as PartitionBest (lowest modelled
+// time, earliest option set on ties), so its plans are byte-identical to
+// PartitionBest over the same option sets — and, via NewBatchAccPar, to
+// the production PartitionAccPar entry point.
+type BatchSet struct {
+	engines []*BatchEngine
+}
+
+// NewBatchSet builds one retained engine per option set.
+func NewBatchSet(net *dnn.Network, opts ...Options) (*BatchSet, error) {
+	if len(opts) == 0 {
+		return nil, fmt.Errorf("core: BatchSet needs at least one option set")
+	}
+	engines := make([]*BatchEngine, len(opts))
+	for i, opt := range opts {
+		e, err := NewBatchEngine(net, opt)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = e
+	}
+	// All engines read one hardware index: digests and spec sets are
+	// functions of the trees alone, never of options, so each candidate
+	// hierarchy is indexed once for the whole portfolio instead of once
+	// per variant.
+	for _, e := range engines[1:] {
+		e.base.hw = engines[0].base.hw
+	}
+	return &BatchSet{engines: engines}, nil
+}
+
+// NewBatchAccPar builds the batch counterpart of PartitionAccPar: the
+// full AccParVariants portfolio over shared per-variant memos.
+func NewBatchAccPar(net *dnn.Network) (*BatchSet, error) {
+	return NewBatchSet(net, AccParVariants()...)
+}
+
+// PlanBestCtx partitions tree with every option set and returns the
+// winning plan plus its variant index. Variants run serially within one
+// call — a design-space sweep gets its concurrency from evaluating many
+// candidates at once, and per-candidate serial variants keep the memo
+// hit pattern deterministic in tests — but concurrent PlanBestCtx calls
+// are safe.
+func (s *BatchSet) PlanBestCtx(ctx context.Context, tree *hardware.Tree) (*Plan, int, error) {
+	var best *Plan
+	bestIdx := -1
+	for i, e := range s.engines {
+		plan, err := e.PlanCtx(ctx, tree)
+		if err != nil {
+			return nil, -1, err
+		}
+		if best == nil || plan.Time() < best.Time() {
+			best, bestIdx = plan, i
+		}
+	}
+	return best, bestIdx, nil
+}
+
+// ReplanTimeCtx models the post-fault makespan of the winning variant's
+// plan on the degraded tree; variant must be the index PlanBestCtx
+// returned for plan.
+func (s *BatchSet) ReplanTimeCtx(ctx context.Context, plan *Plan, variant int, degraded *hardware.Tree) (float64, error) {
+	if variant < 0 || variant >= len(s.engines) {
+		return 0, fmt.Errorf("core: variant %d out of range [0,%d)", variant, len(s.engines))
+	}
+	return s.engines[variant].ReplanTimeCtx(ctx, plan, degraded)
+}
+
+// LowerBound returns an admissible lower bound on the best variant's
+// makespan for tree: the minimum of the per-variant bounds (every
+// variant's plan respects its own bound, so the portfolio winner
+// respects the smallest).
+func (s *BatchSet) LowerBound(tree *hardware.Tree) float64 {
+	lb := s.engines[0].LowerBound(tree)
+	for _, e := range s.engines[1:] {
+		if b := e.LowerBound(tree); b < lb {
+			lb = b
+		}
+	}
+	return lb
+}
+
+// MemoLen reports the total resident subproblem count across variants.
+func (s *BatchSet) MemoLen() int {
+	n := 0
+	for _, e := range s.engines {
+		n += e.MemoLen()
+	}
+	return n
+}

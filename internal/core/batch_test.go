@@ -1,0 +1,291 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"accpar/internal/hardware"
+)
+
+func planBytes(t *testing.T, p *Plan) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func homTree(t *testing.T, spec hardware.Spec, n, levels int) *hardware.Tree {
+	t.Helper()
+	arr, err := hardware.NewHomogeneous(spec, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := hardware.BuildTree(arr, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// TestBatchPlanEquivalence is the core batch-engine contract: every plan
+// produced through the sweep-shared memo is byte-identical to a
+// standalone PartitionAccPar run, for every candidate, no matter how
+// much cross-candidate state the earlier candidates left behind.
+func TestBatchPlanEquivalence(t *testing.T) {
+	net := buildNet(t, "resnet18", 64)
+	set, err := NewBatchAccPar(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := []*hardware.Tree{
+		paperTree(t, 4),
+		homTree(t, hardware.TPUv3(), 8, 64),
+		paperTree(t, 8),
+		homTree(t, hardware.TPUv2(), 16, 64),
+		paperTree(t, 4), // revisit: served almost entirely from memo
+	}
+	ctx := context.Background()
+	for i, tree := range trees {
+		got, variant, err := set.PlanBestCtx(ctx, tree)
+		if err != nil {
+			t.Fatalf("tree %d: %v", i, err)
+		}
+		if variant < 0 || variant >= len(AccParVariants()) {
+			t.Fatalf("tree %d: variant index %d out of range", i, variant)
+		}
+		want, err := PartitionAccPar(net, tree)
+		if err != nil {
+			t.Fatalf("tree %d standalone: %v", i, err)
+		}
+		if !bytes.Equal(planBytes(t, got), planBytes(t, want)) {
+			t.Errorf("tree %d: batch plan diverges from standalone PartitionAccPar", i)
+		}
+	}
+}
+
+// TestBatchCrossFleetHits verifies the metric split: hits while planning
+// one candidate are intra-tree, hits on entries another candidate left
+// behind count as cross-fleet amortization.
+func TestBatchCrossFleetHits(t *testing.T) {
+	net := buildNet(t, "alexnet", 64)
+	e, err := NewBatchEngine(net, AccPar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	before := obsCrossFleetHits.Value()
+	if _, err := e.PlanCtx(ctx, homTree(t, hardware.TPUv3(), 16, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if got := obsCrossFleetHits.Value() - before; got != 0 {
+		t.Errorf("first candidate produced %d cross-fleet hits, want 0", got)
+	}
+
+	// A content-identical second candidate (a distinct tree object, as a
+	// sweep's duplicate compositions are) digests identically, so its root
+	// subproblem — the whole search — is served from the first candidate's
+	// entry, and the hit counts as cross-fleet.
+	before = obsCrossFleetHits.Value()
+	if _, err := e.PlanCtx(ctx, homTree(t, hardware.TPUv3(), 16, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if got := obsCrossFleetHits.Value() - before; got == 0 {
+		t.Error("duplicate second candidate produced no cross-fleet hits")
+	}
+
+	// Partial overlap: under fixed types and equal ratios the dims handed
+	// to the TPU-v2 side depend only on that side's depth, not on what
+	// hangs on the other side of the split, so candidates sharing a
+	// per-kind group re-use its whole subtree across different fleets.
+	dp, err := NewBatchEngine(net, DataParallel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dp.PlanCtx(ctx, paperTree(t, 8)); err != nil {
+		t.Fatal(err)
+	}
+	before = obsCrossFleetHits.Value()
+	arr, err := hardware.NewHeterogeneous(
+		hardware.GroupSpec{Spec: hardware.TPUv2(), Count: 8},
+		hardware.GroupSpec{Spec: hardware.TPUv3(), Count: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := hardware.BuildTree(arr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dp.PlanCtx(ctx, mixed); err != nil {
+		t.Fatal(err)
+	}
+	if got := obsCrossFleetHits.Value() - before; got == 0 {
+		t.Error("shared TPU-v2 side produced no cross-fleet hits")
+	}
+
+	// One-shot searches must never count cross-fleet hits, whatever the
+	// engine left in the process-wide counters.
+	before = obsCrossFleetHits.Value()
+	if _, err := Partition(net, homTree(t, hardware.TPUv3(), 32, 64), AccPar()); err != nil {
+		t.Fatal(err)
+	}
+	if got := obsCrossFleetHits.Value() - before; got != 0 {
+		t.Errorf("one-shot search counted %d cross-fleet hits, want 0", got)
+	}
+}
+
+// TestLowerBoundAdmissible exercises the pruning bound's defining
+// property over heterogeneous and homogeneous trees, shallow and deep
+// hierarchies, every portfolio variant, and the post-fault plans the
+// resilience axis is built from: no plan — fresh, best-of-portfolio, or
+// replanned-under-fault — may ever beat the bound.
+func TestLowerBoundAdmissible(t *testing.T) {
+	ctx := context.Background()
+	for _, model := range []string{"alexnet", "resnet18"} {
+		net := buildNet(t, model, 64)
+		set, err := NewBatchAccPar(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees := []*hardware.Tree{
+			paperTree(t, 2),
+			paperTree(t, 8),
+			homTree(t, hardware.TPUv2(), 16, 64),
+			homTree(t, hardware.TPUv3(), 64, 64),
+			homTree(t, hardware.TPUv3(), 16, 2), // level-capped: leaf fallback path
+		}
+		for i, tree := range trees {
+			for v, e := range set.engines {
+				plan, err := e.PlanCtx(ctx, tree)
+				if err != nil {
+					t.Fatalf("%s tree %d variant %d: %v", model, i, v, err)
+				}
+				if lb := e.LowerBound(tree); plan.Time() < lb {
+					t.Errorf("%s tree %d variant %d: plan time %.9g beats lower bound %.9g",
+						model, i, v, plan.Time(), lb)
+				}
+			}
+			best, variant, err := set.PlanBestCtx(ctx, tree)
+			if err != nil {
+				t.Fatalf("%s tree %d: %v", model, i, err)
+			}
+			if lb := set.LowerBound(tree); best.Time() < lb {
+				t.Errorf("%s tree %d: best time %.9g beats portfolio bound %.9g", model, i, best.Time(), lb)
+			}
+			degraded := degradeTree(t, tree)
+			if degraded == nil {
+				continue
+			}
+			rt, err := set.ReplanTimeCtx(ctx, best, variant, degraded)
+			if err != nil {
+				t.Fatalf("%s tree %d replan: %v", model, i, err)
+			}
+			if lb := set.engines[variant].LowerBound(degraded); rt < lb {
+				t.Errorf("%s tree %d: replanned time %.9g beats degraded bound %.9g", model, i, rt, lb)
+			}
+		}
+	}
+}
+
+// groupSpecsOf reconstructs the GroupSpec list of a tree's root group:
+// contiguous runs of identical specs (NewHeterogeneous concatenates the
+// groups in order, so runs recover the original list).
+func groupSpecsOf(g *hardware.Group) []hardware.GroupSpec {
+	var out []hardware.GroupSpec
+	for _, s := range g.Accel {
+		if n := len(out); n > 0 && out[n-1].Spec == s {
+			out[n-1].Count++
+			continue
+		}
+		out = append(out, hardware.GroupSpec{Spec: s, Count: 1})
+	}
+	return out
+}
+
+// degradeTree halves group 0's compute and removes a quarter of its
+// accelerators — the standard sweep fault shape. Returns nil when the
+// tree cannot be rebuilt (never expected for the test fixtures).
+func degradeTree(t *testing.T, tree *hardware.Tree) *hardware.Tree {
+	t.Helper()
+	groups := groupSpecsOf(tree.Group)
+	degs := map[int]hardware.Degradation{0: {Compute: 2, MemBW: 1, NetBW: 1, LostFraction: 0.25}}
+	out, err := hardware.DegradeGroups(groups, degs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := hardware.NewHeterogeneous(out...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := hardware.BuildTree(arr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dt
+}
+
+// TestBatchCancellation covers the batch API mid-sweep abort contract:
+// typed ErrCanceled, no goroutine leaks, and a memo left consistent —
+// the same engine must afterwards produce plans byte-identical to a
+// standalone search.
+func TestBatchCancellation(t *testing.T) {
+	net := buildNet(t, "resnet18", 64)
+	set, err := NewBatchAccPar(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := paperTree(t, 8)
+
+	baseline := runtime.NumGoroutine()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := set.PlanBestCtx(canceled, tree); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled batch plan: got %v, want ErrCanceled", err)
+	}
+	if !errors.Is(wrapCtxErr(canceled.Err()), ErrCanceled) {
+		t.Fatal("sanity: wrapCtxErr must map context.Canceled to ErrCanceled")
+	}
+
+	// Mid-search abort: cancel from a watcher goroutine while the sweep
+	// runs. Whichever subproblem observes it first wins; either way the
+	// typed sentinel must surface.
+	midCtx, midCancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Microsecond)
+		midCancel()
+	}()
+	if _, _, err := set.PlanBestCtx(midCtx, tree); err != nil && !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-sweep cancel: got %v, want nil or ErrCanceled", err)
+	}
+	midCancel()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Errorf("goroutines leaked across canceled sweeps: %d > baseline %d", n, baseline)
+	}
+
+	// Memo consistency: the aborted sweeps published only completed
+	// subproblems, so a subsequent plan through the same engines must be
+	// byte-identical to a cold standalone search.
+	got, _, err := set.PlanBestCtx(context.Background(), tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PartitionAccPar(net, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(planBytes(t, got), planBytes(t, want)) {
+		t.Error("post-cancel batch plan diverges from standalone search")
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+
+	"accpar/internal/dnn"
+	"accpar/internal/hardware"
+	"accpar/internal/tensor"
+)
+
+// This file implements the admissible lower bound a batch sweep uses to
+// prune candidate fleets before running a full hierarchical search: the
+// makespan of *any* plan the planner can produce for a tree is at least
+// the workload's aggregate arithmetic over the tree's aggregate compute
+// density, and at least its aggregate HBM traffic over the tree's
+// aggregate memory bandwidth.
+//
+// Why this bounds every plan: Plan.Time() is at least the busiest leaf's
+// LeafComputeTime + LeafMemTime (communication terms only add). Leaf
+// compute times are flops_l / density_l with Σ density_l equal to the
+// root group's density (children partition the members), so
+// max_l(flops_l/density_l) ≥ Σflops_l / Σdensity_l; the same argument
+// gives the memory term. What remains is showing Σ_leaves flops_l and
+// Σ_leaves mem_l are at least the root-dims quantities the bound
+// evaluates — i.e. that splitting never destroys modelled work:
+//
+//   - tensor.LayerDims.Scale rounds half-up and clamps at 1, so a split
+//     dim v becomes v₁ + v₂ ≥ v (fractions of exactly .5 round up on both
+//     sides; anything else reconstructs v), and every child dim is ≤ its
+//     parent's.
+//   - The HBM traffic terms (AF, AW, AFNext, optimizer update bytes) are
+//     monomials — products with each dim appearing at most once — so they
+//     are linear in whichever single dim a split scales and unchanged in
+//     the rest: the children's sum is ≥ the parent's value, inductively
+//     Σ_leaves ≥ root.
+//   - Phase FLOPs have the form Outer·(2·Inner − 1) (fused multiply-add
+//     counting), which is *sub*additive in Inner dims: an exact split of
+//     an Inner dim loses one Outer per child. Two under-approximations
+//     are superadditive and therefore survive any split sequence:
+//     Outer·Inner (a pure monomial, since 2I−1 ≥ I for I ≥ 1), and
+//     2·Outer·Inner − L·Outer for a tree with L leaves (child Outer
+//     values never exceed the parent's, so the −Outer deficits across
+//     all leaves total at most L·Outer). The bound takes the larger —
+//     the second form is tight (≈ the true 2OI) whenever Inner exceeds
+//     the leaf count.
+//
+// The bound never replaces a search — it only licenses skipping one when
+// an already-evaluated candidate dominates even this optimistic view.
+
+// phaseTerm is one tensor-contraction phase of one unit: actual FLOPs
+// Outer·(2·Inner−1), admissibly bounded below by max(O·I, 2·O·I − L·O).
+type phaseTerm struct {
+	outer float64 // A(result): output elements of the contraction
+	oi    float64 // Outer·Inner: the full 7-dim monomial
+}
+
+// boundModel caches the workload-side quantities of the lower bound for
+// one (network, options) pair so evaluating a candidate tree is O(1) in
+// the network size. It is immutable after construction.
+type boundModel struct {
+	phases []phaseTerm
+	// memBytes is the root-dims HBM traffic of the workload: per-phase
+	// operand/result streaming plus the optimizer update pass, exactly
+	// mirroring leafNode's accounting.
+	memBytes float64
+	// updateFLOPs is the optimizer's arithmetic over the root-dims weight
+	// elements (linear in weights, so superadditive under splits as-is).
+	updateFLOPs float64
+}
+
+// newBoundModel mirrors leafNode's per-unit accounting at root dims.
+func newBoundModel(units []dnn.WeightedLayer, dims []tensor.LayerDims, opt Options) boundModel {
+	var b boundModel
+	var weightElems int64
+	for i, u := range units {
+		if u.Virtual {
+			continue
+		}
+		d := dims[i]
+		af, aw, afNext := float64(d.AF()), float64(d.AW()), float64(d.AFNext())
+		innerF := float64(int64(d.Di) * int64(d.KH) * int64(d.KW))
+		perPhase := (af + aw + afNext) * tensor.BytesPerElement
+		b.phases = append(b.phases, phaseTerm{outer: afNext, oi: afNext * innerF})
+		if opt.Mode == ModeInference {
+			b.memBytes += perPhase
+			continue
+		}
+		innerB := float64(int64(d.Do) * int64(d.KH) * int64(d.KW))
+		innerG := float64(int64(d.B) * int64(d.HOut) * int64(d.WOut))
+		b.phases = append(b.phases,
+			phaseTerm{outer: af, oi: af * innerB},
+			phaseTerm{outer: aw, oi: aw * innerG})
+		b.memBytes += 3 * perPhase
+		weightElems += d.AW()
+	}
+	if opt.Mode != ModeInference {
+		b.updateFLOPs = float64(opt.Optimizer.UpdateFLOPs(weightElems))
+		b.memBytes += float64(opt.Optimizer.UpdateMemBytes(weightElems))
+	}
+	return b
+}
+
+// flopsFloor returns the admissible FLOPs under-approximation for a tree
+// with the given leaf count.
+func (b boundModel) flopsFloor(leaves float64) float64 {
+	total := b.updateFLOPs
+	for _, p := range b.phases {
+		lb := p.oi
+		if t := 2*p.oi - leaves*p.outer; t > lb {
+			lb = t
+		}
+		total += lb
+	}
+	return total
+}
+
+// lower returns the admissible lower bound on the makespan of any plan
+// for tree: no plan the planner produces — fresh or stale-re-costed —
+// can beat it. Degenerate hardware (non-positive or infinite aggregate
+// density/bandwidth) yields 0, the trivially admissible bound, since
+// such trees fail the full search with a typed error anyway.
+func (b boundModel) lower(tree *hardware.Tree) float64 {
+	density := tree.Group.ComputeDensity()
+	bw := tree.Group.MemBandwidth()
+	if !(density > 0) || math.IsInf(density, 0) || !(bw > 0) || math.IsInf(bw, 0) {
+		return 0
+	}
+	leaves := float64(tree.SplitCount() + 1)
+	lb := b.flopsFloor(leaves) / density
+	if t := b.memBytes / bw; t > lb {
+		lb = t
+	}
+	return lb
+}

@@ -36,7 +36,9 @@ import (
 // so stale snapshots are rejected instead of silently replaying outdated
 // solutions (or, for a key-scheme change, carrying entries no search can
 // ever hit again). v2: digest-based subproblem keys (hwIndex).
-const cacheSchema = "accpar-plan-node-v2"
+// v3: level-independent subtree digests (levels are relabeled on clone,
+// so entries keyed under the old level-folding scheme can never be hit).
+const cacheSchema = "accpar-plan-node-v3"
 
 // SharedCache is a concurrency-safe, bounded, persistent cache of solved
 // hierarchical subproblems, shared across Partition, Replan, Compare,

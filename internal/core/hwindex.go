@@ -4,63 +4,61 @@ import (
 	"encoding/binary"
 	"hash/fnv"
 	"sync"
-	"sync/atomic"
 
 	"accpar/internal/hardware"
 )
 
 // hwInfo is the indexed identity of one hardware subtree: a Merkle-style
-// content digest (two subtrees digest equally iff their levels, spec
-// lists and shapes are identical) and the sorted distinct spec
-// fingerprints the subtree is built from. The digest turns the per-node
-// subproblem key from an O(subtree) hash into an O(1) lookup; the spec
-// set is the dependency record a retained memo tracks invalidation by —
-// a cached subproblem is current exactly as long as every spec it was
-// solved against is still part of some hierarchy the planner serves.
+// content digest (two subtrees digest equally iff their spec lists and
+// shapes are identical) and the sorted distinct spec fingerprints the
+// subtree is built from. The digest turns the per-node subproblem key
+// from an O(subtree) hash into an O(1) lookup; the spec set is the
+// dependency record a retained memo tracks invalidation by — a cached
+// subproblem is current exactly as long as every spec it was solved
+// against is still part of some hierarchy the planner serves.
+//
+// The digest deliberately excludes the node's absolute level: no cost
+// the planner computes depends on depth-from-root (sides, bandwidths and
+// dims fully determine a subproblem), so a subtree solved at depth 2 of
+// one fleet answers the identical subtree hanging at depth 5 of another.
+// Level is a display label, restored at clone time (clonePlanNodeAt)
+// whenever a memoized solution is linked under a different root.
 type hwInfo struct {
 	digest [16]byte
 	specs  []uint64
 }
 
-// hwIndex maps hardware-tree nodes to their hwInfo. Lookups are
-// lock-free (copy-on-write map behind an atomic pointer) because they
-// sit on the per-subproblem hot path of concurrent searches; indexing a
-// new tree takes the mutex and publishes a fresh map. A node missing
-// from the map — a tree never announced via ensure — is indexed on
-// demand, so lookups never fail, only slow down.
+// hwIndex maps hardware-tree nodes to their hwInfo. Reads take a
+// shared lock on the per-subproblem hot path; indexing a new tree takes
+// the write lock and grows the map in place, so the cost of announcing
+// a tree is proportional to that tree alone — a sweep indexing hundreds
+// of candidate hierarchies pays O(total nodes), not O(n²) map copying.
+// A node missing from the map — a tree never announced via ensure — is
+// indexed on demand, so lookups never fail, only slow down.
 type hwIndex struct {
-	mu sync.Mutex
-	m  atomic.Pointer[map[*hardware.Tree]hwInfo]
+	mu sync.RWMutex
+	m  map[*hardware.Tree]hwInfo
 }
 
 func newHWIndex() *hwIndex {
-	x := &hwIndex{}
-	empty := make(map[*hardware.Tree]hwInfo)
-	x.m.Store(&empty)
-	return x
+	return &hwIndex{m: make(map[*hardware.Tree]hwInfo)}
 }
 
 // ensure returns root's hwInfo, indexing its whole subtree first if it
 // is not yet known.
 func (x *hwIndex) ensure(root *hardware.Tree) hwInfo {
-	if m := x.m.Load(); m != nil {
-		if info, ok := (*m)[root]; ok {
-			return info
-		}
+	x.mu.RLock()
+	info, ok := x.m[root]
+	x.mu.RUnlock()
+	if ok {
+		return info
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	old := *x.m.Load()
-	if info, ok := old[root]; ok {
+	if info, ok := x.m[root]; ok {
 		return info
 	}
-	next := make(map[*hardware.Tree]hwInfo, len(old)+treeNodes(root))
-	for k, v := range old {
-		next[k] = v
-	}
-	info := indexTree(root, next)
-	x.m.Store(&next)
-	return info
+	return indexTree(root, x.m)
 }
 
 // rebuild drops every indexed node not under one of roots, bounding the
@@ -75,28 +73,24 @@ func (x *hwIndex) rebuild(roots []*hardware.Tree) {
 			indexTree(r, next)
 		}
 	}
-	x.m.Store(&next)
+	x.m = next
 }
 
 // size returns the indexed node count.
 func (x *hwIndex) size() int {
-	return len(*x.m.Load())
-}
-
-func treeNodes(t *hardware.Tree) int {
-	if t == nil {
-		return 0
-	}
-	return 1 + treeNodes(t.Left) + treeNodes(t.Right)
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.m)
 }
 
 // indexTree computes hwInfo for every node of t bottom-up into m and
-// returns the root's. The digest folds the node's level, its own spec
-// list (in group order — member order is observable through
-// Group.String) and the children's digests, so content-identical
-// subtrees — the two halves of a homogeneous group, or the untouched
-// subtrees of a pristine and a degraded hierarchy — digest identically
-// even across distinct tree objects.
+// returns the root's. The digest folds the node's spec list (in group
+// order — member order is observable through Group.String) and the
+// children's digests, so content-identical subtrees — the two halves of
+// a homogeneous group, the untouched subtrees of a pristine and a
+// degraded hierarchy, or the same procurement block hanging at
+// different depths of two candidate fleets — digest identically even
+// across distinct tree objects.
 func indexTree(t *hardware.Tree, m map[*hardware.Tree]hwInfo) hwInfo {
 	if info, ok := m[t]; ok {
 		return info
@@ -107,7 +101,6 @@ func indexTree(t *hardware.Tree, m map[*hardware.Tree]hwInfo) hwInfo {
 		binary.LittleEndian.PutUint64(buf[:], uint64(v))
 		h.Write(buf[:])
 	}
-	wInt(int64(t.Level))
 	wInt(int64(t.Group.Size()))
 	for _, s := range t.Group.Accel {
 		wInt(int64(s.Fingerprint()))

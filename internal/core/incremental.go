@@ -406,7 +406,7 @@ func (e *ReplanEngine) staleNodeInc(pc *planner, node, pristNode *hardware.Tree,
 		// plan's own decisions on the plan's own hardware reproduces the
 		// plan.
 		pc.noteStaleReuse()
-		return clonePlanNode(old), nil
+		return clonePlanNodeAt(old, node.Level), nil
 	}
 	dec, ok := decisions[old]
 	if !ok {
@@ -416,9 +416,9 @@ func (e *ReplanEngine) staleNodeInc(pc *planner, node, pristNode *hardware.Tree,
 		return pc.staleNode(node, old, dims)
 	}
 	key := staleKey(ninfo.digest, dec)
-	if cached, okc := e.stale.get(key, pc.epoch); okc {
+	if cached, _, okc := e.stale.get(key, pc.epoch); okc {
 		pc.noteHit()
-		return clonePlanNode(cached), nil
+		return clonePlanNodeAt(cached, node.Level), nil
 	}
 	if node.IsLeaf() {
 		n, err := leafNode(node, pc.units, dims, pc.opt)
@@ -426,7 +426,7 @@ func (e *ReplanEngine) staleNodeInc(pc *planner, node, pristNode *hardware.Tree,
 			return nil, err
 		}
 		e.stale.put(key, n, ninfo.specs, pc.epoch)
-		return clonePlanNode(n), nil
+		return clonePlanNodeAt(n, node.Level), nil
 	}
 	sideI := Side{Compute: node.Left.Group.ComputeDensity(), Net: pc.opt.Topology.BisectionBandwidth(node.Left.Group)}
 	sideJ := Side{Compute: node.Right.Group.ComputeDensity(), Net: pc.opt.Topology.BisectionBandwidth(node.Right.Group)}
@@ -466,7 +466,7 @@ func (e *ReplanEngine) staleNodeInc(pc *planner, node, pristNode *hardware.Tree,
 		Right:     right,
 	}
 	e.stale.put(key, n, ninfo.specs, pc.epoch)
-	return clonePlanNode(n), nil
+	return clonePlanNodeAt(n, node.Level), nil
 }
 
 func staleKey(digest [16]byte, dec uint64) string {

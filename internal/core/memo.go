@@ -73,22 +73,27 @@ func (p *planMemo) shard(key string) *memoShard {
 }
 
 // get returns the cached solution for key, stamping the entry with the
-// serving epoch. The caller must clone the returned node before linking
-// it into a plan: plan consumers (the array simulator's leaf-range index
-// in particular) key maps by *PlanNode, so a subtree shared between two
-// parents would silently alias.
-func (p *planMemo) get(key string, epoch int64) (*PlanNode, bool) {
+// serving epoch and reporting the epoch that last touched it before this
+// call — a batch engine distinguishes cross-fleet hits (the entry was
+// solved or served while planning a different candidate, so prev differs
+// from the serving epoch) from intra-tree reuse by exactly that value.
+// The caller must clone the returned node before linking it into a plan:
+// plan consumers (the array simulator's leaf-range index in particular)
+// key maps by *PlanNode, so a subtree shared between two parents would
+// silently alias.
+func (p *planMemo) get(key string, epoch int64) (node *PlanNode, prev int64, ok bool) {
 	s := p.shard(key)
 	s.mu.RLock()
-	e, ok := s.m[key]
+	e, found := s.m[key]
 	s.mu.RUnlock()
-	if !ok {
-		return nil, false
+	if !found {
+		return nil, 0, false
 	}
-	if epoch > e.epoch.Load() {
+	prev = e.epoch.Load()
+	if epoch > prev {
 		e.epoch.Store(epoch)
 	}
-	return e.node, true
+	return e.node, prev, true
 }
 
 func (p *planMemo) put(key string, n *PlanNode, deps []uint64, epoch int64) {
@@ -183,31 +188,39 @@ func (p *planner) subproblemKey(node *hardware.Tree, dims []tensor.LayerDims) (s
 	return string(h.Sum(nil)), info
 }
 
-// clonePlanNode copies a memoized subtree so every parent links a
-// private node graph; the recursion mirrors the tree shape.
-func clonePlanNode(n *PlanNode) *PlanNode {
+// clonePlanNodeAt copies a memoized subtree so every parent links a
+// private node graph, relabeling Level to the depth the clone is linked
+// at (children one deeper, mirroring BuildTree). Subtree digests are
+// level-independent (hwindex.go), so a memo hit may serve a solution
+// first computed at a different depth of a different tree; every other
+// field of the solution is depth-invariant, and the relabel restores the
+// one that is not, keeping plans byte-identical to a standalone search.
+func clonePlanNodeAt(n *PlanNode, level int) *PlanNode {
 	if n == nil {
 		return nil
 	}
 	c := *n
+	c.Level = level
 	// Types and Dims are aliased, not copied: both are freshly allocated
 	// at node construction and never written afterwards (by the planner or
 	// any consumer), so sharing them is safe and keeps a memo or cache hit
 	// at one small struct per node instead of re-copying every per-unit
 	// slice. Node identity is what must stay distinct — plan consumers key
 	// maps by *PlanNode — and it does.
-	c.Left = clonePlanNode(n.Left)
-	c.Right = clonePlanNode(n.Right)
+	c.Left = clonePlanNodeAt(n.Left, level+1)
+	c.Right = clonePlanNodeAt(n.Right, level+1)
 	return &c
 }
 
-// clonePlan clones a whole plan; see clonePlanNode for the aliasing
-// contract.
+// clonePlan clones a whole plan; see clonePlanNodeAt for the aliasing
+// contract. The root keeps its own level, so levels are preserved.
 func clonePlan(p *Plan) *Plan {
 	if p == nil {
 		return nil
 	}
 	c := *p
-	c.Root = clonePlanNode(p.Root)
+	if p.Root != nil {
+		c.Root = clonePlanNodeAt(p.Root, p.Root.Level)
+	}
 	return &c
 }

@@ -34,7 +34,22 @@ var (
 	// log2-bucketed obs.Timer): one observation per ReplanEngine.ReplanCtx
 	// and per resilience degraded-replanning phase.
 	obsReplanTimer = obs.NewTimer("core.replan.seconds")
+	// obsCrossFleetHits counts batch-engine memo hits on entries last
+	// touched while planning a *different* candidate fleet — the work a
+	// design-space sweep amortizes across candidates rather than within
+	// one hierarchy.
+	obsCrossFleetHits = obs.NewCounter("core.memo_cross_fleet_hits")
+	// obsDSEPruned counts sweep candidates discarded by the admissible
+	// lower bound before a full hierarchical search ran.
+	obsDSEPruned = obs.NewCounter("core.dse_pruned_candidates")
 )
+
+// NoteDSEPruned records candidates a design-space sweep pruned via the
+// admissible lower bound without running a full search. The sweep driver
+// lives outside internal/core, but the counter belongs to the planner's
+// metric family so Session.Metrics and Prometheus export it alongside
+// memo statistics.
+func NoteDSEPruned(n int) { obsDSEPruned.Add(int64(n)) }
 
 // ObserveReplanLatency records one replan-latency observation in the
 // core.replan.seconds histogram. The facade's resilience pipeline calls

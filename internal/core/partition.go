@@ -47,6 +47,10 @@ type planner struct {
 	// expansion counts. Both are inert (zero/nil) for one-shot searches.
 	epoch int64
 	rs    *replanStats
+	// batch marks a call driven by a BatchEngine, whose per-candidate
+	// epochs turn memo hits on entries last touched by a different
+	// candidate into the cross-fleet hit metric.
+	batch bool
 }
 
 // forCall returns a shallow copy of the planner rebound to one engine
@@ -172,18 +176,26 @@ func strategyName(opt Options) string {
 }
 
 // partitionNode handles one hierarchy node with the given effective dims,
-// consulting the subproblem memo first. Memo hits are deep-cloned: plan
+// consulting the subproblem memo first. Memo hits are deep-cloned — plan
 // consumers key maps by *PlanNode identity, so parents must never share
-// subtree pointers.
+// subtree pointers — and relabeled to this node's level, since digests
+// are level-independent and the cached solution may have been computed
+// at a different depth.
 func (p *planner) partitionNode(node *hardware.Tree, dims []tensor.LayerDims) (*PlanNode, error) {
 	if err := p.checkCtx(); err != nil {
 		return nil, err
 	}
 	key, info := p.subproblemKey(node, dims)
-	if cached, ok := p.memo.get(key, p.epoch); ok {
+	if cached, prev, ok := p.memo.get(key, p.epoch); ok {
 		obsMemoHits.Inc()
 		p.noteHit()
-		return clonePlanNode(cached), nil
+		if p.batch && prev != p.epoch {
+			// The entry was last solved or served under another candidate's
+			// epoch: this hit amortized work across fleets, not within one
+			// hierarchy.
+			obsCrossFleetHits.Inc()
+		}
+		return clonePlanNodeAt(cached, node.Level), nil
 	}
 	if p.shared != nil {
 		// Cross-run path: the shared cache answers or computes under
@@ -212,7 +224,7 @@ func (p *planner) partitionNode(node *hardware.Tree, dims []tensor.LayerDims) (*
 				p.noteHit()
 			}
 			p.memo.put(key, n, info.specs, p.epoch)
-			return clonePlanNode(n), nil
+			return clonePlanNodeAt(n, node.Level), nil
 		}
 	}
 	n, err := p.computeNode(node, dims)

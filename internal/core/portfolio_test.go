@@ -1,7 +1,12 @@
 package core
 
 import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
 	"testing"
+	"time"
 
 	"accpar/internal/hardware"
 )
@@ -78,5 +83,74 @@ func TestPartitionBestRequiresOptions(t *testing.T) {
 	net := buildNet(t, "lenet", 8)
 	if _, err := PartitionBest(net, paperTree(t, 2)); err == nil {
 		t.Error("empty option list must be rejected")
+	}
+}
+
+// TestPartitionBestCtxPreCanceled: a context canceled before dispatch
+// aborts the portfolio with the typed sentinel, and a deadline in the
+// past reports ErrDeadlineExceeded.
+func TestPartitionBestCtxPreCanceled(t *testing.T) {
+	net := buildNet(t, "alexnet", 64)
+	tree := paperTree(t, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PartitionBestCtx(ctx, net, tree, AccParVariants()...); !errors.Is(err, ErrCanceled) {
+		t.Errorf("pre-canceled portfolio: got %v, want ErrCanceled", err)
+	}
+
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := PartitionBestCtx(expired, net, tree, AccParVariants()...); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Errorf("expired portfolio: got %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+// TestPartitionBestCtxMidSearchCancel aborts the portfolio while its
+// variant searches run: the typed sentinel surfaces (or the search wins
+// the race and completes), no goroutines leak, and a subsequent
+// uncanceled run is byte-identical to a cold standalone search.
+func TestPartitionBestCtxMidSearchCancel(t *testing.T) {
+	net := buildNet(t, "resnet18", 64)
+	tree := paperTree(t, 8)
+	baseline := runtime.NumGoroutine()
+
+	for _, delay := range []time.Duration{50 * time.Microsecond, 500 * time.Microsecond, 5 * time.Millisecond} {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(delay)
+			cancel()
+		}()
+		if _, err := PartitionBestCtx(ctx, net, tree, AccParVariants()...); err != nil && !errors.Is(err, ErrCanceled) {
+			t.Fatalf("mid-search cancel (delay %v): got %v, want nil or ErrCanceled", delay, err)
+		}
+		cancel()
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Errorf("goroutines leaked across canceled portfolio searches: %d > baseline %d", n, baseline)
+	}
+
+	got, err := PartitionAccPar(net, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PartitionAccPar(net, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := got.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("post-cancel portfolio search is not reproducible")
 	}
 }

@@ -1,0 +1,291 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"accpar/internal/core"
+	"accpar/internal/dnn"
+	"accpar/internal/hardware"
+	"accpar/internal/models"
+)
+
+func buildNet(t *testing.T, name string, batch int) *dnn.Network {
+	t.Helper()
+	net, err := models.BuildNetwork(name, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// smallSpace is the test grid: two kinds, modest counts, two level
+// caps, two link tiers — 54 candidates, seconds to sweep in full.
+func smallSpace() *Space {
+	return &Space{
+		Kinds: []Kind{
+			{Name: "tpu-v2", Spec: hardware.TPUv2(), Price: 1.0},
+			{Name: "tpu-v3", Spec: hardware.TPUv3(), Price: 2.2},
+		},
+		Counts:    []int{0, 4, 8},
+		Levels:    []int{2, 8, 64},
+		NetScales: []float64{1, 2},
+	}
+}
+
+func TestEnumerateDeterministicAndFiltered(t *testing.T) {
+	s := smallSpace()
+	a, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("enumeration not reproducible: %d vs %d candidates", len(a), len(b))
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("candidate %d order differs: %s vs %s", i, a[i].Name, b[i].Name)
+		}
+		if seen[a[i].Name] {
+			t.Errorf("duplicate candidate name %s", a[i].Name)
+		}
+		seen[a[i].Name] = true
+		if a[i].Cost <= 0 {
+			t.Errorf("candidate %s has non-positive cost %g", a[i].Name, a[i].Cost)
+		}
+	}
+
+	budget := a[0].Cost
+	s.Budget = budget
+	capped, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) == 0 || len(capped) >= len(a) {
+		t.Fatalf("budget %g kept %d of %d candidates, expected a strict non-empty subset", budget, len(capped), len(a))
+	}
+	for _, c := range capped {
+		if c.Cost > budget {
+			t.Errorf("candidate %s cost %g exceeds budget %g", c.Name, c.Cost, budget)
+		}
+	}
+
+	s.Budget = 0
+	s.MaxCandidates = 5
+	truncated, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truncated) != 5 {
+		t.Fatalf("MaxCandidates=5 returned %d candidates", len(truncated))
+	}
+	for i := range truncated {
+		if truncated[i].Name != a[i].Name {
+			t.Errorf("truncation changed order at %d: %s vs %s", i, truncated[i].Name, a[i].Name)
+		}
+	}
+}
+
+func TestNetScaleRenamesSpecs(t *testing.T) {
+	s := smallSpace()
+	cands, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		for _, g := range c.Groups() {
+			base := hardware.Presets()[c.Kinds[0]]
+			_ = base
+			if c.NetScale == 1 {
+				if g.Spec.Name != "tpu-v2" && g.Spec.Name != "tpu-v3" {
+					t.Fatalf("unscaled candidate %s uses renamed spec %s", c.Name, g.Spec.Name)
+				}
+				continue
+			}
+			if g.Spec.Name == "tpu-v2" || g.Spec.Name == "tpu-v3" {
+				t.Fatalf("scaled candidate %s aliases base spec %s — fingerprints would collide", c.Name, g.Spec.Name)
+			}
+		}
+	}
+}
+
+// TestDSEPlanEquivalence is the acceptance check: every unpruned
+// candidate's plan, produced through the sweep-shared batch memos, is
+// byte-identical to a standalone PartitionAccPar search of the same
+// tree.
+func TestDSEPlanEquivalence(t *testing.T) {
+	space := smallSpace()
+	space.MaxCandidates = 12
+	cfg := Config{Model: "resnet18", Batch: 64, Fault: "slowdown:0=2.0", Workers: 4, KeepPlans: true}
+	rep, err := Sweep(context.Background(), space, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := buildNet(t, cfg.Model, cfg.Batch)
+	checked := 0
+	for _, r := range rep.Results {
+		if r.Pruned {
+			continue
+		}
+		tree, err := r.Tree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.PartitionAccPar(net, tree)
+		if err != nil {
+			t.Fatalf("%s standalone: %v", r.Name, err)
+		}
+		var buf bytes.Buffer
+		if err := want.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(r.PlanJSON, buf.Bytes()) {
+			t.Errorf("%s: sweep plan diverges from standalone PartitionAccPar", r.Name)
+		}
+		if r.Makespan != want.Time() {
+			t.Errorf("%s: sweep makespan %v != standalone %v", r.Name, r.Makespan, want.Time())
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no unpruned candidates to check")
+	}
+}
+
+// pruneSpace mixes a cheap fast kind with an expensive slow one so the
+// lower bound provably dominates the slow fleets once a fast one is
+// evaluated. The fast kind is enumerated first (first kind varies
+// slowest, and its zero-count combinations lead), so serial sweeps
+// evaluate a dominator before meeting the prunable candidates.
+func pruneSpace() *Space {
+	return &Space{
+		Kinds: []Kind{
+			{Name: "edge-npu", Spec: hardware.EdgeNPU(), Price: 20},
+			{Name: "tpu-v3", Spec: hardware.TPUv3(), Price: 1},
+		},
+		Counts:    []int{0, 2, 4, 16},
+		Levels:    []int{8},
+		NetScales: []float64{1},
+	}
+}
+
+// TestPruningSafety proves the acceptance property: pruning changes
+// wall-clock only. The frontier artifact is byte-identical with
+// pruning on and off, pruning actually fires, and every pruned
+// candidate's full evaluation (from the unpruned run) is dominated by
+// some evaluated candidate — it could never have entered the frontier.
+func TestPruningSafety(t *testing.T) {
+	space := pruneSpace()
+	cfg := Config{Model: "alexnet", Batch: 64, Fault: "slowdown:0=2.0", Workers: 1}
+	pruned, err := Sweep(context.Background(), space, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NoPrune = true
+	full, err := Sweep(context.Background(), space, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Pruned == 0 {
+		t.Fatal("pruning never fired on the adversarial space")
+	}
+	if full.Pruned != 0 {
+		t.Fatalf("NoPrune run pruned %d candidates", full.Pruned)
+	}
+	var a, b bytes.Buffer
+	if err := pruned.WriteFrontierJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.WriteFrontierJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("frontier differs with pruning on/off:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	// Every pruned candidate is dominated in its *actual* metrics.
+	for i, r := range pruned.Results {
+		if !r.Pruned {
+			continue
+		}
+		actual := full.Results[i]
+		if actual.Name != r.Name {
+			t.Fatalf("result order diverged at %d: %s vs %s", i, actual.Name, r.Name)
+		}
+		if actual.Makespan < r.MakespanBound || actual.Resilience < r.ResilienceBound {
+			t.Errorf("%s: actuals (%g, %g) beat the bounds (%g, %g) — bound not admissible",
+				r.Name, actual.Makespan, actual.Resilience, r.MakespanBound, r.ResilienceBound)
+		}
+		witnessed := false
+		for _, o := range full.Results {
+			if o.Pruned || o.Name == r.Name {
+				continue
+			}
+			if o.Makespan <= actual.Makespan && o.Cost <= actual.Cost && o.Resilience <= actual.Resilience &&
+				(o.Makespan < actual.Makespan || o.Cost < actual.Cost || o.Resilience < actual.Resilience) {
+				witnessed = true
+				break
+			}
+		}
+		if !witnessed {
+			t.Errorf("pruned candidate %s is not dominated by any evaluated candidate", r.Name)
+		}
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers asserts the CI property: the
+// frontier artifact is byte-identical across worker-pool sizes.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	space := smallSpace()
+	space.MaxCandidates = 16
+	var outs [][]byte
+	for _, workers := range []int{1, 4} {
+		cfg := Config{Model: "alexnet", Batch: 64, Fault: "slowdown:0=2.0,loss:1=0.25", Workers: workers}
+		rep, err := Sweep(context.Background(), space, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteFrontierJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, buf.Bytes())
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Errorf("frontier differs across worker counts:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	space := smallSpace()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Sweep(ctx, space, Config{Model: "alexnet", Batch: 64, Workers: 4}); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("pre-canceled sweep: got %v, want core.ErrCanceled", err)
+	}
+}
+
+func TestSweepRejectsBadInputs(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Sweep(ctx, &Space{}, Config{Model: "alexnet", Batch: 64}); err == nil {
+		t.Error("empty space must be rejected")
+	}
+	if _, err := Sweep(ctx, smallSpace(), Config{Model: "no-such-model", Batch: 64}); err == nil {
+		t.Error("unknown model must be rejected")
+	}
+	if _, err := Sweep(ctx, smallSpace(), Config{Model: "alexnet", Batch: 64, Fault: "bogus:spec"}); err == nil {
+		t.Error("malformed fault spec must be rejected")
+	}
+	tight := smallSpace()
+	tight.Budget = 0.001
+	if _, err := Sweep(ctx, tight, Config{Model: "alexnet", Batch: 64}); err == nil {
+		t.Error("budget excluding every candidate must be rejected")
+	}
+}

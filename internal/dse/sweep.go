@@ -1,0 +1,394 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"accpar/internal/core"
+	"accpar/internal/faults"
+	"accpar/internal/hardware"
+	"accpar/internal/models"
+	"accpar/internal/obs"
+	"accpar/internal/parallel"
+)
+
+// obsSweep is the sweep-latency histogram: one observation per Sweep.
+var obsSweep = obs.NewTimer("dse.sweep.seconds")
+
+// Config selects the workload and sweep mechanics.
+type Config struct {
+	// Model and Batch pick the workload (internal/models registry).
+	Model string
+	Batch int
+	// Fault is the resilience scenario in faults.Parse syntax
+	// (e.g. "slowdown:0=2.0,loss:1=0.25"); group indices refer to the
+	// space's Kinds list, so the same physical kind degrades in every
+	// candidate that procures it, and faults on kinds a candidate omits
+	// simply don't afflict it. Empty disables the resilience axis
+	// (resilience = makespan).
+	Fault string
+	// Workers bounds the candidate-level worker pool; 0 = GOMAXPROCS,
+	// 1 = serial.
+	Workers int
+	// NoPrune disables lower-bound pruning, evaluating every candidate
+	// in full. The frontier is identical either way — pruning is proven
+	// safe — so this exists for verification and timing comparisons.
+	NoPrune bool
+	// KeepPlans retains each evaluated candidate's winning plan as its
+	// canonical JSON rendering, for equivalence testing against
+	// standalone searches. Off by default: a big sweep's plans dwarf
+	// its metrics.
+	KeepPlans bool
+}
+
+// Result is one candidate's sweep outcome. Pruned candidates carry
+// their bounds but no actual metrics.
+type Result struct {
+	Candidate
+	// Makespan is the best variant's modelled iteration time (s).
+	Makespan float64 `json:"makespan_s"`
+	// Resilience is the post-fault makespan after degradation-aware
+	// replanning (stale-vs-fresh adoption) under Config.Fault (s).
+	Resilience float64 `json:"resilience_s"`
+	// Strategy describes the winning portfolio variant.
+	Strategy string `json:"strategy,omitempty"`
+	// Variant is the winning variant's index in core.AccParVariants.
+	Variant int `json:"variant"`
+	// Pruned marks candidates skipped via the admissible lower bound.
+	Pruned bool `json:"pruned,omitempty"`
+	// MakespanBound and ResilienceBound are the admissible lower bounds
+	// the pruning decision used.
+	MakespanBound   float64 `json:"makespan_bound_s"`
+	ResilienceBound float64 `json:"resilience_bound_s"`
+	// PlanJSON is the winning plan's canonical rendering, retained only
+	// under Config.KeepPlans.
+	PlanJSON []byte `json:"-"`
+}
+
+// Report is a completed sweep. Frontier membership, ordering and every
+// per-entry field are deterministic across worker counts and pruning
+// settings; Evaluated/Pruned totals and per-candidate Pruned flags
+// depend on evaluation timing and are excluded from the frontier
+// artifact (WriteFrontierJSON) for that reason.
+type Report struct {
+	Model      string `json:"model"`
+	Batch      int    `json:"batch"`
+	Fault      string `json:"fault"`
+	Candidates int    `json:"candidates"`
+	Evaluated  int    `json:"-"`
+	Pruned     int    `json:"-"`
+	// Frontier is the Pareto-optimal set over (makespan, cost,
+	// resilience), sorted cheapest-first.
+	Frontier []Result `json:"frontier"`
+	// Results holds every candidate in enumeration order, including
+	// pruned ones.
+	Results []Result `json:"-"`
+}
+
+// frontierEntry is the deterministic subset of a Result the frontier
+// artifact carries.
+type frontierEntry struct {
+	Name       string  `json:"name"`
+	Levels     int     `json:"levels"`
+	NetScale   float64 `json:"net_scale"`
+	Cost       float64 `json:"cost"`
+	Makespan   float64 `json:"makespan_s"`
+	Resilience float64 `json:"resilience_s"`
+	Strategy   string  `json:"strategy"`
+}
+
+// WriteFrontierJSON writes the deterministic frontier artifact: two
+// sweeps over the same space and workload produce byte-identical
+// output regardless of worker count or pruning, which CI asserts.
+func (r *Report) WriteFrontierJSON(w io.Writer) error {
+	out := struct {
+		Model      string          `json:"model"`
+		Batch      int             `json:"batch"`
+		Fault      string          `json:"fault"`
+		Candidates int             `json:"candidates"`
+		Frontier   []frontierEntry `json:"frontier"`
+	}{Model: r.Model, Batch: r.Batch, Fault: r.Fault, Candidates: r.Candidates}
+	for _, f := range r.Frontier {
+		out.Frontier = append(out.Frontier, frontierEntry{
+			Name:       f.Name,
+			Levels:     f.Levels,
+			NetScale:   f.NetScale,
+			Cost:       f.Cost,
+			Makespan:   f.Makespan,
+			Resilience: f.Resilience,
+			Strategy:   f.Strategy,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// point is an evaluated candidate's actual metric vector, shared
+// across workers for pruning decisions.
+type point struct{ mk, cost, res float64 }
+
+// wrapCtxErr maps raw context errors (a pool aborting before any search
+// observed the context) to core's typed sentinels, so a canceled sweep
+// always reports core.ErrCanceled / core.ErrDeadlineExceeded.
+func wrapCtxErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, core.ErrCanceled) || errors.Is(err, core.ErrDeadlineExceeded):
+		return err
+	case errors.Is(err, context.DeadlineExceeded):
+		return core.ErrDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		return core.ErrCanceled
+	default:
+		return err
+	}
+}
+
+// Sweep enumerates the space and evaluates every candidate through one
+// shared core.BatchSet: plan with the full AccPar portfolio, model the
+// post-fault replanned makespan, prune candidates whose admissible
+// bounds are dominated by an already-evaluated fleet, and evaluate
+// candidates whose level caps truncate to identical hardware exactly
+// once. Evaluations fan out over a deterministic worker pool; every
+// plan is byte-identical to a standalone PartitionAccPar run, so the
+// frontier is a pure function of (space, config).
+func Sweep(ctx context.Context, space *Space, cfg Config) (*Report, error) {
+	start := time.Now()
+	defer func() { obsSweep.Observe(time.Since(start)) }()
+
+	cands, err := space.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("dse: space enumerates no candidates (budget too tight?)")
+	}
+	net, err := models.BuildNetwork(cfg.Model, cfg.Batch)
+	if err != nil {
+		return nil, err
+	}
+	set, err := core.NewBatchAccPar(net)
+	if err != nil {
+		return nil, err
+	}
+	var scenario *faults.Scenario
+	if cfg.Fault != "" {
+		fs, err := faults.Parse(cfg.Fault)
+		if err != nil {
+			return nil, err
+		}
+		scenario = &faults.Scenario{Faults: fs}
+		if err := scenario.Validate(); err != nil {
+			return nil, err
+		}
+		if top := scenario.MaxGroup(); top >= len(space.Kinds) {
+			return nil, fmt.Errorf("dse: fault targets kind index %d but the space declares %d kinds", top, len(space.Kinds))
+		}
+	}
+	kindIndex := make(map[string]int, len(space.Kinds))
+	for i, k := range space.Kinds {
+		kindIndex[k.Name] = i
+	}
+
+	// Group candidates that build literally identical hardware: the same
+	// composition and link tier whose level caps truncate to the same
+	// depth (for both the pristine and the degraded tree). Each group is
+	// planned once and the outcome copied to every member — the memo would
+	// serve the duplicates from their root digest anyway, but skipping
+	// them avoids even the plan-clone and stale-re-cost work, and a DSE
+	// grid's level axis makes such duplicates common (every cap deeper
+	// than the fleet needs yields the same tree).
+	type job struct {
+		members        []int // candidate indices in enumeration order
+		tree, degraded *hardware.Tree
+	}
+	var jobs []*job
+	byTree := map[string]*job{}
+	for i := range cands {
+		c := &cands[i]
+		tree, err := c.Tree()
+		if err != nil {
+			return nil, err
+		}
+		degraded, err := degradedTree(c, scenario, kindIndex)
+		if err != nil {
+			return nil, err
+		}
+		degradedDepth := 0
+		if degraded != nil {
+			degradedDepth = degraded.Depth()
+		}
+		key := fmt.Sprintf("%v|%v|%g|%d|%d", c.Kinds, c.CountsPerKind, c.NetScale, tree.Depth(), degradedDepth)
+		if j, ok := byTree[key]; ok {
+			j.members = append(j.members, i)
+			continue
+		}
+		j := &job{members: []int{i}, tree: tree, degraded: degraded}
+		byTree[key] = j
+		jobs = append(jobs, j)
+	}
+
+	results := make([]Result, len(cands))
+	var mu sync.Mutex
+	var evaluated []point
+
+	err = parallel.ForEachCtx(ctx, len(jobs), cfg.Workers, func(ji int) error {
+		j := jobs[ji]
+		c := &cands[j.members[0]]
+		lbMk := set.LowerBound(j.tree)
+		lbRes := lbMk
+		if j.degraded != nil {
+			lbRes = set.LowerBound(j.degraded)
+		}
+		r := Result{Variant: -1, MakespanBound: lbMk, ResilienceBound: lbRes}
+		finish := func() {
+			for _, i := range j.members {
+				out := r
+				out.Candidate = cands[i]
+				results[i] = out
+			}
+		}
+		if !cfg.NoPrune {
+			mu.Lock()
+			skip := false
+			for _, p := range evaluated {
+				if dominates(p.mk, p.cost, p.res, lbMk, c.Cost, lbRes) {
+					skip = true
+					break
+				}
+			}
+			mu.Unlock()
+			if skip {
+				core.NoteDSEPruned(len(j.members))
+				r.Pruned = true
+				finish()
+				return nil
+			}
+		}
+		plan, variant, err := set.PlanBestCtx(ctx, j.tree)
+		if err != nil {
+			return err
+		}
+		r.Makespan = plan.Time()
+		r.Resilience = r.Makespan
+		if j.degraded != nil {
+			r.Resilience, err = set.ReplanTimeCtx(ctx, plan, variant, j.degraded)
+			if err != nil {
+				return err
+			}
+		}
+		r.Variant = variant
+		r.Strategy = plan.Strategy
+		if cfg.KeepPlans {
+			var buf bytes.Buffer
+			if err := plan.WriteJSON(&buf); err != nil {
+				return err
+			}
+			r.PlanJSON = buf.Bytes()
+		}
+		mu.Lock()
+		evaluated = append(evaluated, point{mk: r.Makespan, cost: c.Cost, res: r.Resilience})
+		mu.Unlock()
+		finish()
+		return nil
+	})
+	if err != nil {
+		return nil, wrapCtxErr(err)
+	}
+
+	rep := &Report{
+		Model:      cfg.Model,
+		Batch:      cfg.Batch,
+		Fault:      cfg.Fault,
+		Candidates: len(cands),
+		Results:    results,
+	}
+	for _, r := range results {
+		if r.Pruned {
+			rep.Pruned++
+			continue
+		}
+		rep.Evaluated++
+	}
+	rep.Frontier = frontierOf(results)
+	return rep, nil
+}
+
+// DegradedTree builds the candidate's post-fault hierarchy under
+// scenario, or nil when no fault afflicts it. Scenario group indices
+// name kinds of the space; see Config.Fault.
+func (s *Space) DegradedTree(c *Candidate, scenario *faults.Scenario) (*hardware.Tree, error) {
+	kindIndex := make(map[string]int, len(s.Kinds))
+	for i, k := range s.Kinds {
+		kindIndex[k.Name] = i
+	}
+	return degradedTree(c, scenario, kindIndex)
+}
+
+// degradedTree builds the candidate's post-fault hierarchy, or nil for
+// an empty scenario. Scenario group indices name kinds of the space
+// (kindIndex maps kind name → space index); they are remapped onto the
+// candidate's present groups, and faults on absent kinds are dropped —
+// a fleet cannot lose hardware it never procured.
+func degradedTree(c *Candidate, scenario *faults.Scenario, kindIndex map[string]int) (*hardware.Tree, error) {
+	if scenario.Empty() {
+		return nil, nil
+	}
+	byKind := scenario.Degradations()
+	degs := make(map[int]hardware.Degradation, len(byKind))
+	for gi, kind := range c.Kinds {
+		if d, ok := byKind[kindIndex[kind]]; ok {
+			degs[gi] = d
+		}
+	}
+	if len(degs) == 0 {
+		return nil, nil
+	}
+	groups, err := hardware.DegradeGroups(c.Groups(), degs)
+	if err != nil {
+		return nil, fmt.Errorf("dse: candidate %s: %w", c.Name, err)
+	}
+	arr, err := hardware.NewHeterogeneous(groups...)
+	if err != nil {
+		return nil, fmt.Errorf("dse: candidate %s degraded: %w", c.Name, err)
+	}
+	return hardware.BuildTree(arr, c.Levels)
+}
+
+// frontierOf extracts the Pareto-optimal evaluated results and sorts
+// them deterministically. Pruning never removes a frontier member: a
+// candidate is pruned only when an evaluated point dominates its
+// admissible bounds, and actual metrics are never below their bounds,
+// so the dominator (or something dominating it) witnesses the pruned
+// candidate's exclusion from any frontier.
+func frontierOf(results []Result) []Result {
+	var front []Result
+	for i, r := range results {
+		if r.Pruned {
+			continue
+		}
+		dominated := false
+		for j, o := range results {
+			if i == j || o.Pruned {
+				continue
+			}
+			if dominates(o.Makespan, o.Cost, o.Resilience, r.Makespan, r.Cost, r.Resilience) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, r)
+		}
+	}
+	sortResults(front)
+	return front
+}

@@ -11,6 +11,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"accpar/internal/dse"
+	"accpar/internal/hardware"
 )
 
 // TestSessionMetricsAndTrace: session work shows up in the metrics
@@ -251,5 +254,47 @@ func TestTraceRecorderStacksSimRuns(t *testing.T) {
 	}
 	if resSpans != 5 {
 		t.Errorf("%d resilience phase spans; want 5 (plan ×2, simulate ×3)", resSpans)
+	}
+}
+
+// TestDSECountersExposed: the design-space-exploration counters ride the
+// same registry as every other metric — a sweep's cross-fleet memo
+// amortization shows up in Session.Metrics, and both counters are
+// present in the Prometheus exposition.
+func TestDSECountersExposed(t *testing.T) {
+	space := &dse.Space{
+		Kinds: []dse.Kind{
+			{Name: "tpu-v2", Spec: hardware.TPUv2(), Price: 1.0},
+			{Name: "tpu-v3", Spec: hardware.TPUv3(), Price: 2.2},
+		},
+		Counts:    []int{0, 4},
+		Levels:    []int{2, 8},
+		NetScales: []float64{1},
+	}
+	sess := NewSession(0)
+	before := sess.Metrics()
+	if _, err := dse.Sweep(context.Background(), space, dse.Config{
+		Model: "alexnet", Batch: 64, Fault: "slowdown:0=2.0", Workers: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := sess.Metrics()
+
+	if d := after.Counters["core.memo_cross_fleet_hits"] - before.Counters["core.memo_cross_fleet_hits"]; d <= 0 {
+		t.Errorf("sweep recorded %d cross-fleet memo hits; want > 0", d)
+	}
+	if _, ok := after.Counters["core.dse_pruned_candidates"]; !ok {
+		t.Error("core.dse_pruned_candidates missing from session metrics")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMetricsPrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{"core_memo_cross_fleet_hits", "core_dse_pruned_candidates"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
 	}
 }
