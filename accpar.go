@@ -86,6 +86,13 @@ type (
 	SimConfig = sim.Config
 	// MemoryReport summarizes a plan's HBM feasibility.
 	MemoryReport = core.MemoryReport
+	// MemoryMode selects how the search treats per-leaf HBM capacity
+	// (Options.MemoryLimit).
+	MemoryMode = core.MemoryMode
+	// NoFeasiblePlanError is the typed infeasibility diagnostic a
+	// MemoryReject search returns when nothing fits, carrying the
+	// tightest leaf.
+	NoFeasiblePlanError = core.NoFeasiblePlanError
 	// PlanJSON is the serialized wire form of a plan.
 	PlanJSON = core.PlanJSON
 	// Optimizer selects the weight-update rule (SGD, Momentum, Adam).
@@ -100,6 +107,19 @@ const (
 	OptimizerMomentum = optimizer.Momentum
 	// OptimizerAdam keeps two moment tensors per weight.
 	OptimizerAdam = optimizer.Adam
+)
+
+// Memory-constraint modes (Options.MemoryLimit).
+const (
+	// MemoryOff ignores HBM capacity during the search (default);
+	// Plan.Memory still reports overflow post-hoc.
+	MemoryOff = core.MemoryOff
+	// MemoryReject requires the returned plan to fit every leaf's HBM;
+	// infeasible searches return a *NoFeasiblePlanError.
+	MemoryReject = core.MemoryReject
+	// MemoryPenalize prefers fitting plans but returns the best effort
+	// when nothing fits.
+	MemoryPenalize = core.MemoryPenalize
 )
 
 // Workload modes (Options.Mode).
@@ -120,10 +140,29 @@ var (
 	ErrCanceled = core.ErrCanceled
 	// ErrDeadlineExceeded reports a search aborted by a context deadline.
 	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+	// ErrNoFeasiblePlan is the sentinel every *NoFeasiblePlanError
+	// matches via errors.Is: a MemoryReject search found no plan that
+	// fits the accelerators' HBM capacities.
+	ErrNoFeasiblePlan = core.ErrNoFeasiblePlan
 )
 
 // ParseOptimizer converts "sgd", "momentum" or "adam" to an Optimizer.
 func ParseOptimizer(name string) (Optimizer, error) { return optimizer.Parse(name) }
+
+// ParseMemoryMode converts "off", "reject" or "penalize" to a MemoryMode;
+// the empty string selects MemoryOff.
+func ParseMemoryMode(name string) (MemoryMode, error) {
+	switch name {
+	case "", "off":
+		return MemoryOff, nil
+	case "reject":
+		return MemoryReject, nil
+	case "penalize":
+		return MemoryPenalize, nil
+	default:
+		return 0, fmt.Errorf("accpar: unknown memory mode %q (want off, reject or penalize)", name)
+	}
+}
 
 // ReadPlanJSON decodes a plan previously written with Plan.WriteJSON.
 func ReadPlanJSON(r io.Reader) (*PlanJSON, error) { return core.ReadPlanJSON(r) }

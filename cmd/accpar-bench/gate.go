@@ -18,7 +18,7 @@ import (
 // reuse is exactly the kind of slowdown the gate exists to catch. Cache
 // cold/warm entries are excluded — their timings measure cache state,
 // not code speed, and the warm side is nanoseconds-scale noise.
-var gatePrefixes = []string{"PartitionHierarchical/", "Simulate/", "SolveRatio/", "ReplanAfterFault/", "DSESweep/"}
+var gatePrefixes = []string{"PartitionHierarchical/", "PartitionConstrained/", "Simulate/", "SolveRatio/", "ReplanAfterFault/", "DSESweep/"}
 
 // gated reports whether the gate compares a benchmark entry.
 func gated(name string) bool {
@@ -53,6 +53,41 @@ const allocSlack = 16
 // bound pruning is a regression even if both sweep entries slow down in
 // proportion.
 const dseMinSpeedup = 5.0
+
+// memMaxOverhead is the design ceiling on the non-binding reject-mode
+// cost of the memory-constrained search (PartitionConstrained reject
+// ns/op over off ns/op, minus one): when every plan fits, trying the
+// exact unconstrained solution first at each split must keep the
+// constraint near-free. Like dseMinSpeedup this gates the fresh report
+// against an absolute target rather than a baseline ratio.
+const memMaxOverhead = 0.03
+
+// memOverheadSlack is the extra headroom granted over memMaxOverhead
+// for run-to-run ns/op noise between the two back-to-back measurements
+// on shared CI runners; a real constant-factor regression in the
+// feasibility bookkeeping clears it easily.
+const memOverheadSlack = 0.12
+
+// memOverhead extracts the fresh report's PartitionConstrained
+// reject/off ns/op ratio; ok is false when either entry is absent.
+func memOverhead(r *BenchReport) (ratio float64, ok bool) {
+	var offNs, rejNs float64
+	for _, e := range r.Benchmarks {
+		if !strings.HasPrefix(e.Name, "PartitionConstrained/") {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(e.Name, "/off"):
+			offNs = e.NsPerOp
+		case strings.HasSuffix(e.Name, "/reject"):
+			rejNs = e.NsPerOp
+		}
+	}
+	if offNs <= 0 || rejNs <= 0 {
+		return 0, false
+	}
+	return rejNs / offNs, true
+}
 
 // dseSpeedup extracts the fresh report's DSESweep cold/shared ns/op
 // ratio; ok is false when either entry is absent.
@@ -168,6 +203,13 @@ func runGate(freshPath, basePath string, tol float64) error {
 		fmt.Printf("\ndse sweep amortization: %.1fx (floor %.0fx)\n", ratio, dseMinSpeedup)
 		if ratio < dseMinSpeedup {
 			failed = append(failed, fmt.Sprintf("DSESweep shared speedup %.1fx below the %.0fx floor", ratio, dseMinSpeedup))
+		}
+	}
+	if ratio, present := memOverhead(fresh); present {
+		fmt.Printf("non-binding memory-constraint overhead: %.1f%% (ceiling %.0f%% + %.0f%% noise slack)\n",
+			100*(ratio-1), 100*memMaxOverhead, 100*memOverheadSlack)
+		if ratio > 1+memMaxOverhead+memOverheadSlack {
+			failed = append(failed, fmt.Sprintf("PartitionConstrained non-binding overhead %.1f%% above the %.0f%% ceiling", 100*(ratio-1), 100*memMaxOverhead))
 		}
 	}
 	if len(failed) > 0 {

@@ -190,6 +190,37 @@ func TestRunGateDSESpeedupFloor(t *testing.T) {
 	}
 }
 
+// TestRunGateMemOverheadCeiling: the fresh report's PartitionConstrained
+// reject/off ratio is gated against an absolute ceiling, independent of
+// the baseline — the non-binding constraint staying near-free is part of
+// its contract.
+func TestRunGateMemOverheadCeiling(t *testing.T) {
+	// 1% overhead passes.
+	good := report(
+		BenchEntry{Name: "Simulate/vgg16", NsPerOp: 500, AllocsPerOp: 50},
+		BenchEntry{Name: "PartitionConstrained/resnet50/off", NsPerOp: 10000, AllocsPerOp: 100},
+		BenchEntry{Name: "PartitionConstrained/resnet50/reject", NsPerOp: 10100, AllocsPerOp: 100},
+	)
+	if err := runGate(writeReport(t, good), writeReport(t, good), 0.25); err != nil {
+		t.Errorf("1%% overhead must pass: %v", err)
+	}
+
+	// 50% overhead fails the ceiling even against a matching baseline
+	// (both entries compare 1.00 relative).
+	costly := report(
+		BenchEntry{Name: "Simulate/vgg16", NsPerOp: 500, AllocsPerOp: 50},
+		BenchEntry{Name: "PartitionConstrained/resnet50/off", NsPerOp: 10000, AllocsPerOp: 100},
+		BenchEntry{Name: "PartitionConstrained/resnet50/reject", NsPerOp: 15000, AllocsPerOp: 100},
+	)
+	err := runGate(writeReport(t, costly), writeReport(t, costly), 0.25)
+	if err == nil {
+		t.Fatal("50% overhead must fail the ceiling")
+	}
+	if !strings.Contains(err.Error(), "above the 3% ceiling") {
+		t.Errorf("ceiling failure not reported: %v", err)
+	}
+}
+
 func TestCompareReportsAllocSlack(t *testing.T) {
 	// Tiny absolute alloc counts get slack: 2 → 10 allocs/op is within
 	// the absolute headroom even though the ratio is 5x.

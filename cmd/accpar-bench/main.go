@@ -163,6 +163,11 @@ func runExtensions(cfg eval.Config) error {
 		return err
 	}
 	fmt.Println(tbl)
+	_, tbl, err = eval.MemoryCeilingSweep(cfg, "resnet50", nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tbl)
 	return nil
 }
 

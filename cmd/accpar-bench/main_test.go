@@ -80,8 +80,11 @@ func TestRunPerfJSON(t *testing.T) {
 	if report.GoMaxProcs < 1 {
 		t.Errorf("gomaxprocs = %d", report.GoMaxProcs)
 	}
-	if len(report.Benchmarks) != 16 {
-		t.Fatalf("benchmarks = %d, want 16", len(report.Benchmarks))
+	if len(report.Benchmarks) != 18 {
+		t.Fatalf("benchmarks = %d, want 18", len(report.Benchmarks))
+	}
+	if report.OverheadMemoryReject <= -1 {
+		t.Errorf("memory-reject overhead = %g", report.OverheadMemoryReject)
 	}
 	for _, e := range report.Benchmarks {
 		if e.NsPerOp <= 0 || e.Iterations <= 0 {

@@ -69,6 +69,13 @@ type BenchReport struct {
 	// over independent per-candidate searches of the same fleet grid. The
 	// gate enforces a floor on it (dseMinSpeedup).
 	SpeedupDSEShared float64 `json:"speedup_dse_shared"`
+	// OverheadMemoryReject is the fractional ns/op cost of running the
+	// same search under a non-binding reject-mode memory constraint
+	// (PartitionConstrained reject over off, minus one). The constrained
+	// search tries the exact unconstrained solution first at every split,
+	// so when Table 7 capacities hold every plan this should stay near
+	// zero; the gate enforces a ceiling (memMaxOverhead).
+	OverheadMemoryReject float64 `json:"overhead_memory_reject"`
 	// WarmStartEntries is the number of subproblems restored from the
 	// -cache-file snapshot (0 on a cold start or without the flag).
 	WarmStartEntries int          `json:"warm_start_entries,omitempty"`
@@ -98,6 +105,37 @@ func benchPartition(model string, batch, perKind, parallelism int) (testing.Benc
 	}
 	opt := core.AccPar()
 	opt.Parallelism = parallelism
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Partition(net, tree, opt); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	return r, benchErr
+}
+
+// benchPartitionConstrained measures core.Partition on the paper array
+// under the given memory mode, serially so the off/reject comparison
+// isn't confounded by scheduling noise. At Table 7 capacities the
+// constraint is non-binding, making the reject-mode run a direct
+// measurement of the feasibility bookkeeping added on top of the
+// unchanged search.
+func benchPartitionConstrained(model string, batch, perKind int, mode core.MemoryMode) (testing.BenchmarkResult, error) {
+	net, err := models.BuildNetwork(model, batch)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	tree, err := eval.HeterogeneousTree(perKind)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	opt := core.AccPar()
+	opt.Parallelism = 1
+	opt.MemoryLimit = mode
 	var benchErr error
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -502,6 +540,23 @@ func runPerf(cfg eval.Config, jsonPath, cacheFile, cpuProfile, memProfile string
 	}
 	report.Benchmarks = append(report.Benchmarks, entry("PartitionHierarchical/vgg16/parallel", vgg))
 
+	// Memory-constrained planning at non-binding capacities: off vs
+	// reject on the identical workload, measured back to back.
+	memOff, err := benchPartitionConstrained("resnet50", batch, perKind, core.MemoryOff)
+	if err != nil {
+		return err
+	}
+	memRej, err := benchPartitionConstrained("resnet50", batch, perKind, core.MemoryReject)
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks,
+		entry("PartitionConstrained/resnet50/off", memOff),
+		entry("PartitionConstrained/resnet50/reject", memRej))
+	if offNs := float64(memOff.T.Nanoseconds()) / float64(memOff.N); offNs > 0 {
+		report.OverheadMemoryReject = float64(memRej.T.Nanoseconds())/float64(memRej.N)/offNs - 1
+	}
+
 	simr, err := benchSimulate("vgg16", batch, perKind)
 	if err != nil {
 		return err
@@ -648,6 +703,7 @@ func runPerf(cfg eval.Config, jsonPath, cacheFile, cpuProfile, memProfile string
 	fmt.Printf("replan speedups vs full search: novel fault %.1fx  recurrent fault %.1fx\n",
 		report.SpeedupReplanIncremental, report.SpeedupReplanWarm)
 	fmt.Printf("dse sweep speedup vs independent cold searches: %.1fx\n", report.SpeedupDSEShared)
+	fmt.Printf("non-binding memory-constraint overhead: %.1f%%\n", 100*report.OverheadMemoryReject)
 	return nil
 }
 

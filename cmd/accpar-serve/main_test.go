@@ -106,6 +106,52 @@ func TestPlanBadInputs(t *testing.T) {
 	}
 }
 
+// TestPlanInfeasibleReturns422 asserts the memory-constrained contract
+// of /v1/plan: a workload that cannot fit any partition under reject
+// mode answers 422 with the tightest leaf's residency diagnostics, a
+// non-binding constraint leaves the response byte-identical to an
+// unconstrained plan, and an unknown mode is a client error.
+func TestPlanInfeasibleReturns422(t *testing.T) {
+	_, mux := newTestMux(t)
+	w := post(t, mux, "/v1/plan",
+		`{"model":"vgg16","batch":4096,"fleet":"edge-npu:2","memory_limit":"reject"}`)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible plan: code %d, want 422: %s", w.Code, w.Body)
+	}
+	var doc struct {
+		Error    string `json:"error"`
+		Tightest struct {
+			Group          string `json:"group"`
+			ResidencyBytes int64  `json:"residency_bytes"`
+			CapacityBytes  int64  `json:"capacity_bytes"`
+		} `json:"tightest"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Error == "" || doc.Tightest.Group == "" {
+		t.Errorf("diagnostic incomplete: %s", w.Body)
+	}
+	if doc.Tightest.ResidencyBytes <= doc.Tightest.CapacityBytes || doc.Tightest.CapacityBytes <= 0 {
+		t.Errorf("tightest leaf not overflowing: %+v", doc.Tightest)
+	}
+
+	// Non-binding: reject mode at Table 7 capacities changes nothing.
+	free := post(t, mux, "/v1/plan", `{"model":"lenet","batch":32,"v2":4,"v3":4,"levels":8}`)
+	constrained := post(t, mux, "/v1/plan",
+		`{"model":"lenet","batch":32,"v2":4,"v3":4,"levels":8,"memory_limit":"reject"}`)
+	if free.Code != http.StatusOK || constrained.Code != http.StatusOK {
+		t.Fatalf("codes %d/%d, want 200/200", free.Code, constrained.Code)
+	}
+	if !bytes.Equal(free.Body.Bytes(), constrained.Body.Bytes()) {
+		t.Errorf("non-binding constraint changed the plan:\nfree: %.200s\nconstrained: %.200s", free.Body, constrained.Body)
+	}
+
+	if w := post(t, mux, "/v1/plan", `{"model":"lenet","batch":32,"memory_limit":"strict"}`); w.Code != http.StatusBadRequest {
+		t.Errorf("unknown memory mode: code %d, want 400", w.Code)
+	}
+}
+
 func TestCompare(t *testing.T) {
 	_, mux := newTestMux(t)
 	w := post(t, mux, "/v1/compare", `{"model":"lenet","batch":32,"v2":4,"v3":4}`)

@@ -199,6 +199,11 @@ type planRequest struct {
 	Optimizer string `json:"optimizer"`
 	// Inference costs the forward phase only.
 	Inference bool `json:"inference"`
+	// MemoryLimit selects the HBM-capacity constraint mode: "off" (or
+	// empty — the default), "reject" or "penalize". A reject-mode request
+	// whose workload fits no reachable plan answers a structured 422 with
+	// the tightest-leaf diagnostic.
+	MemoryLimit string `json:"memory_limit"`
 	// TimeoutMs bounds this request's planning work in milliseconds,
 	// overriding the server's -default-deadline. An expired deadline
 	// aborts the search mid-recursion and answers 504.
@@ -356,10 +361,20 @@ func (s *server) plan(w http.ResponseWriter, r *http.Request) {
 	if req.Inference {
 		opt.Mode = accpar.ModeInference
 	}
+	opt.MemoryLimit, err = accpar.ParseMemoryMode(req.MemoryLimit)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
 	defer cancel()
 	plan, err := s.sess.PartitionWithOptionsCtx(ctx, net, arr, opt, req.Levels)
 	if err != nil {
+		var nfe *accpar.NoFeasiblePlanError
+		if errors.As(err, &nfe) {
+			writeInfeasible(w, nfe)
+			return
+		}
 		http.Error(w, err.Error(), planStatus(err))
 		return
 	}
@@ -521,6 +536,28 @@ var obsEncodeErrors = obs.NewCounter("serve.encode_errors")
 
 func init() {
 	obs.SetHelp("serve_encode_errors", "Response-body encode/write failures (client hangups mid-response).")
+}
+
+// writeInfeasible answers a memory-infeasible planning request: 422 with
+// a structured body carrying the tightest-leaf diagnostic, so clients can
+// size fleets from the response instead of parsing an error string.
+func writeInfeasible(w http.ResponseWriter, nfe *accpar.NoFeasiblePlanError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusUnprocessableEntity)
+	type tightest struct {
+		Group          string `json:"group"`
+		ResidencyBytes int64  `json:"residency_bytes"`
+		CapacityBytes  int64  `json:"capacity_bytes"`
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Error    string   `json:"error"`
+		Tightest tightest `json:"tightest"`
+	}{nfe.Error(), tightest{nfe.TightestGroup, nfe.ResidencyBytes, nfe.CapacityBytes}}); err != nil {
+		obsEncodeErrors.Inc()
+		obs.Log().Warn("serve.response_write_failed", "err", err.Error())
+	}
 }
 
 // writeJSON writes v as indented JSON, counting and logging failures.

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ func main() {
 		optName  = flag.String("optimizer", "sgd", "weight-update rule: sgd, momentum, adam")
 		explain  = flag.Bool("explain", false, "print the per-layer cost breakdown of the root split")
 		infer    = flag.Bool("inference", false, "cost the forward phase only (inference) instead of training")
+		memory   = flag.String("memory", "off", "HBM capacity constraint: off, reject (error when nothing fits), penalize (prefer fitting plans, best effort)")
 
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry to this file (expvar-style text for .txt, JSON otherwise)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome Trace Event Format JSON trace of the planner spans to this file")
@@ -49,7 +51,7 @@ func main() {
 	if *traceOut != "" {
 		rec = accpar.StartTrace()
 	}
-	if err := run(*model, *batch, *v2, *v3, *fleet, *strategy, *levels, *showMap, *compare, *explain, *infer, *jsonOut, *dotOut, *optName); err != nil {
+	if err := run(*model, *batch, *v2, *v3, *fleet, *strategy, *levels, *showMap, *compare, *explain, *infer, *jsonOut, *dotOut, *optName, *memory); err != nil {
 		fmt.Fprintln(os.Stderr, "accpar:", err)
 		os.Exit(1)
 	}
@@ -78,7 +80,7 @@ func flushObs(rec *accpar.TraceRecorder, traceOut, metricsOut string) error {
 	return nil
 }
 
-func run(model string, batch, v2, v3 int, fleet, strategy string, levels int, showMap, compare, explain, infer bool, jsonOut, dotOut, optName string) error {
+func run(model string, batch, v2, v3 int, fleet, strategy string, levels int, showMap, compare, explain, infer bool, jsonOut, dotOut, optName, memory string) error {
 	net, err := accpar.BuildModel(model, batch)
 	if err != nil {
 		return err
@@ -133,8 +135,16 @@ func run(model string, batch, v2, v3 int, fleet, strategy string, levels int, sh
 	if infer {
 		opt.Mode = accpar.ModeInference
 	}
+	opt.MemoryLimit, err = accpar.ParseMemoryMode(memory)
+	if err != nil {
+		return err
+	}
 	plan, err := accpar.PartitionWithOptions(net, arr, opt, levels)
 	if err != nil {
+		var nfe *accpar.NoFeasiblePlanError
+		if errors.As(err, &nfe) {
+			return fmt.Errorf("no plan fits under -memory %s: group %s needs %d bytes of HBM but has %d", memory, nfe.TightestGroup, nfe.ResidencyBytes, nfe.CapacityBytes)
+		}
 		return err
 	}
 	if jsonOut != "" {

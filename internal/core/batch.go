@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -144,14 +145,30 @@ func NewBatchAccPar(net *dnn.Network) (*BatchSet, error) {
 func (s *BatchSet) PlanBestCtx(ctx context.Context, tree *hardware.Tree) (*Plan, int, error) {
 	var best *Plan
 	bestIdx := -1
+	var nofit error
 	for i, e := range s.engines {
 		plan, err := e.PlanCtx(ctx, tree)
 		if err != nil {
+			// Same tolerance as PartitionBestCtx: a variant with no fitting
+			// plan loses to any variant that finds one; the typed error
+			// propagates only when every variant is infeasible.
+			if errors.Is(err, ErrNoFeasiblePlan) {
+				if nofit == nil {
+					nofit = err
+				}
+				continue
+			}
 			return nil, -1, err
 		}
 		if best == nil || plan.Time() < best.Time() {
 			best, bestIdx = plan, i
 		}
+	}
+	if best == nil {
+		if nofit != nil {
+			return nil, -1, nofit
+		}
+		return nil, -1, fmt.Errorf("core: BatchSet produced no plan")
 	}
 	return best, bestIdx, nil
 }

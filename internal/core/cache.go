@@ -38,7 +38,10 @@ import (
 // ever hit again). v2: digest-based subproblem keys (hwIndex).
 // v3: level-independent subtree digests (levels are relabeled on clone,
 // so entries keyed under the old level-folding scheme can never be hit).
-const cacheSchema = "accpar-plan-node-v3"
+// v4: HBM capacities became decision-relevant (Options.MemoryLimit) — a
+// v3 snapshot written before the constraint existed could replay a
+// now-infeasible plan into a constrained search.
+const cacheSchema = "accpar-plan-node-v4"
 
 // SharedCache is a concurrency-safe, bounded, persistent cache of solved
 // hierarchical subproblems, shared across Partition, Replan, Compare,
@@ -198,6 +201,11 @@ func searchFingerprint(units []dnn.WeightedLayer, segs, planSegs []segRef, opt O
 		wInt(0)
 	}
 	wInt(int64(opt.Mode))
+	// The memory constraint changes decisions (constrained searches may
+	// pick different types or ratios), so it namespaces cache entries;
+	// the capacity inputs themselves travel in the subproblem key, whose
+	// hwIndex digests fold in every spec's HBMBytes fingerprint.
+	wInt(int64(opt.MemoryLimit))
 
 	// The Fixed assignment is a function — unhashable by value — but its
 	// only observable effect is its result on each of this network's

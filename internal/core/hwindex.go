@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"math"
 	"sync"
 
 	"accpar/internal/hardware"
@@ -26,6 +27,19 @@ import (
 type hwInfo struct {
 	digest [16]byte
 	specs  []uint64
+	// hbm is the subtree's aggregate HBM capacity. The residency a
+	// workload needs can never exceed it in a feasible plan — splitting
+	// is superadditive in the residency monomials (bound.go) — so the
+	// constrained search prunes on it in any ratio mode. The digest
+	// already covers it (spec fingerprints fold in HBMBytes), so two
+	// subtrees digesting equally always agree on these fields.
+	hbm int64
+	// capFloorHalf is the minimum over leaves of (leaf capacity · 2^depth
+	// below this node): under equal ratios every child inherits at least
+	// half its parent's residency, so a workload needing more than this
+	// provably overflows some leaf. Useless under flexible ratios, where
+	// a split may push as little as MinRatio to one side.
+	capFloorHalf int64
 }
 
 // hwIndex maps hardware-tree nodes to their hwInfo. Reads take a
@@ -106,9 +120,11 @@ func indexTree(t *hardware.Tree, m map[*hardware.Tree]hwInfo) hwInfo {
 		wInt(int64(s.Fingerprint()))
 	}
 	var info hwInfo
+	info.hbm = t.Group.HBMBytes()
 	if t.IsLeaf() {
 		wInt(-1)
 		info.specs = distinctSpecs(t.Group.Accel)
+		info.capFloorHalf = info.hbm
 	} else {
 		wInt(-2)
 		l := indexTree(t.Left, m)
@@ -116,6 +132,15 @@ func indexTree(t *hardware.Tree, m map[*hardware.Tree]hwInfo) hwInfo {
 		h.Write(l.digest[:])
 		h.Write(r.digest[:])
 		info.specs = mergeSpecs(l.specs, r.specs)
+		min := l.capFloorHalf
+		if r.capFloorHalf < min {
+			min = r.capFloorHalf
+		}
+		if min > math.MaxInt64/2 {
+			info.capFloorHalf = math.MaxInt64
+		} else {
+			info.capFloorHalf = 2 * min
+		}
 	}
 	h.Sum(info.digest[:0])
 	m[t] = info

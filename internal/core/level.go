@@ -70,6 +70,15 @@ type levelCtx struct {
 	alpha    float64
 	opt      Options
 
+	// memLambda, when positive, folds a residency-pressure penalty into
+	// every DP unit cost (memlimit.go's constrained ladder): λ times the
+	// share of each child subtree's aggregate capacity (capI, capJ) the
+	// unit's resident tensors would consume under the candidate type at
+	// the current ratio. The penalty steers decisions only; evalLevel and
+	// every reported cost stay penalty-free.
+	memLambda  float64
+	capI, capJ float64
+
 	// Per-unit coefficient caches, filled once by prepare() (coeffs.go):
 	// mode-appropriate FLOPs, Table 4 intra-layer elements per type, and
 	// the A(F_l)/A(F_{l+1}) boundary inputs. They make every cost
@@ -134,14 +143,34 @@ func (c *levelCtx) unitCost(u int, t cost.Type) float64 {
 	}
 	flops := c.flopsU[u]
 	intraBytes := c.intraU[u][t] * tensor.BytesPerElement
+	var v float64
 	if c.opt.Objective == ObjectiveCommOnly {
 		// Both groups remotely access the peer's partial-sum tensor, so the
 		// total traffic is twice the Table 4 amount.
-		return 2 * intraBytes
+		v = 2 * intraBytes
+	} else {
+		ei := c.alpha*flops/c.sideI.Compute + intraBytes/c.sideI.Net
+		ej := c.beta()*flops/c.sideJ.Compute + intraBytes/c.sideJ.Net
+		v = math.Max(ei, ej)
 	}
-	ei := c.alpha*flops/c.sideI.Compute + intraBytes/c.sideI.Net
-	ej := c.beta()*flops/c.sideJ.Compute + intraBytes/c.sideJ.Net
-	return math.Max(ei, ej)
+	if c.memLambda > 0 {
+		v += c.memLambda * c.memPressure(u, t)
+	}
+	return v
+}
+
+// memPressure scores the capacity share unit u's resident tensors would
+// consume on each side of the split under type t at the current ratio.
+// Type-I replicates the kernel (both shares keep the full AW), Type-II
+// and Type-III shard it — exactly the distinction the constrained ladder
+// needs the DP to feel.
+func (c *levelCtx) memPressure(u int, t cost.Type) float64 {
+	d := c.units[u].dims
+	di := d.Scale(t.Dim(), c.alpha)
+	dj := d.Scale(t.Dim(), c.beta())
+	resI := float64((2*di.AW()+di.AF()+di.AFNext())*tensor.BytesPerElement + c.opt.Optimizer.StateBytes(di.AW()))
+	resJ := float64((2*dj.AW()+dj.AF()+dj.AFNext())*tensor.BytesPerElement + c.opt.Optimizer.StateBytes(dj.AW()))
+	return resI/c.capI + resJ/c.capJ
 }
 
 // boundary returns the size of the tensor actually converted on the edge

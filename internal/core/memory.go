@@ -23,6 +23,11 @@ type MemoryReport struct {
 
 // String renders the report.
 func (r MemoryReport) String() string {
+	if r.Leaves == 0 {
+		// A plan with no leaf groups has no residency to report; the
+		// peak fields would render as "peak 0 bytes of 0 on ".
+		return "memory: no leaf groups"
+	}
 	status := "fits"
 	if !r.OK {
 		status = fmt.Sprintf("OVERFLOWS on %d leaf group(s)", len(r.Overflow))

@@ -42,6 +42,14 @@ var (
 	// obsDSEPruned counts sweep candidates discarded by the admissible
 	// lower bound before a full hierarchical search ran.
 	obsDSEPruned = obs.NewCounter("core.dse_pruned_candidates")
+	// obsMemoryPruned counts subtrees the constrained search proved
+	// infeasible via the capacity floors inside the DP recursion —
+	// candidate ladders it never had to run.
+	obsMemoryPruned = obs.NewCounter("core.memory_pruned_subtrees")
+	// obsDSEMemoryPruned counts sweep candidates discarded because their
+	// aggregate HBM cannot hold the workload's minimum residency, before
+	// any search or bound evaluation ran.
+	obsDSEMemoryPruned = obs.NewCounter("core.dse_memory_pruned_candidates")
 )
 
 // NoteDSEPruned records candidates a design-space sweep pruned via the
@@ -50,6 +58,11 @@ var (
 // metric family so Session.Metrics and Prometheus export it alongside
 // memo statistics.
 func NoteDSEPruned(n int) { obsDSEPruned.Add(int64(n)) }
+
+// NoteDSEMemoryPruned records candidates a design-space sweep discarded
+// on the aggregate-capacity floor (MinResidencyBytes) without costing
+// them; same export rationale as NoteDSEPruned.
+func NoteDSEMemoryPruned(n int) { obsDSEMemoryPruned.Add(int64(n)) }
 
 // ObserveReplanLatency records one replan-latency observation in the
 // core.replan.seconds histogram. The facade's resilience pipeline calls

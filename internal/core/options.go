@@ -120,6 +120,14 @@ type Options struct {
 	// all settings — every subproblem is pure, so scheduling cannot change
 	// results — which the equivalence tests enforce.
 	Parallelism int
+	// MemoryLimit selects how the search treats per-leaf HBM capacity:
+	// ignore it (the default — Plan.Memory still reports overflow after
+	// the fact), reject plans that do not fit (*NoFeasiblePlanError when
+	// nothing reachable fits), or penalize overflow and return the best
+	// effort. The constrained search runs the exact unconstrained solve
+	// first at every split, so plans are byte-identical to MemoryOff
+	// whenever the constraint is inactive or non-binding.
+	MemoryLimit MemoryMode
 	// Cache, when non-nil, is the cross-run subproblem cache the search
 	// seeds its per-search memo from and feeds its solutions into. Plans
 	// are byte-identical with the cache disabled, cold or warm — caching
@@ -128,6 +136,37 @@ type Options struct {
 	// never influences results, so it takes no part in the search
 	// fingerprint.
 	Cache *SharedCache
+}
+
+// MemoryMode selects how the search treats per-leaf HBM capacity.
+type MemoryMode int
+
+const (
+	// MemoryOff ignores capacity during the search; Plan.Memory still
+	// reports residency and overflow post-hoc. Default.
+	MemoryOff MemoryMode = iota
+	// MemoryReject requires every leaf of the returned plan to fit its
+	// group's HBM; when no reachable plan fits, the search returns a
+	// typed *NoFeasiblePlanError carrying the tightest leaf.
+	MemoryReject
+	// MemoryPenalize runs the same constrained search as MemoryReject but
+	// returns the best effort — the attempt with the smallest peak
+	// overflow — instead of an error when nothing fits.
+	MemoryPenalize
+)
+
+// String names the memory mode.
+func (m MemoryMode) String() string {
+	switch m {
+	case MemoryOff:
+		return "off"
+	case MemoryReject:
+		return "reject"
+	case MemoryPenalize:
+		return "penalize"
+	default:
+		return fmt.Sprintf("MemoryMode(%d)", int(m))
+	}
 }
 
 // Mode selects which phases the workload executes.
@@ -172,6 +211,11 @@ func (o Options) validate() error {
 	}
 	if o.Parallelism < 0 {
 		return fmt.Errorf("core: negative parallelism %d", o.Parallelism)
+	}
+	switch o.MemoryLimit {
+	case MemoryOff, MemoryReject, MemoryPenalize:
+	default:
+		return fmt.Errorf("core: invalid memory mode %d", int(o.MemoryLimit))
 	}
 	seen := map[cost.Type]bool{}
 	for _, t := range o.Types {

@@ -140,6 +140,9 @@ func (p *planner) plan(tree *hardware.Tree) (*Plan, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, fmt.Errorf("core: internal plan inconsistency: %w", err)
 	}
+	if err := p.checkFeasible(plan); err != nil {
+		return nil, err
+	}
 	return plan, nil
 }
 
@@ -259,7 +262,25 @@ func (p *planner) computeNode(node *hardware.Tree, dims []tensor.LayerDims) (*Pl
 	if err := checkSides(node.Level, sideI, sideJ); err != nil {
 		return nil, err
 	}
+	n, err := p.solveSplit(node, dims, sideI, sideJ, 0)
+	if err != nil || p.opt.MemoryLimit == MemoryOff {
+		return n, err
+	}
+	return p.constrainSplit(node, dims, sideI, sideJ, n)
+}
+
+// solveSplit runs the standard type/ratio alternation at one split and
+// recurses into both children. memLambda > 0 folds the residency-pressure
+// penalty into the DP unit costs (memlimit.go's λ ladder); λ = 0 is the
+// exact unconstrained search. Reported costs (Eval) never include the
+// penalty — it steers decisions only.
+func (p *planner) solveSplit(node *hardware.Tree, dims []tensor.LayerDims, sideI, sideJ Side, memLambda float64) (*PlanNode, error) {
 	ctx := newLevelCtx(p.units, dims, p.segs, p.planSegs, sideI, sideJ, p.opt)
+	if memLambda > 0 {
+		ctx.memLambda = memLambda
+		ctx.capI = float64(p.hw.ensure(node.Left).hbm)
+		ctx.capJ = float64(p.hw.ensure(node.Right).hbm)
+	}
 
 	// Initial ratio: equal, or compute-proportional for the flexible mode.
 	switch p.opt.Ratio {
@@ -314,6 +335,32 @@ func (p *planner) computeNode(node *hardware.Tree, dims []tensor.LayerDims) (*Pl
 		Eval:      ev,
 		SideI:     ctx.sideI,
 		SideJ:     ctx.sideJ,
+		Dims:      dims,
+		Left:      left,
+		Right:     right,
+	}, nil
+}
+
+// buildSplit assembles one split for a fixed (types, alpha) candidate —
+// no search, just the true-cost evaluation and the child recursion. The
+// constrained ladder uses it for candidates whose decisions were chosen
+// outside the alternation loop.
+func (p *planner) buildSplit(node *hardware.Tree, dims []tensor.LayerDims, sideI, sideJ Side, types []cost.Type, alpha float64) (*PlanNode, error) {
+	ctx := newLevelCtx(p.units, dims, p.segs, p.planSegs, sideI, sideJ, p.opt)
+	ctx.alpha = alpha
+	ev := ctx.evalLevel(types)
+	left, right, err := p.partitionChildren(node, dims, types, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanNode{
+		Level:     node.Level,
+		GroupDesc: node.Group.String(),
+		Alpha:     alpha,
+		Types:     types,
+		Eval:      ev,
+		SideI:     sideI,
+		SideJ:     sideJ,
 		Dims:      dims,
 		Left:      left,
 		Right:     right,
@@ -423,16 +470,9 @@ func leafNode(node *hardware.Tree, units []dnn.WeightedLayer, dims []tensor.Laye
 		memBytes += float64(opt.Optimizer.UpdateMemBytes(weightElems))
 	}
 	// Resident footprint: kernels and gradients, retained activations and
-	// one error tensor per layer, plus optimizer state.
-	var residency int64
-	for i, u := range units {
-		if u.Virtual {
-			continue
-		}
-		d := dims[i]
-		residency += (2*d.AW() + d.AF() + d.AFNext()) * tensor.BytesPerElement
-	}
-	residency += opt.Optimizer.StateBytes(weightElems)
+	// one error tensor per layer, plus optimizer state (residencyAtDims
+	// keeps this accounting shared with the constrained search's floors).
+	residency := residencyAtDims(units, dims, opt)
 	if opt.Mode == ModeInference {
 		// No gradient synchronization exists in inference; the implicit
 		// data-parallel fallback costs nothing.

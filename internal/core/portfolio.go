@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"accpar/internal/cost"
@@ -74,9 +75,18 @@ func PartitionBestCtx(ctx context.Context, net *dnn.Network, tree *hardware.Tree
 		}
 	}
 	plans := make([]*Plan, len(opts))
+	nofit := make([]error, len(opts))
 	err := parallel.ForEachCtx(ctx, len(opts), workers, func(i int) error {
 		plan, err := PartitionCtx(ctx, net, tree, opts[i])
 		if err != nil {
+			// One variant exhausting its restricted space without a fitting
+			// plan must not abort the portfolio: another variant's larger
+			// space may still contain one. Only if every variant comes up
+			// infeasible does the typed error propagate.
+			if errors.Is(err, ErrNoFeasiblePlan) {
+				nofit[i] = err
+				return nil
+			}
 			return err
 		}
 		plans[i] = plan
@@ -87,9 +97,20 @@ func PartitionBestCtx(ctx context.Context, net *dnn.Network, tree *hardware.Tree
 	}
 	var best *Plan
 	for _, plan := range plans {
+		if plan == nil {
+			continue
+		}
 		if best == nil || plan.Time() < best.Time() {
 			best = plan
 		}
+	}
+	if best == nil {
+		for _, e := range nofit {
+			if e != nil {
+				return nil, e
+			}
+		}
+		return nil, fmt.Errorf("core: PartitionBest produced no plan")
 	}
 	return best, nil
 }

@@ -40,6 +40,13 @@ type Config struct {
 	// in full. The frontier is identical either way — pruning is proven
 	// safe — so this exists for verification and timing comparisons.
 	NoPrune bool
+	// Memory selects the planner's HBM-capacity constraint for every
+	// candidate. Any mode but MemoryOff also pre-prunes candidates whose
+	// aggregate HBM cannot hold the workload's minimum residency
+	// (core.MinResidencyBytes) before any costing runs; candidates whose
+	// constrained search still finds nothing fitting are marked
+	// Infeasible and excluded from the frontier.
+	Memory core.MemoryMode
 	// KeepPlans retains each evaluated candidate's winning plan as its
 	// canonical JSON rendering, for equivalence testing against
 	// standalone searches. Off by default: a big sweep's plans dwarf
@@ -62,6 +69,11 @@ type Result struct {
 	Variant int `json:"variant"`
 	// Pruned marks candidates skipped via the admissible lower bound.
 	Pruned bool `json:"pruned,omitempty"`
+	// Infeasible marks candidates the workload cannot fit under
+	// Config.Memory: pre-pruned on the aggregate-capacity floor (no
+	// metrics) or searched without finding a fitting plan. Infeasible
+	// candidates never join the frontier.
+	Infeasible bool `json:"infeasible,omitempty"`
 	// MakespanBound and ResilienceBound are the admissible lower bounds
 	// the pruning decision used.
 	MakespanBound   float64 `json:"makespan_bound_s"`
@@ -83,6 +95,9 @@ type Report struct {
 	Candidates int    `json:"candidates"`
 	Evaluated  int    `json:"-"`
 	Pruned     int    `json:"-"`
+	// Infeasible counts candidates the workload cannot fit under
+	// Config.Memory (pre-pruned or searched without a fitting plan).
+	Infeasible int `json:"-"`
 	// Frontier is the Pareto-optimal set over (makespan, cost,
 	// resilience), sorted cheapest-first.
 	Frontier []Result `json:"frontier"`
@@ -175,9 +190,22 @@ func Sweep(ctx context.Context, space *Space, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	set, err := core.NewBatchAccPar(net)
+	variants := core.AccParVariants()
+	for i := range variants {
+		variants[i].MemoryLimit = cfg.Memory
+	}
+	set, err := core.NewBatchSet(net, variants...)
 	if err != nil {
 		return nil, err
+	}
+	// The workload's minimum residency is fleet-independent; one
+	// computation serves every capacity pre-prune below.
+	var minResidency int64
+	if cfg.Memory != core.MemoryOff {
+		minResidency, err = core.MinResidencyBytes(net, core.AccPar())
+		if err != nil {
+			return nil, err
+		}
 	}
 	var scenario *faults.Scenario
 	if cfg.Fault != "" {
@@ -256,6 +284,15 @@ func Sweep(ctx context.Context, space *Space, cfg Config) (*Report, error) {
 				results[i] = out
 			}
 		}
+		if cfg.Memory != core.MemoryOff && minResidency > j.tree.Group.HBMBytes() {
+			// The fleet's total HBM cannot hold the workload under any
+			// plan (residency is superadditive under splits): discard
+			// before any bound evaluation or search runs.
+			core.NoteDSEMemoryPruned(len(j.members))
+			r.Infeasible = true
+			finish()
+			return nil
+		}
 		if !cfg.NoPrune {
 			mu.Lock()
 			skip := false
@@ -275,13 +312,28 @@ func Sweep(ctx context.Context, space *Space, cfg Config) (*Report, error) {
 		}
 		plan, variant, err := set.PlanBestCtx(ctx, j.tree)
 		if err != nil {
+			if errors.Is(err, core.ErrNoFeasiblePlan) {
+				r.Infeasible = true
+				finish()
+				return nil
+			}
 			return err
+		}
+		if cfg.Memory != core.MemoryOff && !plan.Memory().OK {
+			// Penalize mode returns the best effort; an overflowing best
+			// effort still disqualifies the candidate.
+			r.Infeasible = true
 		}
 		r.Makespan = plan.Time()
 		r.Resilience = r.Makespan
 		if j.degraded != nil {
 			r.Resilience, err = set.ReplanTimeCtx(ctx, plan, variant, j.degraded)
 			if err != nil {
+				if errors.Is(err, core.ErrNoFeasiblePlan) {
+					r.Infeasible = true
+					finish()
+					return nil
+				}
 				return err
 			}
 		}
@@ -294,9 +346,13 @@ func Sweep(ctx context.Context, space *Space, cfg Config) (*Report, error) {
 			}
 			r.PlanJSON = buf.Bytes()
 		}
-		mu.Lock()
-		evaluated = append(evaluated, point{mk: r.Makespan, cost: c.Cost, res: r.Resilience})
-		mu.Unlock()
+		if !r.Infeasible {
+			// Infeasible candidates are off the frontier, so they cannot
+			// witness another candidate's exclusion from it.
+			mu.Lock()
+			evaluated = append(evaluated, point{mk: r.Makespan, cost: c.Cost, res: r.Resilience})
+			mu.Unlock()
+		}
 		finish()
 		return nil
 	})
@@ -312,11 +368,14 @@ func Sweep(ctx context.Context, space *Space, cfg Config) (*Report, error) {
 		Results:    results,
 	}
 	for _, r := range results {
-		if r.Pruned {
+		switch {
+		case r.Pruned:
 			rep.Pruned++
-			continue
+		case r.Infeasible:
+			rep.Infeasible++
+		default:
+			rep.Evaluated++
 		}
-		rep.Evaluated++
 	}
 	rep.Frontier = frontierOf(results)
 	return rep, nil
@@ -372,12 +431,12 @@ func degradedTree(c *Candidate, scenario *faults.Scenario, kindIndex map[string]
 func frontierOf(results []Result) []Result {
 	var front []Result
 	for i, r := range results {
-		if r.Pruned {
+		if r.Pruned || r.Infeasible {
 			continue
 		}
 		dominated := false
 		for j, o := range results {
-			if i == j || o.Pruned {
+			if i == j || o.Pruned || o.Infeasible {
 				continue
 			}
 			if dominates(o.Makespan, o.Cost, o.Resilience, r.Makespan, r.Cost, r.Resilience) {

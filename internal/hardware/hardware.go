@@ -28,16 +28,34 @@ type Spec struct {
 	NetBandwidth float64
 }
 
+// CapacityError reports a spec whose HBM capacity is zero or negative.
+// Such a capacity would flow silently into every leaf's LeafHBMBytes,
+// making each plan "overflow" in reports and unconditionally infeasible
+// under a memory-constrained search; the typed error lets construction
+// and parse paths reject it at the source, like the NaN/Inf hardening of
+// the rate fields below.
+type CapacityError struct {
+	// Name is the offending spec's name.
+	Name string
+	// HBMBytes is the rejected capacity value.
+	HBMBytes int64
+}
+
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("hardware: spec %q has non-positive HBM capacity %d bytes", e.Name, e.HBMBytes)
+}
+
 // Validate reports an error for non-positive or non-finite spec fields.
 // NaN and ±Inf are rejected explicitly: a NaN rate passes a plain
 // non-positive check (NaN comparisons are false) and then poisons every
-// downstream division with NaN costs.
+// downstream division with NaN costs. Zero or negative HBM capacity
+// yields a typed *CapacityError.
 func (s Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("hardware: spec with empty name")
 	}
 	if s.HBMBytes <= 0 {
-		return fmt.Errorf("hardware: spec %q has non-positive fields: %+v", s.Name, s)
+		return &CapacityError{Name: s.Name, HBMBytes: s.HBMBytes}
 	}
 	for _, v := range [...]float64{s.FLOPS, s.MemBandwidth, s.NetBandwidth} {
 		if !(v > 0) || math.IsInf(v, 0) {

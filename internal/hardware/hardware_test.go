@@ -1,7 +1,9 @@
 package hardware
 
 import (
+	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -51,6 +53,34 @@ func TestSpecValidate(t *testing.T) {
 	bad.Name = ""
 	if err := bad.Validate(); err == nil {
 		t.Error("empty name must be rejected")
+	}
+}
+
+// TestSpecValidateCapacityTyped: zero or negative HBM yields the typed
+// *CapacityError so construction and parse paths can branch on it.
+func TestSpecValidateCapacityTyped(t *testing.T) {
+	for _, hbm := range []int64{0, -1} {
+		bad := TPUv2()
+		bad.HBMBytes = hbm
+		err := bad.Validate()
+		var ce *CapacityError
+		if !errors.As(err, &ce) {
+			t.Fatalf("HBMBytes=%d: got %v, want *CapacityError", hbm, err)
+		}
+		if ce.Name != "tpu-v2" || ce.HBMBytes != hbm {
+			t.Errorf("CapacityError = %+v, want name tpu-v2 and capacity %d", ce, hbm)
+		}
+		if !strings.Contains(ce.Error(), "non-positive HBM capacity") {
+			t.Errorf("error text %q does not name the defect", ce.Error())
+		}
+	}
+	// A positive capacity is not a CapacityError even when another field
+	// is invalid.
+	bad := TPUv2()
+	bad.FLOPS = 0
+	var ce *CapacityError
+	if errors.As(bad.Validate(), &ce) {
+		t.Error("FLOPS defect must not surface as CapacityError")
 	}
 }
 
