@@ -13,6 +13,7 @@
 //	GET  /readyz           readiness (503 while draining)
 //	GET  /debug/events     structured decision-event ring
 //	POST /debug/trace      live Perfetto trace window
+//	GET  /debug/slowest    flight recorder: the N slowest requests
 //	GET  /debug/pprof/...  net/http/pprof
 //
 // One planning Session (and plan cache) serves every request; -cache-file
@@ -28,6 +29,12 @@
 // answers 504, and a client disconnect aborts it the same way. Request
 // bodies are capped (-max-body, 413 beyond), handler panics become 500s,
 // and the listener carries full read/write/idle timeouts.
+//
+// Every executed request plans under its own scoped tracer, so traces of
+// concurrent requests never interleave; a request can ask for its own
+// trace ("trace": true) or search-decision audit ("explain": true) in
+// the response, and the always-on flight recorder retains the -slowest N
+// requests — trace, audit and metadata — behind GET /debug/slowest.
 //
 // Usage:
 //
@@ -62,6 +69,7 @@ func main() {
 		retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
 		defaultDeadline = flag.Duration("default-deadline", 0, "per-request planning deadline when the request carries no timeout_ms (0: none); expiry answers 504")
 		maxBody         = flag.Int64("max-body", 1<<20, "request-body byte bound; larger bodies answer 413")
+		slowest         = flag.Int("slowest", 16, "flight recorder retains the N slowest requests behind /debug/slowest")
 		readTimeout     = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (full request read)")
 		writeTimeout    = flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (queue wait + planning + response write)")
 		idleTimeout     = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout (keep-alive connections)")
@@ -77,6 +85,7 @@ func main() {
 		RetryAfter:      *retryAfter,
 		DefaultDeadline: *defaultDeadline,
 		MaxBodyBytes:    *maxBody,
+		Slowest:         *slowest,
 	}
 	if err := run(*addr, *cacheFile, cfg, *readTimeout, *writeTimeout, *idleTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "accpar-serve:", err)
@@ -99,7 +108,7 @@ func run(addr, cacheFile string, cfg serveConfig, readTimeout, writeTimeout, idl
 
 	mux := http.NewServeMux()
 	srv.routes(mux)
-	diag.NewHandler(diag.Options{Ready: srv.readyChecks()}).Routes(mux)
+	diag.NewHandler(diag.Options{Ready: srv.readyChecks(), Recorder: srv.flight}).Routes(mux)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

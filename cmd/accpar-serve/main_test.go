@@ -19,7 +19,7 @@ func newTestMux(t *testing.T) (*server, *http.ServeMux) {
 	srv := newServer(accpar.NewSession(0), serveConfig{})
 	mux := http.NewServeMux()
 	srv.routes(mux)
-	diag.NewHandler(diag.Options{Ready: srv.readyChecks()}).Routes(mux)
+	diag.NewHandler(diag.Options{Ready: srv.readyChecks(), Recorder: srv.flight}).Routes(mux)
 	return srv, mux
 }
 

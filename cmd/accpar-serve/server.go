@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -12,6 +13,7 @@ import (
 
 	"accpar"
 	"accpar/internal/admission"
+	"accpar/internal/diag"
 	"accpar/internal/obs"
 )
 
@@ -34,6 +36,10 @@ type serveConfig struct {
 	// MaxBodyBytes bounds request bodies (413 beyond it); ≤ 0 selects
 	// 1 MiB — generous for a workload spec that fits in a tweet.
 	MaxBodyBytes int64
+	// Slowest sizes the tail-latency flight recorder: the N slowest
+	// requests are retained with their traces behind GET /debug/slowest.
+	// ≤ 0 selects 16.
+	Slowest int
 }
 
 // withDefaults fills unset knobs.
@@ -64,6 +70,8 @@ type server struct {
 	cfg  serveConfig
 	adm  *admission.Controller
 	coal *coalescer
+	// flight is the always-on tail-latency recorder behind /debug/slowest.
+	flight *diag.FlightRecorder
 	// draining flips when shutdown begins; /readyz turns 503 so load
 	// balancers stop routing here while in-flight requests finish.
 	draining atomic.Bool
@@ -72,25 +80,29 @@ type server struct {
 func newServer(sess *accpar.Session, cfg serveConfig) *server {
 	cfg = cfg.withDefaults()
 	return &server{
-		sess: sess,
-		cfg:  cfg,
-		adm:  admission.NewController(cfg.MaxConcurrent, cfg.MaxQueue, cfg.RetryAfter),
-		coal: newCoalescer(),
+		sess:   sess,
+		cfg:    cfg,
+		adm:    admission.NewController(cfg.MaxConcurrent, cfg.MaxQueue, cfg.RetryAfter),
+		coal:   newCoalescer(),
+		flight: diag.NewFlightRecorder(cfg.Slowest),
 	}
 }
 
 // routes registers the /v1 planning endpoints. Each handler is wrapped
-// inside-out as guard → coalesce → instrument → recover: the admission
-// guard sheds or queues, the coalescer lets byte-equivalent concurrent
-// requests share one execution (followers never enter admission, so a
-// thundering herd holds one weight unit), instrument times the work and
-// counts 429s as errors, and the panic recovery is outermost so a panic
-// anywhere in the stack still becomes a 500 instead of a torn
-// connection.
+// inside-out as guard → record → coalesce → instrument → recover: the
+// admission guard sheds or queues, record gives each executed request
+// its own scoped tracer and offers the finished capture to the flight
+// recorder, the coalescer lets byte-equivalent concurrent requests share
+// one execution (followers never enter admission or tracing, so a
+// thundering herd holds one weight unit and one trace), instrument times
+// the work and counts 429s as errors, and the panic recovery is
+// outermost so a panic anywhere in the stack still becomes a 500 instead
+// of a torn connection.
 func (s *server) routes(mux *http.ServeMux) {
 	wrap := func(name string, weight int64, m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
 		guarded := s.adm.Guard(weight, m.shed, h)
-		return admission.Recover(instrument(m, s.coal.coalesce(name, s.cfg.MaxBodyBytes, guarded)))
+		recorded := s.record("/v1/"+name, m, guarded)
+		return admission.Recover(instrument(m, s.coal.coalesce(name, s.cfg.MaxBodyBytes, recorded)))
 	}
 	mux.HandleFunc("POST /v1/plan", wrap("plan", weightPlan, planMetrics, s.plan))
 	mux.HandleFunc("POST /v1/compare", wrap("compare", weightCompare, compareMetrics, s.compare))
@@ -213,6 +225,24 @@ type planRequest struct {
 	// identical requests on separate flights — load generators use this
 	// to measure admission control rather than the coalescer.
 	Tag string `json:"tag"`
+	// Explain attaches a search-decision audit recorder to the search and
+	// embeds its report in the response under "audit". Auditing never
+	// changes decisions: the embedded "plan" stays byte-identical to the
+	// plain response.
+	Explain bool `json:"explain"`
+	// Trace embeds the request's scoped Perfetto trace in the response
+	// under "trace". Like Explain, it wraps (never alters) the plan.
+	Trace bool `json:"trace"`
+}
+
+// summary renders the request's workload one-line, for flight-recorder
+// captures.
+func (q *planRequest) summary() string {
+	fleet := q.Fleet
+	if fleet == "" {
+		fleet = fmt.Sprintf("v2:%d,v3:%d", q.V2, q.V3)
+	}
+	return fmt.Sprintf("%s batch=%d fleet=%s strategy=%s levels=%d", q.Model, q.Batch, fleet, q.Strategy, q.Levels)
 }
 
 // defaults fills zero-valued fields with the accpar CLI's flag defaults,
@@ -336,12 +366,15 @@ func buildArray(v2, v3 int) (*accpar.Array, error) {
 // plan serves POST /v1/plan: the partition plan as JSON, byte-identical
 // to `accpar -json` for the same workload (the response goes through the
 // same Plan.WriteJSON path the CLI uses, and caching never changes
-// decisions).
+// decisions). With "explain" or "trace" the plan document is embedded
+// verbatim under "plan" with the audit report and scoped trace beside
+// it.
 func (s *server) plan(w http.ResponseWriter, r *http.Request) {
 	var req planRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
+	captureFrom(r.Context()).note(req.Tag, req.summary())
 	net, arr, err := workload(&req)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -366,6 +399,11 @@ func (s *server) plan(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	var rec *accpar.AuditRecorder
+	if req.Explain {
+		rec = accpar.NewAuditRecorder()
+		opt.Audit = rec
+	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
 	defer cancel()
 	plan, err := s.sess.PartitionWithOptionsCtx(ctx, net, arr, opt, req.Levels)
@@ -378,8 +416,58 @@ func (s *server) plan(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), planStatus(err))
 		return
 	}
+	if !req.Explain && !req.Trace {
+		w.Header().Set("Content-Type", "application/json")
+		if err := plan.WriteJSON(w); err != nil {
+			obsEncodeErrors.Inc()
+			obs.Log().Warn("serve.plan_write_failed", "err", err.Error())
+		}
+		return
+	}
+	s.writeWrappedPlan(w, r, &req, plan, rec)
+}
+
+// writeWrappedPlan writes the explain/trace response: the exact bytes
+// Plan.WriteJSON produces, embedded under "plan", with the audit report
+// and the request's scoped trace beside it. The wrapper is assembled by
+// hand because encoding/json compacts embedded RawMessages — and the
+// acceptance contract is that the embedded plan is byte-identical to the
+// plain response (minus its trailing newline).
+func (s *server) writeWrappedPlan(w http.ResponseWriter, r *http.Request, req *planRequest, plan *accpar.Plan, rec *accpar.AuditRecorder) {
+	var planBuf bytes.Buffer
+	if err := plan.WriteJSON(&planBuf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var out bytes.Buffer
+	out.WriteString("{\n\"plan\": ")
+	out.Write(bytes.TrimRight(planBuf.Bytes(), "\n"))
+	if rec != nil {
+		var auditBuf bytes.Buffer
+		if err := rec.WriteJSON(&auditBuf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		audit := bytes.TrimRight(auditBuf.Bytes(), "\n")
+		captureFrom(r.Context()).noteAudit(append(json.RawMessage(nil), audit...))
+		out.WriteString(",\n\"audit\": ")
+		out.Write(audit)
+	}
+	if req.Trace {
+		tr := obs.TracerFrom(r.Context())
+		if tr != nil {
+			var traceBuf bytes.Buffer
+			if err := obs.WriteTraceJSON(&traceBuf, tr.Events()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			out.WriteString(",\n\"trace\": ")
+			out.Write(bytes.TrimRight(traceBuf.Bytes(), "\n"))
+		}
+	}
+	out.WriteString("\n}\n")
 	w.Header().Set("Content-Type", "application/json")
-	if err := plan.WriteJSON(w); err != nil {
+	if _, err := w.Write(out.Bytes()); err != nil {
 		obsEncodeErrors.Inc()
 		obs.Log().Warn("serve.plan_write_failed", "err", err.Error())
 	}
@@ -401,6 +489,7 @@ func (s *server) compare(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	captureFrom(r.Context()).note(req.Tag, req.summary())
 	net, arr, err := workload(&req)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -453,6 +542,7 @@ func (s *server) resilience(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.defaults()
+	captureFrom(r.Context()).note(req.Tag, req.summary())
 	if req.Seed == 0 {
 		req.Seed = 1
 	}

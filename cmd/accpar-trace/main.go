@@ -1,13 +1,16 @@
 // Command accpar-trace inspects the trace-level substrate: it dumps the
 // tensor access and MULT/ADD traces of a layer under a chosen partition
-// type (the paper's Section 6.1 methodology) as CSV, or renders the
+// type (the paper's Section 6.1 methodology) as CSV, renders the
 // simulator's task timeline for a whole model as CSV or a text Gantt
-// chart.
+// chart, or pretty-prints a flight-recorder capture saved from a serving
+// process's GET /debug/slowest/{id} endpoint (span tree + search-audit
+// one-liners).
 //
 // Usage:
 //
 //	accpar-trace -model alexnet -layer cv1 -type II -alpha 0.5
 //	accpar-trace -model lenet -timeline -gantt
+//	curl -s localhost:8080/debug/slowest/r12 | accpar-trace -capture -
 package main
 
 import (
@@ -32,11 +35,19 @@ func main() {
 		alpha    = flag.Float64("alpha", 0.5, "partitioning ratio of the traced accelerator")
 		timeline = flag.Bool("timeline", false, "simulate the whole model and dump the task timeline CSV")
 		gantt    = flag.Bool("gantt", false, "render a text Gantt chart instead of CSV (with -timeline)")
+		capture  = flag.String("capture", "", "pretty-print a /debug/slowest capture document from this file ('-' for stdin): span tree + search-audit one-liners")
 		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(obs.VersionString("accpar-trace"))
+		return
+	}
+	if *capture != "" {
+		if err := runCapture(*capture, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "accpar-trace:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if err := run(*model, *batch, *layer, *typeName, *alpha, *timeline, *gantt); err != nil {

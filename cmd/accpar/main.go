@@ -12,6 +12,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,21 +22,22 @@ import (
 
 func main() {
 	var (
-		model    = flag.String("model", "alexnet", "model name: "+strings.Join(accpar.Models(), ", "))
-		batch    = flag.Int("batch", 512, "mini-batch size")
-		v2       = flag.Int("v2", 128, "number of TPU-v2 accelerators")
-		v3       = flag.Int("v3", 128, "number of TPU-v3 accelerators")
-		fleet    = flag.String("fleet", "", "explicit fleet spec overriding -v2/-v3, e.g. \"tpu-v2:64,gpu-class-b:32\" (presets: tpu-v2, tpu-v3, gpu-class-a, gpu-class-b, edge-npu)")
-		strategy = flag.String("strategy", "accpar", "partitioning strategy: dp, owt, hypar, accpar")
-		levels   = flag.Int("levels", 64, "hierarchy level budget (64 = split to single accelerators)")
-		showMap  = flag.Bool("map", false, "print the per-level partition type map (Figure 7 style)")
-		compare  = flag.Bool("compare", false, "compare all four strategies")
-		jsonOut  = flag.String("json", "", "write the plan as JSON to this file ('-' for stdout)")
-		dotOut   = flag.String("dot", "", "write the network structure as Graphviz DOT to this file ('-' for stdout)")
-		optName  = flag.String("optimizer", "sgd", "weight-update rule: sgd, momentum, adam")
-		explain  = flag.Bool("explain", false, "print the per-layer cost breakdown of the root split")
-		infer    = flag.Bool("inference", false, "cost the forward phase only (inference) instead of training")
-		memory   = flag.String("memory", "off", "HBM capacity constraint: off, reject (error when nothing fits), penalize (prefer fitting plans, best effort)")
+		model         = flag.String("model", "alexnet", "model name: "+strings.Join(accpar.Models(), ", "))
+		batch         = flag.Int("batch", 512, "mini-batch size")
+		v2            = flag.Int("v2", 128, "number of TPU-v2 accelerators")
+		v3            = flag.Int("v3", 128, "number of TPU-v3 accelerators")
+		fleet         = flag.String("fleet", "", "explicit fleet spec overriding -v2/-v3, e.g. \"tpu-v2:64,gpu-class-b:32\" (presets: tpu-v2, tpu-v3, gpu-class-a, gpu-class-b, edge-npu)")
+		strategy      = flag.String("strategy", "accpar", "partitioning strategy: dp, owt, hypar, accpar")
+		levels        = flag.Int("levels", 64, "hierarchy level budget (64 = split to single accelerators)")
+		showMap       = flag.Bool("map", false, "print the per-level partition type map (Figure 7 style)")
+		compare       = flag.Bool("compare", false, "compare all four strategies")
+		jsonOut       = flag.String("json", "", "write the plan as JSON to this file ('-' for stdout)")
+		dotOut        = flag.String("dot", "", "write the network structure as Graphviz DOT to this file ('-' for stdout)")
+		optName       = flag.String("optimizer", "sgd", "weight-update rule: sgd, momentum, adam")
+		explain       = flag.Bool("explain", false, "print the per-layer cost breakdown of the root split")
+		explainSearch = flag.Bool("explain-search", false, "print the search-decision audit as JSON: per-subproblem candidates, costs, winners, prune reasons and memo provenance (single-strategy runs; stderr when combined with -json)")
+		infer         = flag.Bool("inference", false, "cost the forward phase only (inference) instead of training")
+		memory        = flag.String("memory", "off", "HBM capacity constraint: off, reject (error when nothing fits), penalize (prefer fitting plans, best effort)")
 
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry to this file (expvar-style text for .txt, JSON otherwise)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome Trace Event Format JSON trace of the planner spans to this file")
@@ -51,7 +53,7 @@ func main() {
 	if *traceOut != "" {
 		rec = accpar.StartTrace()
 	}
-	if err := run(*model, *batch, *v2, *v3, *fleet, *strategy, *levels, *showMap, *compare, *explain, *infer, *jsonOut, *dotOut, *optName, *memory); err != nil {
+	if err := run(*model, *batch, *v2, *v3, *fleet, *strategy, *levels, *showMap, *compare, *explain, *explainSearch, *infer, *jsonOut, *dotOut, *optName, *memory); err != nil {
 		fmt.Fprintln(os.Stderr, "accpar:", err)
 		os.Exit(1)
 	}
@@ -80,7 +82,7 @@ func flushObs(rec *accpar.TraceRecorder, traceOut, metricsOut string) error {
 	return nil
 }
 
-func run(model string, batch, v2, v3 int, fleet, strategy string, levels int, showMap, compare, explain, infer bool, jsonOut, dotOut, optName, memory string) error {
+func run(model string, batch, v2, v3 int, fleet, strategy string, levels int, showMap, compare, explain, explainSearch, infer bool, jsonOut, dotOut, optName, memory string) error {
 	net, err := accpar.BuildModel(model, batch)
 	if err != nil {
 		return err
@@ -139,6 +141,9 @@ func run(model string, batch, v2, v3 int, fleet, strategy string, levels int, sh
 	if err != nil {
 		return err
 	}
+	if explainSearch {
+		opt.Audit = accpar.NewAuditRecorder()
+	}
 	plan, err := accpar.PartitionWithOptions(net, arr, opt, levels)
 	if err != nil {
 		var nfe *accpar.NoFeasiblePlanError
@@ -157,7 +162,11 @@ func run(model string, batch, v2, v3 int, fleet, strategy string, levels int, sh
 			defer f.Close()
 			w = f
 		}
-		return plan.WriteJSON(w)
+		if err := plan.WriteJSON(w); err != nil {
+			return err
+		}
+		// The audit goes to stderr so the plan document stays clean.
+		return writeSearchAudit(opt.Audit, os.Stderr)
 	}
 	fmt.Printf("strategy: %v\n", st)
 	fmt.Printf("iteration time: %.6g s\n", plan.Time())
@@ -181,7 +190,21 @@ func run(model string, batch, v2, v3 int, fleet, strategy string, levels int, sh
 		fmt.Println()
 		fmt.Println(rendered)
 	}
+	if explainSearch {
+		fmt.Println()
+		fmt.Println("search audit (per-subproblem decisions, sorted by level):")
+		return writeSearchAudit(opt.Audit, os.Stdout)
+	}
 	return nil
+}
+
+// writeSearchAudit renders the recorded search audit as JSON; a nil
+// recorder (audit not requested) writes nothing.
+func writeSearchAudit(rec *accpar.AuditRecorder, w io.Writer) error {
+	if rec == nil {
+		return nil
+	}
+	return rec.WriteJSON(w)
 }
 
 func buildArray(v2, v3 int) (*accpar.Array, error) {

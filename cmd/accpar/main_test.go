@@ -44,19 +44,19 @@ func TestBuildArray(t *testing.T) {
 }
 
 func TestRunModes(t *testing.T) {
-	if err := run("lenet", 16, 2, 2, "", "accpar", 8, true, false, true, false, "", "", "sgd", "off"); err != nil {
+	if err := run("lenet", 16, 2, 2, "", "accpar", 8, true, false, true, false, false, "", "", "sgd", "off"); err != nil {
 		t.Errorf("plan mode: %v", err)
 	}
-	if err := run("lenet", 16, 2, 2, "", "", 8, false, true, false, false, "", "", "sgd", "off"); err != nil {
+	if err := run("lenet", 16, 2, 2, "", "", 8, false, true, false, false, false, "", "", "sgd", "off"); err != nil {
 		t.Errorf("compare mode: %v", err)
 	}
-	if err := run("nope", 16, 2, 2, "", "accpar", 8, false, false, false, false, "", "", "sgd", "off"); err == nil {
+	if err := run("nope", 16, 2, 2, "", "accpar", 8, false, false, false, false, false, "", "", "sgd", "off"); err == nil {
 		t.Error("unknown model must error")
 	}
-	if err := run("lenet", 16, 2, 2, "", "alpa", 8, false, false, false, false, "", "", "sgd", "off"); err == nil {
+	if err := run("lenet", 16, 2, 2, "", "alpa", 8, false, false, false, false, false, "", "", "sgd", "off"); err == nil {
 		t.Error("unknown strategy must error")
 	}
-	if err := run("lenet", 16, 2, 2, "", "accpar", 8, false, false, false, false, "", "", "lion", "off"); err == nil {
+	if err := run("lenet", 16, 2, 2, "", "accpar", 8, false, false, false, false, false, "", "", "lion", "off"); err == nil {
 		t.Error("unknown optimizer must error")
 	}
 }
@@ -71,20 +71,20 @@ func TestParseFleet(t *testing.T) {
 			t.Errorf("ParseFleet(%q) must error", bad)
 		}
 	}
-	if err := run("lenet", 16, 0, 0, "edge-npu:2,gpu-class-a:2", "accpar", 8, false, false, false, false, "", "", "sgd", "off"); err != nil {
+	if err := run("lenet", 16, 0, 0, "edge-npu:2,gpu-class-a:2", "accpar", 8, false, false, false, false, false, "", "", "sgd", "off"); err != nil {
 		t.Errorf("fleet run: %v", err)
 	}
 }
 
 func TestRunInferenceMode(t *testing.T) {
-	if err := run("alexnet", 16, 2, 2, "", "accpar", 8, false, false, false, true, "", "", "sgd", "off"); err != nil {
+	if err := run("alexnet", 16, 2, 2, "", "accpar", 8, false, false, false, false, true, "", "", "sgd", "off"); err != nil {
 		t.Errorf("inference mode: %v", err)
 	}
 }
 
 func TestRunDOTOutput(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "net.dot")
-	if err := run("resnet18", 8, 2, 2, "", "accpar", 8, false, false, false, false, "", path, "sgd", "off"); err != nil {
+	if err := run("resnet18", 8, 2, 2, "", "accpar", 8, false, false, false, false, false, "", path, "sgd", "off"); err != nil {
 		t.Fatalf("dot mode: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -98,7 +98,7 @@ func TestRunDOTOutput(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "plan.json")
-	if err := run("lenet", 16, 2, 2, "", "accpar", 8, false, false, false, false, path, "", "adam", "off"); err != nil {
+	if err := run("lenet", 16, 2, 2, "", "accpar", 8, false, false, false, false, false, path, "", "adam", "off"); err != nil {
 		t.Fatalf("json mode: %v", err)
 	}
 	f, err := os.Open(path)

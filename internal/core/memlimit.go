@@ -132,9 +132,19 @@ const memDFSMaxTries = 729
 // diagnostic carrier. All candidates are generated in a fixed order and
 // ties keep the earlier one, so the constrained search stays a pure
 // function of (subtree, dims, options) — memoizable like any subproblem.
-func (p *planner) constrainSplit(node *hardware.Tree, dims []tensor.LayerDims, sideI, sideJ Side, base *PlanNode) (*PlanNode, error) {
+// The returned AuditMemory describes the ladder's outcome for the search
+// audit (nil when the base solution already fits); it is built only when
+// Options.Audit is attached and never influences the chosen plan.
+func (p *planner) constrainSplit(node *hardware.Tree, dims []tensor.LayerDims, sideI, sideJ Side, base *PlanNode) (*PlanNode, *AuditMemory, error) {
+	audit := p.opt.Audit != nil
+	memNote := func(outcome string, mult float64) *AuditMemory {
+		if !audit {
+			return nil
+		}
+		return &AuditMemory{Outcome: outcome, LambdaMult: mult}
+	}
 	if subtreeFits(base) {
-		return base, nil
+		return base, nil, nil
 	}
 	// Admissible capacity floors: when the workload provably cannot fit
 	// this subtree under any reachable plan, skip the candidate ladder —
@@ -147,7 +157,11 @@ func (p *planner) constrainSplit(node *hardware.Tree, dims []tensor.LayerDims, s
 	}
 	if need > floor {
 		obsMemoryPruned.Inc()
-		return base, nil
+		var mem *AuditMemory
+		if audit {
+			mem = &AuditMemory{Outcome: OutcomeCapacityFloorPruned, NeedBytes: need, FloorBytes: floor}
+		}
+		return base, mem, nil
 	}
 
 	best := base
@@ -186,10 +200,10 @@ func (p *planner) constrainSplit(node *hardware.Tree, dims []tensor.LayerDims, s
 	for _, mult := range [...]float64{1, 8, 64} {
 		n, err := p.solveSplit(node, dims, sideI, sideJ, mult*scale)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if consider(n) {
-			return best, nil
+			return best, memNote(OutcomeLambdaPenalized, mult), nil
 		}
 		// Under flexible ratios, residency follows the split ratio for
 		// batch and channel shards alike: try the penalized types at the
@@ -199,10 +213,10 @@ func (p *planner) constrainSplit(node *hardware.Tree, dims []tensor.LayerDims, s
 			alpha := cost.ClampRatio(capI / float64(info.hbm))
 			nc, err := p.buildSplit(node, dims, sideI, sideJ, n.Types, alpha)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if consider(nc) {
-				return best, nil
+				return best, memNote(OutcomeCapacityRatio, mult), nil
 			}
 		}
 	}
@@ -246,10 +260,10 @@ func (p *planner) constrainSplit(node *hardware.Tree, dims []tensor.LayerDims, s
 			return nil, nil
 		}
 		if n, err := enumerate(0); n != nil || err != nil {
-			return n, err
+			return n, memNote(OutcomeEnumerated, 0), err
 		}
 	}
-	return best, nil
+	return best, memNote(OutcomeBestEffortOverflow, 0), nil
 }
 
 // typeSpaceSize returns the number of type vectors the fallback would

@@ -136,6 +136,12 @@ type Options struct {
 	// never influences results, so it takes no part in the search
 	// fingerprint.
 	Cache *SharedCache
+	// Audit, when non-nil, records every subproblem decision the search
+	// makes — candidates, costs, winners, prune reasons, memo provenance —
+	// into the given recorder (audit.go). Like Cache, Audit is observation,
+	// not configuration: plans are byte-identical with and without it, and
+	// it takes no part in the search fingerprint.
+	Audit *AuditRecorder
 }
 
 // MemoryMode selects how the search treats per-leaf HBM capacity.

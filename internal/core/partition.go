@@ -129,14 +129,14 @@ func (p *planner) rootDims() []tensor.LayerDims {
 
 // plan runs the hierarchical partitioning over one hardware tree.
 func (p *planner) plan(tree *hardware.Tree) (*Plan, error) {
-	sp := obs.StartSpan("planner", "plan")
+	sp := obs.StartSpanCtx(p.ctx, "planner", "plan")
 	defer sp.End()
 	p.hw.ensure(tree)
 	root, err := p.partitionNode(tree, p.rootDims())
 	if err != nil {
 		return nil, err
 	}
-	plan := &Plan{Network: p.net, Strategy: strategyName(p.opt), Root: root}
+	plan := &Plan{Network: p.net, Strategy: strategyName(p.opt), Root: root, audit: p.opt.Audit}
 	if err := plan.Validate(); err != nil {
 		return nil, fmt.Errorf("core: internal plan inconsistency: %w", err)
 	}
@@ -192,12 +192,15 @@ func (p *planner) partitionNode(node *hardware.Tree, dims []tensor.LayerDims) (*
 	if cached, prev, ok := p.memo.get(key, p.epoch); ok {
 		obsMemoHits.Inc()
 		p.noteHit()
+		provenance := ProvenanceMemoHit
 		if p.batch && prev != p.epoch {
 			// The entry was last solved or served under another candidate's
 			// epoch: this hit amortized work across fleets, not within one
 			// hierarchy.
 			obsCrossFleetHits.Inc()
+			provenance = ProvenanceCrossFleetHit
 		}
+		p.auditHit(node, key, provenance)
 		return clonePlanNodeAt(cached, node.Level), nil
 	}
 	if p.shared != nil {
@@ -225,6 +228,7 @@ func (p *planner) partitionNode(node *hardware.Tree, dims []tensor.LayerDims) (*
 			if hit {
 				obsSharedHits.Inc()
 				p.noteHit()
+				p.auditHit(node, key, ProvenanceSharedCacheHit)
 			}
 			p.memo.put(key, n, info.specs, p.epoch)
 			return clonePlanNodeAt(n, node.Level), nil
@@ -246,15 +250,20 @@ func (p *planner) computeNode(node *hardware.Tree, dims []tensor.LayerDims) (*Pl
 	if p.rs != nil {
 		p.rs.expanded.Add(1)
 	}
-	if obs.Tracing() {
-		// Span names render a Sprintf; the Tracing guard keeps the disabled
-		// path free of it (the zero Span from StartSpan would be inert, but
-		// the name string would still have been built).
-		sp := obs.StartSpan("planner", fmt.Sprintf("level%d %s", node.Level, node.Group.String()))
+	if obs.TracingCtx(p.ctx) {
+		// Span names render a Sprintf; the TracingCtx guard keeps the
+		// disabled path free of it (the zero Span from StartSpanCtx would be
+		// inert, but the name string would still have been built).
+		sp := obs.StartSpanCtx(p.ctx, "planner", fmt.Sprintf("level%d %s", node.Level, node.Group.String()))
 		defer sp.End()
 	}
 	if node.IsLeaf() {
-		return leafNode(node, p.units, dims, p.opt)
+		n, err := leafNode(node, p.units, dims, p.opt)
+		if err != nil {
+			return nil, err
+		}
+		p.auditCompute(node, dims, n, nil)
+		return n, nil
 	}
 
 	sideI := Side{Compute: node.Left.Group.ComputeDensity(), Net: p.opt.Topology.BisectionBandwidth(node.Left.Group)}
@@ -263,10 +272,18 @@ func (p *planner) computeNode(node *hardware.Tree, dims []tensor.LayerDims) (*Pl
 		return nil, err
 	}
 	n, err := p.solveSplit(node, dims, sideI, sideJ, 0)
-	if err != nil || p.opt.MemoryLimit == MemoryOff {
-		return n, err
+	if err != nil {
+		return nil, err
 	}
-	return p.constrainSplit(node, dims, sideI, sideJ, n)
+	var mem *AuditMemory
+	if p.opt.MemoryLimit != MemoryOff {
+		n, mem, err = p.constrainSplit(node, dims, sideI, sideJ, n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.auditCompute(node, dims, n, mem)
+	return n, nil
 }
 
 // solveSplit runs the standard type/ratio alternation at one split and

@@ -84,6 +84,11 @@ type Plan struct {
 	Strategy string
 	// Root is the top of the decision tree.
 	Root *PlanNode
+
+	// audit is the recorder of the search that produced the plan
+	// (Options.Audit), surfaced via SearchAudit. Unexported so plan JSON
+	// stays byte-identical with and without auditing.
+	audit *AuditRecorder
 }
 
 // Time returns the modelled per-iteration execution time in seconds.

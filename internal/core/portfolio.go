@@ -74,6 +74,28 @@ func PartitionBestCtx(ctx context.Context, net *dnn.Network, tree *hardware.Tree
 			break
 		}
 	}
+	// When the caller attached an audit recorder, each variant searches
+	// into a private recorder and only the winner's decisions are adopted
+	// — the audit then explains the plan actually returned, not a blend of
+	// nine searches.
+	var callerAudit *AuditRecorder
+	var variantAudits []*AuditRecorder
+	for _, opt := range opts {
+		if opt.Audit != nil {
+			callerAudit = opt.Audit
+			break
+		}
+	}
+	if callerAudit != nil {
+		opts = append([]Options(nil), opts...)
+		variantAudits = make([]*AuditRecorder, len(opts))
+		for i := range opts {
+			if opts[i].Audit != nil {
+				variantAudits[i] = NewAuditRecorder()
+				opts[i].Audit = variantAudits[i]
+			}
+		}
+	}
 	plans := make([]*Plan, len(opts))
 	nofit := make([]error, len(opts))
 	err := parallel.ForEachCtx(ctx, len(opts), workers, func(i int) error {
@@ -96,21 +118,37 @@ func PartitionBestCtx(ctx context.Context, net *dnn.Network, tree *hardware.Tree
 		return nil, wrapCtxErr(err)
 	}
 	var best *Plan
-	for _, plan := range plans {
+	bestIdx := -1
+	for i, plan := range plans {
 		if plan == nil {
 			continue
 		}
 		if best == nil || plan.Time() < best.Time() {
 			best = plan
+			bestIdx = i
 		}
 	}
 	if best == nil {
+		if callerAudit != nil {
+			// No winner to attribute: keep the first audited variant's
+			// records so infeasibility is still explainable.
+			for _, va := range variantAudits {
+				if va != nil {
+					callerAudit.adopt(va)
+					break
+				}
+			}
+		}
 		for _, e := range nofit {
 			if e != nil {
 				return nil, e
 			}
 		}
 		return nil, fmt.Errorf("core: PartitionBest produced no plan")
+	}
+	if callerAudit != nil {
+		callerAudit.adopt(variantAudits[bestIdx])
+		best.audit = callerAudit
 	}
 	return best, nil
 }

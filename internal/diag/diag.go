@@ -10,6 +10,8 @@
 //	GET  /readyz             readiness: pluggable checks, 200/503
 //	GET  /debug/events       the structured decision-event ring as JSON
 //	POST /debug/trace?sec=N  capture a live Perfetto trace window
+//	GET  /debug/slowest      flight recorder: the N slowest requests
+//	GET  /debug/slowest/{id} one slow request's Perfetto trace + audit
 //	GET  /debug/pprof/...    net/http/pprof profiles
 //
 // The handler is embeddable: Routes registers the endpoints onto any
@@ -27,7 +29,6 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"accpar/internal/obs"
@@ -58,13 +59,15 @@ type Options struct {
 	// MaxTraceWindow caps POST /debug/trace capture windows; 0 selects
 	// one minute.
 	MaxTraceWindow time.Duration
+	// Recorder is the tail-latency flight recorder behind GET
+	// /debug/slowest; nil serves 404 from those routes.
+	Recorder *FlightRecorder
 }
 
 // Handler serves the diagnostics endpoints.
 type Handler struct {
-	opts    Options
-	mux     *http.ServeMux
-	tracing atomic.Bool
+	opts Options
+	mux  *http.ServeMux
 }
 
 // NewHandler builds a diagnostics handler for the options.
@@ -97,6 +100,8 @@ func (h *Handler) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("GET /readyz", checksHandler(h.opts.Ready))
 	mux.HandleFunc("GET /debug/events", h.events)
 	mux.HandleFunc("POST /debug/trace", h.trace)
+	mux.HandleFunc("GET /debug/slowest", h.slowest)
+	mux.HandleFunc("GET /debug/slowest/{id}", h.slowestCapture)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -177,10 +182,12 @@ func (h *Handler) events(w http.ResponseWriter, r *http.Request) {
 }
 
 // trace captures a live Perfetto trace window: it attaches a fresh
-// process-wide tracer, waits ?sec=N seconds (default 1, capped by
+// window tracer, waits ?sec=N seconds (default 1, capped by
 // MaxTraceWindow) and streams the Chrome Trace Event Format document
-// back. One capture at a time; 409 when a tracer is already attached
-// (e.g. a CLI -trace-out run).
+// back. Window tracers observe spans without displacing anything, so any
+// number of captures may overlap each other, a CLI -trace-out run, and
+// per-request scoped tracing — the historical one-capture-at-a-time 409
+// is gone.
 func (h *Handler) trace(w http.ResponseWriter, r *http.Request) {
 	sec := 1.0
 	if s := r.URL.Query().Get("sec"); s != "" {
@@ -195,30 +202,72 @@ func (h *Handler) trace(w http.ResponseWriter, r *http.Request) {
 	if window > h.opts.MaxTraceWindow {
 		window = h.opts.MaxTraceWindow
 	}
-	if !h.tracing.CompareAndSwap(false, true) {
-		http.Error(w, "a trace capture is already in progress", http.StatusConflict)
-		return
-	}
-	defer h.tracing.Store(false)
-	if obs.CurrentTracer() != nil {
-		http.Error(w, "a tracer is already attached to this process", http.StatusConflict)
-		return
-	}
 
 	tr := obs.NewTracer()
 	tr.Append(obs.ProcessNameEvent(obs.PidPlanner, "planner"))
-	obs.SetTracer(tr)
+	obs.AttachTracer(tr)
 	select {
 	case <-time.After(window):
 	case <-r.Context().Done():
 	}
-	obs.SetTracer(nil)
-	obs.Log().Info("diag.trace_captured", "window_seconds", window.Seconds(), "events", len(tr.Events()))
+	obs.DetachTracer(tr)
+	obs.Log().Info("diag.trace_captured", "window_seconds", window.Seconds(), "events", tr.Len())
 
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="accpar-trace.json"`)
 	if err := tr.WriteJSON(w); err != nil {
 		obs.Log().Warn("diag.trace_write_failed", "err", err.Error())
+	}
+}
+
+// slowest serves the flight-recorder index: the N slowest requests seen
+// so far, slowest first, without their traces.
+func (h *Handler) slowest(w http.ResponseWriter, r *http.Request) {
+	if h.opts.Recorder == nil {
+		http.Error(w, "flight recorder not enabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	doc := slowestDoc{
+		Seen:     h.opts.Recorder.Seen(),
+		Cap:      h.opts.Recorder.Cap(),
+		Captures: h.opts.Recorder.Index(),
+	}
+	if err := enc.Encode(doc); err != nil {
+		obs.Log().Warn("diag.slowest_write_failed", "err", err.Error())
+	}
+}
+
+// slowestCapture serves one retained capture as a Perfetto-loadable trace
+// document with the capture metadata and audit report alongside.
+func (h *Handler) slowestCapture(w http.ResponseWriter, r *http.Request) {
+	if h.opts.Recorder == nil {
+		http.Error(w, "flight recorder not enabled", http.StatusNotFound)
+		return
+	}
+	c, ok := h.opts.Recorder.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such capture (evicted or never retained)", http.StatusNotFound)
+		return
+	}
+	events := c.TraceEvents
+	if events == nil {
+		events = []obs.Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="accpar-slow-`+c.ID+`.json"`)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	doc := captureDoc{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		Capture:         c,
+		Audit:           c.Audit,
+	}
+	if err := enc.Encode(doc); err != nil {
+		obs.Log().Warn("diag.slowest_write_failed", "err", err.Error())
 	}
 }
 
@@ -256,7 +305,7 @@ func Start(addr string, opts Options) (*Server, error) {
 			WriteTimeout:      5 * time.Minute,
 			IdleTimeout:       2 * time.Minute,
 		},
-		done:    make(chan struct{}),
+		done: make(chan struct{}),
 	}
 	go func() {
 		err := s.srv.Serve(ln)

@@ -181,21 +181,37 @@ func TestDebugTraceCapture(t *testing.T) {
 	if !saw {
 		t.Error("captured window contains no spans emitted during it")
 	}
-	if obs.CurrentTracer() != nil {
-		t.Error("tracer still attached after capture")
+	if obs.Tracing() {
+		t.Error("window tracer still attached after capture")
 	}
 
-	// A pre-attached tracer (CLI -trace-out) wins: the capture refuses.
+	// A pre-attached process-wide tracer (CLI -trace-out) no longer blocks
+	// the capture: the window records alongside it, and the process-wide
+	// tracer stays attached and keeps receiving spans.
 	tr := obs.NewTracer()
 	obs.SetTracer(tr)
 	defer obs.SetTracer(nil)
+	before := tr.Len()
+	done = make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			sp := obs.StartSpan("planner", "shared-work")
+			time.Sleep(time.Millisecond)
+			sp.End()
+		}
+	}()
 	rec = httptest.NewRecorder()
-	h.ServeHTTP(rec, httptest.NewRequest("POST", "/debug/trace?sec=0.01", nil))
-	if rec.Result().StatusCode != http.StatusConflict {
-		t.Errorf("capture with attached tracer status %d; want 409", rec.Result().StatusCode)
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/debug/trace?sec=0.1", nil))
+	<-done
+	if rec.Result().StatusCode != http.StatusOK {
+		t.Errorf("capture with attached tracer status %d; want 200", rec.Result().StatusCode)
 	}
 	if obs.CurrentTracer() != tr {
-		t.Error("refused capture detached the pre-existing tracer")
+		t.Error("capture detached the pre-existing process-wide tracer")
+	}
+	if tr.Len() <= before {
+		t.Error("process-wide tracer received no spans during the capture window")
 	}
 
 	rec = httptest.NewRecorder()

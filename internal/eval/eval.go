@@ -8,6 +8,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"accpar/internal/core"
@@ -160,11 +161,18 @@ func SpeedupSweep(tree *hardware.Tree, modelNames []string, batch int) ([]ModelR
 // SpeedupSweepCached is SpeedupSweep over a shared plan cache (nil for the
 // uncached sweep). A warm cache turns the whole sweep into lookups.
 func SpeedupSweepCached(tree *hardware.Tree, modelNames []string, batch int, cache *core.SharedCache) ([]ModelResult, error) {
+	return SpeedupSweepCachedCtx(context.Background(), tree, modelNames, batch, cache)
+}
+
+// SpeedupSweepCachedCtx is SpeedupSweepCached with a context carrying an
+// optional request-scoped tracer (obs.WithTracer): per-model sweep spans
+// land in that tracer, so concurrent sweeps each trace in isolation.
+func SpeedupSweepCachedCtx(ctx context.Context, tree *hardware.Tree, modelNames []string, batch int, cache *core.SharedCache) ([]ModelResult, error) {
 	out := make([]ModelResult, len(modelNames))
 	err := parallel.ForEach(len(modelNames), 0, func(i int) error {
 		name := modelNames[i]
-		if obs.Tracing() {
-			sp := obs.StartSpan("eval", "sweep/"+name)
+		if obs.TracingCtx(ctx) {
+			sp := obs.StartSpanCtx(ctx, "eval", "sweep/"+name)
 			defer sp.End()
 		}
 		net, err := models.BuildNetwork(name, batch)

@@ -129,9 +129,26 @@ type Timer struct {
 	ns    atomic.Int64
 	// minp1/maxp1 store the extreme observation + 1 ns, so the zero value
 	// means "no observation yet" and Reset can zero every field uniformly.
-	minp1   atomic.Int64
-	maxp1   atomic.Int64
-	buckets [histBuckets]atomic.Int64
+	minp1    atomic.Int64
+	maxp1    atomic.Int64
+	buckets  [histBuckets]atomic.Int64
+	exemplar atomic.Pointer[Exemplar]
+}
+
+// Exemplar links a histogram to the trace of a notable observation, so a
+// dashboard reader can jump from a p99 spike to the capture behind it.
+type Exemplar struct {
+	// TraceID names the flight-recorder capture of the observation.
+	TraceID string `json:"trace_id"`
+	// Seconds is the exemplified observation's duration.
+	Seconds float64 `json:"seconds"`
+}
+
+// SetExemplar attaches the trace id of a notable (typically slow)
+// observation to the timer; the latest call wins. Purely decorative:
+// it never affects the histogram counts.
+func (t *Timer) SetExemplar(traceID string, d time.Duration) {
+	t.exemplar.Store(&Exemplar{TraceID: traceID, Seconds: d.Seconds()})
 }
 
 // Observe records one duration (negative durations clamp to zero).
@@ -196,6 +213,9 @@ type HistStats struct {
 	// Buckets is the cumulative histogram, trimmed to the occupied
 	// prefix; renderers append the +Inf bucket from Count.
 	Buckets []HistBucket `json:"buckets,omitempty"`
+	// Exemplar, when present, names the flight-recorder trace of a
+	// notable observation (see Timer.SetExemplar).
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket counts.
@@ -244,6 +264,10 @@ func (t *Timer) HistStats() HistStats {
 	h.P50Seconds = h.Quantile(0.50)
 	h.P95Seconds = h.Quantile(0.95)
 	h.P99Seconds = h.Quantile(0.99)
+	if ex := t.exemplar.Load(); ex != nil {
+		cp := *ex
+		h.Exemplar = &cp
+	}
 	return h
 }
 
@@ -408,6 +432,7 @@ func (r *Registry) Reset() {
 		for i := range t.buckets {
 			t.buckets[i].Store(0)
 		}
+		t.exemplar.Store(nil)
 	}
 }
 

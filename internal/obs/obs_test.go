@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"sync"
@@ -128,8 +129,9 @@ func TestConcurrentMetricUpdates(t *testing.T) {
 }
 
 // TestObsDisabledZeroAllocs is the disabled-path contract: with no tracer
-// attached, the full instrumented sequence — counter, float counter,
-// timer, span begin/end — must not allocate. BenchmarkObsDisabled reports
+// attached anywhere — process-wide, window, or context — the full
+// instrumented sequence (counter, float counter, timer, span begin/end,
+// context span begin/end) must not allocate. BenchmarkObsDisabled reports
 // the same property as allocs/op.
 func TestObsDisabledZeroAllocs(t *testing.T) {
 	SetTracer(nil)
@@ -137,6 +139,7 @@ func TestObsDisabledZeroAllocs(t *testing.T) {
 	var f FloatCounter
 	var tm Timer
 	var g Gauge
+	ctx := context.Background()
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Add(1)
 		f.Add(0.25)
@@ -145,6 +148,8 @@ func TestObsDisabledZeroAllocs(t *testing.T) {
 		tm.Observe(time.Microsecond)
 		sp := StartSpan("bench", "noop")
 		sp.End()
+		cs := StartSpanCtx(ctx, "bench", "noop")
+		cs.End()
 	})
 	if allocs != 0 {
 		t.Errorf("disabled observability path allocates %g allocs/op; want 0", allocs)
@@ -159,6 +164,7 @@ func BenchmarkObsDisabled(b *testing.B) {
 	var f FloatCounter
 	var g Gauge
 	var tm Timer
+	ctx := context.Background()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.Add(1)
@@ -168,5 +174,7 @@ func BenchmarkObsDisabled(b *testing.B) {
 		tm.Observe(time.Microsecond)
 		sp := StartSpan("bench", "noop")
 		sp.End()
+		cs := StartSpanCtx(ctx, "bench", "noop")
+		cs.End()
 	}
 }

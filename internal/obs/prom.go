@@ -120,6 +120,13 @@ func WritePrometheus(w io.Writer, s Snapshot, help map[string]string) error {
 		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", base, h.Count)
 		fmt.Fprintf(&b, "%s_sum %s\n", base, promFloat(h.TotalSeconds))
 		fmt.Fprintf(&b, "%s_count %d\n", base, h.Count)
+		if h.Exemplar != nil {
+			// The classic 0.0.4 text format has no exemplar syntax, so the
+			// flight-recorder link rides along as a labelled gauge.
+			fmt.Fprintf(&b, "# TYPE %s_exemplar gauge\n", base)
+			fmt.Fprintf(&b, "%s_exemplar{trace_id=\"%s\"} %s\n",
+				base, promEscapeLabel(h.Exemplar.TraceID), promFloat(h.Exemplar.Seconds))
+		}
 	}
 
 	// Build/runtime metadata: an info-style gauge carrying the string

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"strconv"
@@ -22,10 +23,18 @@ import (
 //     arbitrary overlap, so concurrent planner workers can emit spans
 //     without coordinating lane ownership. Every Span gets a fresh id.
 //
-// One Tracer is attachable process-wide (SetTracer); instrumented code
-// calls StartSpan, which is a single atomic load returning a zero Span
-// when no tracer is attached — the disabled path neither allocates nor
-// takes a lock, which BenchmarkObsDisabled enforces.
+// Spans can be recorded into three kinds of sinks simultaneously:
+//
+//   - the process-wide tracer (SetTracer), the original single-capture
+//     path kept as a fallback for CLI runs;
+//   - any number of attached window tracers (AttachTracer/DetachTracer),
+//     used by diag's /debug/trace so concurrent capture windows no longer
+//     conflict;
+//   - a context-scoped tracer (WithTracer/StartSpanCtx), so each serve
+//     request or sweep records into its own isolated trace.
+//
+// When no sink exists anywhere, StartSpan/StartSpanCtx return a zero Span
+// without allocating or taking a lock — BenchmarkObsDisabled enforces it.
 
 // Trace process ids, used to group lanes in the Perfetto UI.
 const (
@@ -62,27 +71,65 @@ func ThreadNameEvent(pid, tid int, name string) Event {
 
 // Tracer collects events. Safe for concurrent use.
 type Tracer struct {
-	mu     sync.Mutex
-	events []Event
-	epoch  time.Time
-	ids    atomic.Int64
+	mu      sync.Mutex
+	events  []Event
+	epoch   time.Time
+	max     int // 0 = unbounded
+	dropped atomic.Int64
 }
 
-// NewTracer returns a tracer whose clock starts now.
+// NewTracer returns an unbounded tracer whose clock starts now.
 func NewTracer() *Tracer {
 	return &Tracer{epoch: time.Now()}
 }
 
-// now returns microseconds since the tracer's epoch.
-func (t *Tracer) now() float64 {
-	return float64(time.Since(t.epoch)) / float64(time.Microsecond)
+// NewBoundedTracer returns a tracer that keeps at most maxEvents events
+// and counts the overflow (Dropped). Always-on per-request tracing uses
+// it so a pathological request cannot grow a trace without bound.
+func NewBoundedTracer(maxEvents int) *Tracer {
+	return &Tracer{epoch: time.Now(), max: maxEvents}
 }
 
-// Append adds events verbatim (exporters injecting pre-timed lanes).
+// rel converts an absolute time to microseconds since the tracer's epoch,
+// clamped at zero so sinks attached mid-span never see negative stamps.
+func (t *Tracer) rel(at time.Time) float64 {
+	us := float64(at.Sub(t.epoch)) / float64(time.Microsecond)
+	if us < 0 {
+		return 0
+	}
+	return us
+}
+
+// now returns microseconds since the tracer's epoch.
+func (t *Tracer) now() float64 { return t.rel(time.Now()) }
+
+// Append adds events verbatim (exporters injecting pre-timed lanes). On a
+// bounded tracer, events past the bound are dropped and counted.
 func (t *Tracer) Append(events ...Event) {
 	t.mu.Lock()
+	if t.max > 0 {
+		room := t.max - len(t.events)
+		if room < 0 {
+			room = 0
+		}
+		if len(events) > room {
+			t.dropped.Add(int64(len(events) - room))
+			events = events[:room]
+		}
+	}
 	t.events = append(t.events, events...)
 	t.mu.Unlock()
+}
+
+// Dropped reports how many events were discarded because a bounded
+// tracer's capacity was reached (always 0 for unbounded tracers).
+func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
+
+// Len reports how many events have been collected.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
 }
 
 // Events returns a copy of everything collected so far.
@@ -121,8 +168,16 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 }
 
 // active is the process-wide tracer instrumented code reports to, nil
-// when tracing is disabled.
+// when process-wide tracing is disabled.
 var active atomic.Pointer[Tracer]
+
+// attached is the copy-on-write set of window tracers; nil when empty so
+// the disabled fast path is a single pointer load. Mutated only under
+// attachMu; read lock-free by startSpan.
+var (
+	attachMu sync.Mutex
+	attached atomic.Pointer[[]*Tracer]
+)
 
 // SetTracer attaches t as the process-wide tracer (nil detaches). The
 // planner and simulator pick it up on their next span; attaching mid-run
@@ -131,42 +186,182 @@ func SetTracer(t *Tracer) {
 	active.Store(t)
 }
 
-// CurrentTracer returns the attached tracer, nil when tracing is off.
+// CurrentTracer returns the process-wide tracer, nil when none is set.
 func CurrentTracer() *Tracer { return active.Load() }
 
-// Tracing reports whether a tracer is attached. Instrumented code checks
-// it before building span names that would otherwise allocate.
-func Tracing() bool { return active.Load() != nil }
+// AttachTracer adds t as a window tracer: it receives every span recorded
+// anywhere in the process until DetachTracer, alongside (never displacing)
+// the process-wide tracer, other windows, and context-scoped tracers.
+// Attaching an already-attached or nil tracer is a no-op.
+func AttachTracer(t *Tracer) {
+	if t == nil {
+		return
+	}
+	attachMu.Lock()
+	defer attachMu.Unlock()
+	old := attached.Load()
+	var next []*Tracer
+	if old != nil {
+		for _, e := range *old {
+			if e == t {
+				return
+			}
+		}
+		next = append(next, *old...)
+	}
+	next = append(next, t)
+	attached.Store(&next)
+}
 
-// Span is one in-flight async span. The zero Span (returned when tracing
-// is disabled) is inert: End is a no-op.
+// DetachTracer removes a window tracer attached with AttachTracer.
+func DetachTracer(t *Tracer) {
+	attachMu.Lock()
+	defer attachMu.Unlock()
+	old := attached.Load()
+	if old == nil {
+		return
+	}
+	next := make([]*Tracer, 0, len(*old))
+	for _, e := range *old {
+		if e != t {
+			next = append(next, e)
+		}
+	}
+	switch {
+	case len(next) == len(*old):
+		return // not attached
+	case len(next) == 0:
+		attached.Store(nil)
+	default:
+		attached.Store(&next)
+	}
+}
+
+// Tracing reports whether any process-visible tracer (process-wide or
+// attached window) would receive spans. Instrumented code checks it
+// before building span names that would otherwise allocate; code with a
+// context in hand should use TracingCtx instead.
+func Tracing() bool {
+	if active.Load() != nil {
+		return true
+	}
+	p := attached.Load()
+	return p != nil && len(*p) > 0
+}
+
+// tracerKey carries a request-scoped tracer in a context. An empty struct
+// key keeps ctx.Value lookups allocation-free.
+type tracerKey struct{}
+
+// WithTracer returns a context carrying t. Spans opened with StartSpanCtx
+// under the returned context record into t in addition to any
+// process-wide or attached tracers, so concurrent requests each get an
+// isolated trace.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context-scoped tracer, nil if none (or ctx is nil).
+func TracerFrom(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// TracingCtx reports whether a span started with this context would be
+// recorded anywhere: context-scoped, process-wide, or attached window.
+func TracingCtx(ctx context.Context) bool {
+	return Tracing() || TracerFrom(ctx) != nil
+}
+
+// spanIDs issues process-unique async span ids across all sinks, so a
+// span recorded into several tracers pairs up under the same id in each.
+var spanIDs atomic.Int64
+
+// Span is one in-flight async span, possibly recording into several
+// sinks. The zero Span (returned when tracing is disabled) is inert:
+// End is a no-op.
 type Span struct {
-	t     *Tracer
-	start float64
+	t     *Tracer   // primary sink; nil marks the inert Span
+	extra []*Tracer // remaining sinks, if more than one
+	start time.Time
 	id    int64
 	name  string
 	cat   string
 }
 
-// StartSpan opens a span on the attached tracer. With no tracer attached
-// it returns the zero Span without allocating.
+// StartSpan opens a span on the process-wide and attached tracers. With
+// no tracer attached anywhere it returns the zero Span without
+// allocating.
 func StartSpan(cat, name string) Span {
-	t := active.Load()
-	if t == nil {
-		return Span{}
-	}
-	return Span{t: t, start: t.now(), id: t.ids.Add(1), name: name, cat: cat}
+	return startSpan(nil, cat, name)
 }
 
-// End closes the span, appending its begin/end event pair.
+// StartSpanCtx opens a span on the context-scoped tracer plus any
+// process-wide and attached tracers. A nil context is treated as
+// carrying no tracer; with no sink anywhere the zero Span is returned
+// without allocating.
+func StartSpanCtx(ctx context.Context, cat, name string) Span {
+	return startSpan(TracerFrom(ctx), cat, name)
+}
+
+func startSpan(scoped *Tracer, cat, name string) Span {
+	prim := active.Load()
+	att := attached.Load()
+	if scoped == nil && prim == nil && att == nil {
+		return Span{}
+	}
+	s := Span{start: time.Now(), id: spanIDs.Add(1), name: name, cat: cat}
+	s.addSink(scoped)
+	s.addSink(prim)
+	if att != nil {
+		for _, t := range *att {
+			s.addSink(t)
+		}
+	}
+	if s.t == nil {
+		return Span{}
+	}
+	return s
+}
+
+// addSink records t as a destination for the span, deduplicating so a
+// tracer that is both context-scoped and process-wide gets the span once.
+func (s *Span) addSink(t *Tracer) {
+	if t == nil || t == s.t {
+		return
+	}
+	for _, e := range s.extra {
+		if e == t {
+			return
+		}
+	}
+	if s.t == nil {
+		s.t = t
+	} else {
+		s.extra = append(s.extra, t)
+	}
+}
+
+// End closes the span, appending its begin/end event pair to every sink.
+// Timestamps are computed per sink from that sink's epoch.
 func (s Span) End() {
 	if s.t == nil {
 		return
 	}
-	end := s.t.now()
+	end := time.Now()
 	id := strconv.FormatInt(s.id, 10)
-	s.t.Append(
-		Event{Name: s.name, Cat: s.cat, Ph: "b", Ts: s.start, Pid: PidPlanner, ID: id},
-		Event{Name: s.name, Cat: s.cat, Ph: "e", Ts: end, Pid: PidPlanner, ID: id},
+	s.t.appendSpan(s.name, s.cat, id, s.start, end)
+	for _, t := range s.extra {
+		t.appendSpan(s.name, s.cat, id, s.start, end)
+	}
+}
+
+func (t *Tracer) appendSpan(name, cat, id string, start, end time.Time) {
+	t.Append(
+		Event{Name: name, Cat: cat, Ph: "b", Ts: t.rel(start), Pid: PidPlanner, ID: id},
+		Event{Name: name, Cat: cat, Ph: "e", Ts: t.rel(end), Pid: PidPlanner, ID: id},
 	)
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"sync"
 	"testing"
@@ -73,6 +74,125 @@ func TestConcurrentSpansGetDistinctIDs(t *testing.T) {
 	}
 	if len(begins) != n {
 		t.Fatalf("%d distinct span ids; want %d", len(begins), n)
+	}
+}
+
+func TestScopedTracersIsolateConcurrentRequests(t *testing.T) {
+	SetTracer(nil)
+	const n = 8
+	tracers := make([]*Tracer, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		tracers[i] = NewTracer()
+		ctx := WithTracer(context.Background(), tracers[i])
+		wg.Add(1)
+		go func(ctx context.Context) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				sp := StartSpanCtx(ctx, "req", "work")
+				sp.End()
+			}
+		}(ctx)
+	}
+	wg.Wait()
+	for i, tr := range tracers {
+		events := tr.Events()
+		if len(events) != 20 {
+			t.Errorf("tracer %d has %d events; want 20 (no cross-request bleed)", i, len(events))
+		}
+	}
+}
+
+func TestStartSpanCtxFansOutToAllSinks(t *testing.T) {
+	global := NewTracer()
+	window := NewTracer()
+	scoped := NewTracer()
+	SetTracer(global)
+	defer SetTracer(nil)
+	AttachTracer(window)
+	defer DetachTracer(window)
+
+	ctx := WithTracer(context.Background(), scoped)
+	sp := StartSpanCtx(ctx, "planner", "plan")
+	sp.End()
+
+	for _, tc := range []struct {
+		name string
+		tr   *Tracer
+	}{{"global", global}, {"window", window}, {"scoped", scoped}} {
+		if got := len(tc.tr.Events()); got != 2 {
+			t.Errorf("%s tracer has %d events; want 2", tc.name, got)
+		}
+	}
+
+	// A tracer that is both context-scoped and process-wide records the
+	// span exactly once.
+	SetTracer(scoped)
+	sp = StartSpanCtx(ctx, "planner", "plan")
+	sp.End()
+	if got := len(scoped.Events()); got != 4 {
+		t.Errorf("deduped tracer has %d events; want 4", got)
+	}
+}
+
+func TestAttachedWindowsCaptureGlobalPathSpans(t *testing.T) {
+	SetTracer(nil)
+	w1, w2 := NewTracer(), NewTracer()
+	AttachTracer(w1)
+	if !Tracing() {
+		t.Fatal("Tracing() false with a window attached")
+	}
+	sp := StartSpan("cap", "one-window")
+	sp.End()
+	AttachTracer(w2)
+	sp = StartSpan("cap", "two-windows")
+	sp.End()
+	DetachTracer(w1)
+	sp = StartSpan("cap", "after-detach")
+	sp.End()
+	DetachTracer(w2)
+	if Tracing() {
+		t.Fatal("Tracing() true after all windows detached")
+	}
+
+	if got := len(w1.Events()); got != 4 {
+		t.Errorf("window 1 has %d events; want 4 (two spans)", got)
+	}
+	if got := len(w2.Events()); got != 4 {
+		t.Errorf("window 2 has %d events; want 4 (two spans)", got)
+	}
+}
+
+func TestStartSpanCtxNilContext(t *testing.T) {
+	SetTracer(nil)
+	sp := StartSpanCtx(nil, "x", "y") //nolint:staticcheck // nil ctx is part of the contract
+	sp.End()
+	if TracingCtx(nil) {
+		t.Error("TracingCtx(nil) true with no sinks")
+	}
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	if !TracingCtx(ctx) {
+		t.Error("TracingCtx false with a context-scoped tracer")
+	}
+	if TracerFrom(ctx) != tr {
+		t.Error("TracerFrom did not return the scoped tracer")
+	}
+}
+
+func TestBoundedTracerDropsAndCounts(t *testing.T) {
+	tr := NewBoundedTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Append(Event{Name: "e", Ph: "X"})
+	}
+	if got := tr.Len(); got != 3 {
+		t.Errorf("bounded tracer holds %d events; want 3", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Errorf("Dropped() = %d; want 2", got)
+	}
+	if got := NewTracer().Dropped(); got != 0 {
+		t.Errorf("unbounded tracer Dropped() = %d; want 0", got)
 	}
 }
 

@@ -1,10 +1,12 @@
 package accpar
 
 import (
+	"context"
 	"io"
 	"os"
 	"strings"
 
+	"accpar/internal/core"
 	"accpar/internal/diag"
 	"accpar/internal/obs"
 )
@@ -108,9 +110,27 @@ func StartTrace() *TraceRecorder {
 	return &TraceRecorder{tr: tr, nextPid: obs.PidSim}
 }
 
+// StartTraceCtx starts a request-scoped trace: a fresh tracer carried by
+// the returned context rather than attached process-wide. Spans opened
+// under that context (PartitionCtx, Session calls, Resilience) record
+// into this recorder only, so concurrent scoped traces never interleave
+// — the mechanism behind accpar-serve's per-request tracing. Stop is a
+// no-op for scoped recorders (nothing process-wide to detach).
+func StartTraceCtx(ctx context.Context) (context.Context, *TraceRecorder) {
+	tr := obs.NewTracer()
+	tr.Append(obs.ProcessNameEvent(obs.PidPlanner, "planner"))
+	return obs.WithTracer(ctx, tr), &TraceRecorder{tr: tr, nextPid: obs.PidSim}
+}
+
 // Stop detaches the recorder from the process; recorded events remain
-// available for export.
-func (t *TraceRecorder) Stop() { obs.SetTracer(nil) }
+// available for export. Only the recorder's own tracer is detached —
+// stopping a stale or scoped recorder never tears down a capture someone
+// else started.
+func (t *TraceRecorder) Stop() {
+	if obs.CurrentTracer() == t.tr {
+		obs.SetTracer(nil)
+	}
+}
 
 // AddSimTimeline merges a simulated run's per-task timeline (recorded
 // with SimConfig.RecordTimeline) into the trace as its own process group,
@@ -130,6 +150,22 @@ func (t *TraceRecorder) AddSimTimeline(res *SimResult, names [2]string, label st
 // WriteJSON writes the recorded trace as a Chrome Trace Event Format
 // JSON document.
 func (t *TraceRecorder) WriteJSON(w io.Writer) error { return t.tr.WriteJSON(w) }
+
+// AuditRecorder collects the partition search's per-subproblem decisions
+// — candidates, costs, winners, prune reasons, memo provenance — when
+// attached via Options.Audit. Auditing is observation, not configuration:
+// plans are byte-identical with and without a recorder attached.
+type AuditRecorder = core.AuditRecorder
+
+// AuditReport is the deterministic, sorted rendering of a recorded
+// search (AuditRecorder.Report, Plan.SearchAudit); accpar-serve embeds it
+// under "audit" when a /v1/plan request asks "explain": true, and the
+// accpar CLI prints it for -explain-search.
+type AuditReport = core.AuditReport
+
+// NewAuditRecorder returns an empty search-decision recorder for
+// Options.Audit.
+func NewAuditRecorder() *AuditRecorder { return core.NewAuditRecorder() }
 
 // SaveFile writes the trace document to path (the CLI -trace-out flags).
 func (t *TraceRecorder) SaveFile(path string) error {

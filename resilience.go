@@ -271,7 +271,7 @@ func resilienceCachedCtx(ctx context.Context, engines *core.ReplanEngines, net *
 	}
 	// The experiment's phases carry spans so a trace of a resilience run
 	// reads as its pipeline: plan, three simulations, replan.
-	sp := obs.StartSpan("resilience", "plan-pristine")
+	sp := obs.StartSpanCtx(ctx, "resilience", "plan-pristine")
 	plan, pst, err := partitionEnginesCtx(ctx, engines, net, arr, strategy, cache)
 	sp.End()
 	if err != nil {
@@ -282,7 +282,7 @@ func resilienceCachedCtx(ctx context.Context, engines *core.ReplanEngines, net *
 
 	pristineCfg := cfg
 	pristineCfg.Faults = nil
-	sp = obs.StartSpan("resilience", "simulate-fault-free")
+	sp = obs.StartSpanCtx(ctx, "resilience", "simulate-fault-free")
 	free, err := Simulate(net, plan.Root.Types, plan.Root.Alpha, a, b, pristineCfg)
 	sp.End()
 	if err != nil {
@@ -294,7 +294,7 @@ func resilienceCachedCtx(ctx context.Context, engines *core.ReplanEngines, net *
 
 	faultedCfg := cfg
 	faultedCfg.Faults = &sc
-	sp = obs.StartSpan("resilience", "simulate-stale")
+	sp = obs.StartSpanCtx(ctx, "resilience", "simulate-stale")
 	stale, err := Simulate(net, plan.Root.Types, plan.Root.Alpha, a, b, faultedCfg)
 	sp.End()
 	if err != nil {
@@ -317,7 +317,7 @@ func resilienceCachedCtx(ctx context.Context, engines *core.ReplanEngines, net *
 	// feeds the process-wide replan-latency histogram so serving metrics
 	// report one latency distribution for replan-after-fault no matter
 	// which entry point triggered it.
-	sp = obs.StartSpan("resilience", "plan-degraded")
+	sp = obs.StartSpanCtx(ctx, "resilience", "plan-degraded")
 	replanStart := time.Now()
 	dplan, dst, err := partitionEnginesCtx(ctx, engines, net, darr, strategy, cache)
 	sp.End()
@@ -328,7 +328,7 @@ func resilienceCachedCtx(ctx context.Context, engines *core.ReplanEngines, net *
 	if err := ctxSentinel(ctx.Err()); err != nil {
 		return nil, err
 	}
-	sp = obs.StartSpan("resilience", "simulate-replanned")
+	sp = obs.StartSpanCtx(ctx, "resilience", "simulate-replanned")
 	replanned, err := Simulate(net, dplan.Root.Types, dplan.Root.Alpha, a, b, faultedCfg)
 	sp.End()
 	if err != nil {
